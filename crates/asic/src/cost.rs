@@ -1,0 +1,293 @@
+//! The table cost model: logical table shape → on-chip memory.
+//!
+//! Cost rules (calibrated once against Table 2, then reused everywhere —
+//! Fig 17, Table 3 and Table 4 are all *derived* through these rules):
+//!
+//! - **Ternary/LPM in TCAM**: an entry of `key_bits` occupies
+//!   `ceil(key_bits / 44)` chained slice-rows.
+//! - **Exact match in SRAM**: an entry stores key + action + overhead
+//!   bits in `ceil(bits / 128)` words; keys wider than one word pay the
+//!   Tofino wide-word packing penalty (×2); the whole table is divided by
+//!   the hash utilization (0.8) because cuckoo ways cannot be filled
+//!   completely.
+//! - **ALPM**: the first level pays TCAM for one covering prefix per
+//!   partition; the second level pays SRAM for *allocated* bucket slots
+//!   (entries-per-slot words each), so partial fills cost real memory —
+//!   exactly the paper's "slightly ... more SRAM usage" trade.
+
+use crate::config::TofinoConfig;
+use crate::error::{Error, Result};
+use crate::mem::MemAmount;
+
+/// How a table matches its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact match (hash table in SRAM).
+    Exact,
+    /// Longest-prefix match.
+    Lpm,
+    /// General ternary match.
+    Ternary,
+}
+
+/// Where and how the table is stored on chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Storage {
+    /// Directly in TCAM (native LPM/ternary).
+    Tcam,
+    /// Hash table in SRAM (exact match only).
+    SramHash,
+    /// Two-level ALPM: TCAM index + SRAM buckets.
+    Alpm {
+        /// Covering prefixes installed in the first-level TCAM.
+        tcam_index_entries: usize,
+        /// Total second-level bucket slots allocated (≥ entries).
+        allocated_slots: usize,
+    },
+    /// Direct-indexed SRAM (counters, meters, registers): one cell per
+    /// entry, no hash overhead.
+    SramDirect,
+}
+
+/// The shape of one logical table instance.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name for diagnostics.
+    pub name: String,
+    /// Match kind (consistency-checked against storage).
+    pub match_kind: MatchKind,
+    /// Match key width in bits.
+    pub key_bits: u32,
+    /// Action/result data width in bits.
+    pub action_bits: u32,
+    /// Number of entries.
+    pub entries: usize,
+    /// Chosen storage.
+    pub storage: Storage,
+}
+
+/// Memory cost of a table (alias of [`MemAmount`] for readability).
+pub type MemCost = MemAmount;
+
+impl TableSpec {
+    /// Builds a spec, validating internal consistency.
+    pub fn new(
+        name: impl Into<String>,
+        match_kind: MatchKind,
+        key_bits: u32,
+        action_bits: u32,
+        entries: usize,
+        storage: Storage,
+    ) -> Result<Self> {
+        if key_bits == 0 {
+            return Err(Error::InvalidSpec("zero-width key"));
+        }
+        match (match_kind, storage) {
+            (MatchKind::Exact, Storage::SramHash | Storage::SramDirect) => {}
+            (MatchKind::Lpm | MatchKind::Ternary, Storage::Tcam) => {}
+            (MatchKind::Lpm, Storage::Alpm { .. }) => {}
+            _ => return Err(Error::InvalidSpec("storage incompatible with match kind")),
+        }
+        if let Storage::Alpm {
+            tcam_index_entries,
+            allocated_slots,
+        } = storage
+        {
+            if allocated_slots < entries || tcam_index_entries > entries.max(1) {
+                return Err(Error::InvalidSpec("inconsistent ALPM layout numbers"));
+            }
+        }
+        Ok(TableSpec {
+            name: name.into(),
+            match_kind,
+            key_bits,
+            action_bits,
+            entries,
+            storage,
+        })
+    }
+
+    /// SRAM words one stored record occupies (key+action+overhead, wide-key
+    /// penalty applied) — before hash-utilization division.
+    pub fn words_per_record(&self, config: &TofinoConfig) -> u32 {
+        let bits = self.key_bits + self.action_bits + config.entry_overhead_bits;
+        let words = bits.div_ceil(config.sram_word_bits);
+        if self.key_bits > config.sram_word_bits {
+            words * config.wide_key_word_multiplier
+        } else {
+            words
+        }
+    }
+
+    /// Memory this table occupies in one physical copy.
+    pub fn cost(&self, config: &TofinoConfig) -> MemCost {
+        match self.storage {
+            Storage::Tcam => MemAmount {
+                sram_words: 0,
+                tcam_rows: self.entries * config.tcam_slices_for(self.key_bits) as usize,
+            },
+            Storage::SramHash => {
+                let raw = self.entries as u64 * u64::from(self.words_per_record(config));
+                let adjusted = (raw as f64 / config.exact_hash_utilization).ceil() as usize;
+                MemAmount {
+                    sram_words: adjusted,
+                    tcam_rows: 0,
+                }
+            }
+            Storage::SramDirect => {
+                let bits = self.key_bits + self.action_bits;
+                let words = bits.div_ceil(config.sram_word_bits) as usize;
+                MemAmount {
+                    sram_words: self.entries * words,
+                    tcam_rows: 0,
+                }
+            }
+            Storage::Alpm {
+                tcam_index_entries,
+                allocated_slots,
+            } => {
+                // Each bucket slot stores prefix (key_bits) + prefix length
+                // (8) + action + valid overhead.
+                let slot_bits =
+                    self.key_bits + 8 + self.action_bits + config.entry_overhead_bits;
+                let words = slot_bits.div_ceil(config.sram_word_bits) as usize;
+                MemAmount {
+                    sram_words: allocated_slots * words,
+                    tcam_rows: tcam_index_entries
+                        * config.tcam_slices_for(self.key_bits) as usize,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Occupancy;
+
+    fn cfg() -> TofinoConfig {
+        TofinoConfig::tofino_64t()
+    }
+
+    /// Table 2, row 1: the VXLAN routing table (IPv4) at the calibrated
+    /// region scale occupies ~311% of one pipeline's TCAM.
+    #[test]
+    fn table2_vxlan_ipv4() {
+        let spec = TableSpec::new(
+            "vxlan-v4",
+            MatchKind::Lpm,
+            24 + 32,
+            32,
+            229_300,
+            Storage::Tcam,
+        )
+        .unwrap();
+        let occ = Occupancy::of(spec.cost(&cfg()), &cfg());
+        assert_eq!(occ.tcam_pct.round() as i64, 311);
+        assert_eq!(occ.sram_pct, 0.0);
+    }
+
+    /// Table 2, row 1 (IPv6): ~622% TCAM.
+    #[test]
+    fn table2_vxlan_ipv6() {
+        let spec = TableSpec::new(
+            "vxlan-v6",
+            MatchKind::Lpm,
+            24 + 128,
+            32,
+            229_300,
+            Storage::Tcam,
+        )
+        .unwrap();
+        let occ = Occupancy::of(spec.cost(&cfg()), &cfg());
+        assert_eq!(occ.tcam_pct.round() as i64, 622);
+    }
+
+    /// Table 2, row 2: VM-NC mapping, IPv4 ~58% SRAM, IPv6 ~233%.
+    #[test]
+    fn table2_vm_nc() {
+        let v4 = TableSpec::new(
+            "vmnc-v4",
+            MatchKind::Exact,
+            24 + 32,
+            32,
+            459_000,
+            Storage::SramHash,
+        )
+        .unwrap();
+        let occ = Occupancy::of(v4.cost(&cfg()), &cfg());
+        assert_eq!(occ.sram_pct.round() as i64, 58);
+
+        let v6 = TableSpec::new(
+            "vmnc-v6",
+            MatchKind::Exact,
+            24 + 128,
+            32,
+            459_000,
+            Storage::SramHash,
+        )
+        .unwrap();
+        let occ = Occupancy::of(v6.cost(&cfg()), &cfg());
+        assert_eq!(occ.sram_pct.round() as i64, 233);
+    }
+
+    #[test]
+    fn wide_key_penalty_applies_above_one_word() {
+        let c = cfg();
+        let narrow = TableSpec::new("n", MatchKind::Exact, 56, 32, 1, Storage::SramHash).unwrap();
+        assert_eq!(narrow.words_per_record(&c), 1);
+        let wide = TableSpec::new("w", MatchKind::Exact, 152, 32, 1, Storage::SramHash).unwrap();
+        // ceil(188/128)=2 words, ×2 wide-key penalty = 4.
+        assert_eq!(wide.words_per_record(&c), 4);
+    }
+
+    #[test]
+    fn alpm_cost_shape() {
+        let c = cfg();
+        let spec = TableSpec::new(
+            "alpm",
+            MatchKind::Lpm,
+            152,
+            32,
+            1_000,
+            Storage::Alpm {
+                tcam_index_entries: 100,
+                allocated_slots: 1_600,
+            },
+        )
+        .unwrap();
+        let cost = spec.cost(&c);
+        // 100 index entries × 4 slices.
+        assert_eq!(cost.tcam_rows, 400);
+        // slot bits = 152+8+32+4 = 196 -> 2 words × 1600 slots.
+        assert_eq!(cost.sram_words, 3_200);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(TableSpec::new("x", MatchKind::Exact, 0, 0, 1, Storage::SramHash).is_err());
+        assert!(TableSpec::new("x", MatchKind::Exact, 8, 0, 1, Storage::Tcam).is_err());
+        assert!(TableSpec::new("x", MatchKind::Ternary, 8, 0, 1, Storage::SramHash).is_err());
+        assert!(TableSpec::new(
+            "x",
+            MatchKind::Lpm,
+            8,
+            0,
+            100,
+            Storage::Alpm {
+                tcam_index_entries: 10,
+                allocated_slots: 50 // fewer slots than entries
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn direct_storage_has_no_hash_overhead() {
+        let c = cfg();
+        let spec =
+            TableSpec::new("ctr", MatchKind::Exact, 32, 64, 1024, Storage::SramDirect).unwrap();
+        assert_eq!(spec.cost(&c).sram_words, 1024);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for placement and resource accounting.
+
+use core::fmt;
+
+/// Errors produced by the ASIC model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A placement does not fit the per-pipe memory inventory.
+    DoesNotFit {
+        /// Human-readable description of the violated resource.
+        detail: String,
+    },
+    /// A placement violates the folded lookup order (a table would be
+    /// visited before one of its predecessors).
+    OrderViolation {
+        /// The offending table's name.
+        table: String,
+    },
+    /// The PHV budget is exhausted.
+    PhvExhausted,
+    /// A table spec is internally inconsistent (zero-width key, etc.).
+    InvalidSpec(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DoesNotFit { detail } => write!(f, "placement does not fit: {detail}"),
+            Error::OrderViolation { table } => {
+                write!(f, "table '{table}' placed before its predecessor in the fold path")
+            }
+            Error::PhvExhausted => write!(f, "PHV container budget exhausted"),
+            Error::InvalidSpec(what) => write!(f, "invalid table spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across `sailfish-asic`.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,37 @@
+//! # sailfish-asic
+//!
+//! A resource-exact model of a Tofino-class programmable switching ASIC.
+//!
+//! The paper's headline results are about fitting multi-tenant forwarding
+//! state into on-chip memory; this crate models exactly the constraints
+//! that make that hard (§3.2–§3.3):
+//!
+//! - four independent pipelines, each with its own parser → 12 match-action
+//!   stages → deparser, in both ingress and egress directions
+//!   ([`config::TofinoConfig`]),
+//! - per-stage SRAM/TCAM block inventories that no other stage or pipeline
+//!   can access ([`mem`]),
+//! - metadata (PHV) that is shared within a gress but cannot cross from
+//!   ingress to egress without *bridging* bytes onto the packet
+//!   ([`phv`]),
+//! - loopback ports enabling **pipeline folding** — trading half the
+//!   throughput and double the latency for twice the memory
+//!   ([`placement::FoldStep`]),
+//! - a calibrated cost model translating logical table shapes into SRAM
+//!   words and TCAM slice-rows ([`cost`]), reproducing Table 2 / Table 3 /
+//!   Fig 17 of the paper from first principles,
+//! - the forwarding-performance envelope (throughput, packet rate,
+//!   latency) of [`perf`], reproducing Fig 18.
+
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod mem;
+pub mod perf;
+pub mod phv;
+pub mod placement;
+
+pub use config::TofinoConfig;
+pub use cost::{MatchKind, MemCost, Storage, TableSpec};
+pub use error::{Error, Result};
+pub use placement::{FoldStep, Layout, PlacedTable};

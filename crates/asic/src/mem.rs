@@ -1,0 +1,133 @@
+//! Memory budgets and occupancy arithmetic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+use crate::config::TofinoConfig;
+
+/// An amount of on-chip memory: SRAM words plus TCAM slice-rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemAmount {
+    /// 128-bit SRAM words.
+    pub sram_words: usize,
+    /// 44-bit TCAM slice-rows.
+    pub tcam_rows: usize,
+}
+
+impl MemAmount {
+    /// Zero memory.
+    pub const ZERO: MemAmount = MemAmount {
+        sram_words: 0,
+        tcam_rows: 0,
+    };
+
+    /// Component-wise scaling by a rational `num/den` (used for sharing an
+    /// entry set across `den` pipes), rounding up.
+    pub fn scale(&self, num: usize, den: usize) -> MemAmount {
+        MemAmount {
+            sram_words: (self.sram_words * num).div_ceil(den),
+            tcam_rows: (self.tcam_rows * num).div_ceil(den),
+        }
+    }
+}
+
+impl Add for MemAmount {
+    type Output = MemAmount;
+
+    fn add(self, rhs: MemAmount) -> MemAmount {
+        MemAmount {
+            sram_words: self.sram_words + rhs.sram_words,
+            tcam_rows: self.tcam_rows + rhs.tcam_rows,
+        }
+    }
+}
+
+impl AddAssign for MemAmount {
+    fn add_assign(&mut self, rhs: MemAmount) {
+        *self = *self + rhs;
+    }
+}
+
+/// Occupancy of one pipeline, as percentages of its inventory.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Occupancy {
+    /// SRAM occupancy in percent (may exceed 100 when a placement is
+    /// infeasible, as in Table 2).
+    pub sram_pct: f64,
+    /// TCAM occupancy in percent.
+    pub tcam_pct: f64,
+}
+
+impl Occupancy {
+    /// Computes the occupancy of `amount` against one pipeline of `config`.
+    pub fn of(amount: MemAmount, config: &TofinoConfig) -> Occupancy {
+        Occupancy {
+            sram_pct: 100.0 * amount.sram_words as f64 / config.sram_words_per_pipe() as f64,
+            tcam_pct: 100.0 * amount.tcam_rows as f64 / config.tcam_rows_per_pipe() as f64,
+        }
+    }
+
+    /// Whether the pipeline physically fits (both components under 100%).
+    pub fn fits(&self) -> bool {
+        self.sram_pct <= 100.0 && self.tcam_pct <= 100.0
+    }
+}
+
+impl fmt::Display for Occupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SRAM {:.0}% / TCAM {:.0}%",
+            self.sram_pct.round(),
+            self.tcam_pct.round()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_math() {
+        let c = TofinoConfig::tofino_64t();
+        let amount = MemAmount {
+            sram_words: c.sram_words_per_pipe() / 2,
+            tcam_rows: c.tcam_rows_per_pipe(),
+        };
+        let occ = Occupancy::of(amount, &c);
+        assert!((occ.sram_pct - 50.0).abs() < 1e-9);
+        assert!((occ.tcam_pct - 100.0).abs() < 1e-9);
+        assert!(occ.fits());
+        let over = Occupancy::of(
+            MemAmount {
+                sram_words: c.sram_words_per_pipe() + 1,
+                tcam_rows: 0,
+            },
+            &c,
+        );
+        assert!(!over.fits());
+    }
+
+    #[test]
+    fn scaling_rounds_up() {
+        let a = MemAmount {
+            sram_words: 3,
+            tcam_rows: 1,
+        };
+        let half = a.scale(1, 2);
+        assert_eq!(half.sram_words, 2);
+        assert_eq!(half.tcam_rows, 1);
+    }
+
+    #[test]
+    fn addition() {
+        let a = MemAmount {
+            sram_words: 1,
+            tcam_rows: 2,
+        };
+        let mut b = MemAmount::ZERO;
+        b += a;
+        assert_eq!(a + MemAmount::ZERO, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Packet-header-vector (metadata) budgeting.
+//!
+//! "We notice that the on-chip PHV resources where metadata is stored are
+//! also scarce, although they have not been exhausted yet" (§6.2). The
+//! gateway program declares its metadata fields against a fixed budget;
+//! exceeding it is a compile-time error on real hardware and an `Err`
+//! here.
+
+use crate::config::TofinoConfig;
+use crate::error::{Error, Result};
+
+/// One declared metadata field.
+#[derive(Debug, Clone)]
+pub struct PhvField {
+    /// Field name (diagnostics only).
+    pub name: String,
+    /// Width in bits.
+    pub bits: u32,
+}
+
+/// A per-gress PHV allocation ledger.
+#[derive(Debug, Clone)]
+pub struct PhvBudget {
+    capacity_bits: u32,
+    fields: Vec<PhvField>,
+    used_bits: u32,
+}
+
+impl PhvBudget {
+    /// Creates a budget from the chip config.
+    pub fn new(config: &TofinoConfig) -> Self {
+        PhvBudget {
+            capacity_bits: config.phv_bits,
+            fields: Vec::new(),
+            used_bits: 0,
+        }
+    }
+
+    /// Declares a metadata field, failing when the budget is exhausted.
+    pub fn declare(&mut self, name: impl Into<String>, bits: u32) -> Result<()> {
+        if self.used_bits + bits > self.capacity_bits {
+            return Err(Error::PhvExhausted);
+        }
+        self.used_bits += bits;
+        self.fields.push(PhvField {
+            name: name.into(),
+            bits,
+        });
+        Ok(())
+    }
+
+    /// Bits currently allocated.
+    pub fn used_bits(&self) -> u32 {
+        self.used_bits
+    }
+
+    /// Fraction of the budget in use.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.used_bits) / f64::from(self.capacity_bits)
+    }
+
+    /// The declared fields.
+    pub fn fields(&self) -> &[PhvField] {
+        &self.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_until_exhausted() {
+        let cfg = TofinoConfig::tofino_64t();
+        let mut b = PhvBudget::new(&cfg);
+        b.declare("vni", 24).unwrap();
+        b.declare("scope", 8).unwrap();
+        assert_eq!(b.used_bits(), 32);
+        assert!(b.utilization() > 0.0);
+        assert_eq!(b.fields().len(), 2);
+        // Exhaust it.
+        assert!(matches!(
+            b.declare("huge", cfg.phv_bits),
+            Err(Error::PhvExhausted)
+        ));
+        // The failed declaration must not leak into the ledger.
+        assert_eq!(b.used_bits(), 32);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let cfg = TofinoConfig::tofino_64t();
+        let mut b = PhvBudget::new(&cfg);
+        b.declare("all", cfg.phv_bits).unwrap();
+        assert!((b.utilization() - 1.0).abs() < 1e-12);
+    }
+}

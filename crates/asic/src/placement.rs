@@ -1,0 +1,375 @@
+//! Table placement over the folded pipeline.
+//!
+//! Pipeline folding (§4.4, Fig 13): packets enter Ingress Pipe 0/2, loop
+//! through Egress Pipe 1/3 → Ingress Pipe 1/3 (loopback ports), and leave
+//! via Egress Pipe 0/2. Tables must be placed along this path "following
+//! the table lookup order", each physical pipe has its own memory, and
+//! metadata cannot cross a gress boundary without bridging.
+//!
+//! [`Layout`] captures a placement and checks all three constraints:
+//! lookup order, per-pipe memory capacity, and bridge counting.
+
+use crate::config::TofinoConfig;
+use crate::cost::TableSpec;
+use crate::error::{Error, Result};
+use crate::mem::{MemAmount, Occupancy};
+
+/// The four positions a table can occupy along the folded packet path, in
+/// traversal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FoldStep {
+    /// Ingress of Pipe 0/2 — the packet entry point.
+    IngressOuter,
+    /// Egress of Pipe 1/3 — before the loopback ports.
+    EgressLoop,
+    /// Ingress of Pipe 1/3 — after looping back.
+    IngressLoop,
+    /// Egress of Pipe 0/2 — the exit point.
+    EgressOuter,
+}
+
+impl FoldStep {
+    /// All steps in traversal order.
+    pub const ALL: [FoldStep; 4] = [
+        FoldStep::IngressOuter,
+        FoldStep::EgressLoop,
+        FoldStep::IngressLoop,
+        FoldStep::EgressOuter,
+    ];
+
+    /// Which physical pipe pair hosts this step.
+    pub fn pipe_pair(&self) -> PipePair {
+        match self {
+            FoldStep::IngressOuter | FoldStep::EgressOuter => PipePair::Outer,
+            FoldStep::EgressLoop | FoldStep::IngressLoop => PipePair::Loop,
+        }
+    }
+
+    /// Whether the step is an ingress gress.
+    pub fn is_ingress(&self) -> bool {
+        matches!(self, FoldStep::IngressOuter | FoldStep::IngressLoop)
+    }
+
+    /// Number of gress boundaries between `self` and a later step (each
+    /// boundary a metadata dependency must bridge across).
+    pub fn boundaries_to(&self, later: FoldStep) -> usize {
+        (later as usize).saturating_sub(*self as usize)
+    }
+}
+
+/// The two pipe pairs of the folded configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipePair {
+    /// Pipes 0 and 2 (entry/exit).
+    Outer,
+    /// Pipes 1 and 3 (loopback).
+    Loop,
+}
+
+/// One placed table (or a fraction of one, for cross-pipe mapping).
+#[derive(Debug, Clone)]
+pub struct PlacedTable {
+    /// The table's shape.
+    pub spec: TableSpec,
+    /// Where along the fold path it sits.
+    pub step: FoldStep,
+    /// Fraction of the entries placed here, as `(numerator, denominator)`.
+    /// Cross-pipe mapping (Fig 15) places e.g. (3,4) of Table D in
+    /// `IngressLoop` and (1,4) in `EgressOuter`.
+    pub fraction: (usize, usize),
+    /// Whether the entries are split by hash/parity between the two pipes
+    /// of the pair ("table splitting between pipelines", Fig 14) instead of
+    /// replicated into both.
+    pub split_across_pair: bool,
+    /// Whether this table consumes metadata produced by the previous table
+    /// in lookup order (bridging required if they sit in different
+    /// gresses).
+    pub depends_on_previous: bool,
+}
+
+impl PlacedTable {
+    /// A full, replicated, dependent placement — the common case.
+    pub fn new(spec: TableSpec, step: FoldStep) -> Self {
+        PlacedTable {
+            spec,
+            step,
+            fraction: (1, 1),
+            split_across_pair: false,
+            depends_on_previous: true,
+        }
+    }
+
+    /// Memory this placement consumes in EACH pipe of its pair.
+    pub fn cost_per_pipe(&self, config: &TofinoConfig) -> MemAmount {
+        let full = self.spec.cost(config);
+        let (num, den) = self.fraction;
+        let share = full.scale(num, den);
+        if self.split_across_pair {
+            share.scale(1, 2)
+        } else {
+            share
+        }
+    }
+}
+
+/// A complete placement of the gateway's tables on the chip.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    config: TofinoConfig,
+    /// Whether pipeline folding is active. When `false`, all four pipes
+    /// run the same program and every pipe carries every table.
+    pub folded: bool,
+    /// Tables in lookup order.
+    pub tables: Vec<PlacedTable>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new(config: TofinoConfig, folded: bool) -> Self {
+        Layout {
+            config,
+            folded,
+            tables: Vec::new(),
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &TofinoConfig {
+        &self.config
+    }
+
+    /// Appends a table in lookup order.
+    pub fn push(&mut self, table: PlacedTable) {
+        self.tables.push(table);
+    }
+
+    /// Memory consumed in each pipe of a pair.
+    pub fn pair_usage(&self, pair: PipePair) -> MemAmount {
+        let mut total = MemAmount::ZERO;
+        for t in &self.tables {
+            if self.folded {
+                if t.step.pipe_pair() == pair {
+                    total += t.cost_per_pipe(&self.config);
+                }
+            } else {
+                // Unfolded: every pipe carries every table in full.
+                total += t.spec.cost(&self.config).scale(t.fraction.0, t.fraction.1);
+            }
+        }
+        total
+    }
+
+    /// Occupancy of one pipe in each pair: `(outer, loop)`.
+    pub fn occupancy(&self) -> (Occupancy, Occupancy) {
+        (
+            Occupancy::of(self.pair_usage(PipePair::Outer), &self.config),
+            Occupancy::of(self.pair_usage(PipePair::Loop), &self.config),
+        )
+    }
+
+    /// Chip-wide occupancy (total used / total available across pipes).
+    pub fn total_occupancy(&self) -> Occupancy {
+        let outer = self.pair_usage(PipePair::Outer);
+        let looped = self.pair_usage(PipePair::Loop);
+        let total = MemAmount {
+            sram_words: 2 * (outer.sram_words + looped.sram_words),
+            tcam_rows: 2 * (outer.tcam_rows + looped.tcam_rows),
+        };
+        Occupancy {
+            sram_pct: 100.0 * total.sram_words as f64
+                / (self.config.pipelines * self.config.sram_words_per_pipe()) as f64,
+            tcam_pct: 100.0 * total.tcam_rows as f64
+                / (self.config.pipelines * self.config.tcam_rows_per_pipe()) as f64,
+        }
+    }
+
+    /// Number of metadata bridges the placement requires (gress boundaries
+    /// crossed by dependent consecutive tables). "With pipeline folding,
+    /// the number of possible bridges increases from 1 to 3."
+    pub fn bridge_count(&self) -> usize {
+        if !self.folded {
+            // Unfolded: one possible ingress→egress boundary.
+            return self
+                .tables
+                .windows(2)
+                .filter(|w| {
+                    w[1].depends_on_previous && w[0].step.is_ingress() && !w[1].step.is_ingress()
+                })
+                .count()
+                .min(1);
+        }
+        let mut crossed = std::collections::BTreeSet::new();
+        for w in self.tables.windows(2) {
+            if !w[1].depends_on_previous {
+                continue;
+            }
+            let (a, b) = (w[0].step as usize, w[1].step as usize);
+            for boundary in a..b {
+                crossed.insert(boundary);
+            }
+        }
+        crossed.len()
+    }
+
+    /// Extra bytes bridged onto the packet between pipes.
+    pub fn bridge_bytes(&self) -> usize {
+        self.bridge_count() * self.config.bridge_bits_per_crossing as usize / 8
+    }
+
+    /// Validates ordering and capacity.
+    pub fn validate(&self) -> Result<()> {
+        if self.folded {
+            let mut prev = FoldStep::IngressOuter;
+            for t in &self.tables {
+                if t.step < prev {
+                    return Err(Error::OrderViolation {
+                        table: t.spec.name.clone(),
+                    });
+                }
+                prev = t.step;
+            }
+        }
+        for pair in [PipePair::Outer, PipePair::Loop] {
+            let occ = Occupancy::of(self.pair_usage(pair), &self.config);
+            if !occ.fits() {
+                return Err(Error::DoesNotFit {
+                    detail: format!("{pair:?} pipes at {occ}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{MatchKind, Storage};
+
+    fn spec(name: &str, entries: usize) -> TableSpec {
+        TableSpec::new(name, MatchKind::Exact, 56, 32, entries, Storage::SramHash).unwrap()
+    }
+
+    fn tcam_spec(name: &str, entries: usize) -> TableSpec {
+        TableSpec::new(name, MatchKind::Lpm, 56, 32, entries, Storage::Tcam).unwrap()
+    }
+
+    #[test]
+    fn unfolded_replicates_everywhere() {
+        let mut l = Layout::new(TofinoConfig::tofino_64t(), false);
+        l.push(PlacedTable::new(spec("a", 100_000), FoldStep::IngressOuter));
+        let outer = l.pair_usage(PipePair::Outer);
+        let looped = l.pair_usage(PipePair::Loop);
+        assert_eq!(outer, looped);
+        assert!(outer.sram_words > 0);
+    }
+
+    #[test]
+    fn folding_doubles_capacity() {
+        // A table that exactly fills one pipe fits when folded tables are
+        // spread over both pairs.
+        let cfg = TofinoConfig::tofino_64t();
+        let big = spec("big", 700_000); // 700k/0.8 = 875k words each
+        let mut unfolded = Layout::new(cfg.clone(), false);
+        unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
+        unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
+        assert!(unfolded.validate().is_err(), "two copies cannot fit one pipe");
+
+        let mut folded = Layout::new(cfg, true);
+        folded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
+        folded.push(PlacedTable::new(big, FoldStep::IngressLoop));
+        folded.validate().unwrap();
+    }
+
+    #[test]
+    fn split_across_pair_halves_per_pipe_cost() {
+        let cfg = TofinoConfig::tofino_64t();
+        let mut l = Layout::new(cfg.clone(), true);
+        let mut t = PlacedTable::new(spec("s", 100_000), FoldStep::EgressLoop);
+        let full = t.cost_per_pipe(&cfg).sram_words;
+        t.split_across_pair = true;
+        let half = t.cost_per_pipe(&cfg).sram_words;
+        assert_eq!(half, full.div_ceil(2));
+        l.push(t);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn cross_pipe_mapping_fractions() {
+        let cfg = TofinoConfig::tofino_64t();
+        let base = spec("d", 400_000);
+        let mut part_a = PlacedTable::new(base.clone(), FoldStep::IngressLoop);
+        part_a.fraction = (3, 4);
+        let mut part_b = PlacedTable::new(base, FoldStep::EgressOuter);
+        part_b.fraction = (1, 4);
+        let total =
+            part_a.cost_per_pipe(&cfg).sram_words + part_b.cost_per_pipe(&cfg).sram_words;
+        let full = spec("d", 400_000).cost(&cfg).sram_words;
+        // Fraction rounding may add a word or two but never loses entries.
+        assert!(total >= full, "{total} >= {full}");
+        assert!(total <= full + 2);
+    }
+
+    #[test]
+    fn order_violation_detected() {
+        let mut l = Layout::new(TofinoConfig::tofino_64t(), true);
+        l.push(PlacedTable::new(spec("late", 10), FoldStep::EgressOuter));
+        l.push(PlacedTable::new(spec("early", 10), FoldStep::IngressOuter));
+        match l.validate() {
+            Err(Error::OrderViolation { table }) => assert_eq!(table, "early"),
+            other => panic!("expected order violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut l = Layout::new(TofinoConfig::tofino_64t(), true);
+        l.push(PlacedTable::new(tcam_spec("huge", 200_000), FoldStep::IngressOuter));
+        assert!(matches!(l.validate(), Err(Error::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn bridge_counting() {
+        let cfg = TofinoConfig::tofino_64t();
+        let mut l = Layout::new(cfg, true);
+        l.push(PlacedTable::new(spec("a", 10), FoldStep::IngressOuter));
+        l.push(PlacedTable::new(spec("b", 10), FoldStep::EgressLoop));
+        l.push(PlacedTable::new(spec("c", 10), FoldStep::IngressLoop));
+        l.push(PlacedTable::new(spec("d", 10), FoldStep::EgressOuter));
+        // Dependent chain across all three boundaries.
+        assert_eq!(l.bridge_count(), 3);
+        assert_eq!(l.bridge_bytes(), 12);
+        // Making b..d independent removes the bridges.
+        let mut l2 = Layout::new(TofinoConfig::tofino_64t(), true);
+        for (name, step) in [
+            ("a", FoldStep::IngressOuter),
+            ("b", FoldStep::EgressLoop),
+            ("c", FoldStep::IngressLoop),
+        ] {
+            let mut t = PlacedTable::new(spec(name, 10), step);
+            t.depends_on_previous = name == "a";
+            l2.push(t);
+        }
+        assert_eq!(l2.bridge_count(), 0);
+    }
+
+    #[test]
+    fn same_pair_dependency_needs_no_bridge() {
+        let mut l = Layout::new(TofinoConfig::tofino_64t(), true);
+        l.push(PlacedTable::new(spec("a", 10), FoldStep::IngressOuter));
+        l.push(PlacedTable::new(spec("b", 10), FoldStep::IngressOuter));
+        assert_eq!(l.bridge_count(), 0);
+    }
+
+    #[test]
+    fn total_occupancy_averages_pairs() {
+        let cfg = TofinoConfig::tofino_64t();
+        let mut l = Layout::new(cfg.clone(), true);
+        l.push(PlacedTable::new(spec("a", 400_000), FoldStep::IngressOuter));
+        let (outer, looped) = l.occupancy();
+        assert!(outer.sram_pct > 0.0);
+        assert_eq!(looped.sram_pct, 0.0);
+        let total = l.total_occupancy();
+        assert!((total.sram_pct - outer.sram_pct / 2.0).abs() < 1e-9);
+    }
+}

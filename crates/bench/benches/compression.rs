@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the memory-model machinery itself: computing
+//! the Fig 17 series and building/validating production layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sailfish::compression::{estimate_alpm_stats, step_series, CALIBRATED_ROUTES};
+use sailfish::prelude::*;
+use sailfish_xgw_h::layout::production_layout;
+
+fn bench_fig17_series(c: &mut Criterion) {
+    let cfg = TofinoConfig::tofino_64t();
+    let scenario = MemoryScenario::paper_mix();
+    let alpm = estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6);
+    c.bench_function("fig17_step_series", |b| {
+        b.iter(|| std::hint::black_box(step_series(&scenario, &cfg, &alpm)))
+    });
+}
+
+fn bench_production_layout(c: &mut Criterion) {
+    let alpm = estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6);
+    c.bench_function("production_layout_validate", |b| {
+        b.iter(|| {
+            let layout = production_layout(
+                TofinoConfig::tofino_64t(),
+                CALIBRATED_ROUTES,
+                &alpm,
+                459_000,
+            );
+            layout.validate().unwrap();
+            std::hint::black_box(layout.total_occupancy())
+        })
+    });
+}
+
+fn bench_region_build(c: &mut Criterion) {
+    let topology = Topology::generate(TopologyConfig::default());
+    let mut group = c.benchmark_group("region");
+    group.sample_size(10);
+    group.bench_function("small_region_build", |b| {
+        b.iter(|| {
+            let region = Region::build(
+                &topology,
+                RegionConfig {
+                    with_backup: false,
+                    sw_nodes: 1,
+                    capacity: sailfish_cluster::controller::ClusterCapacity {
+                        max_routes: 600,
+                        max_vms: 3_000,
+                    },
+                    ..RegionConfig::default()
+                },
+            )
+            .unwrap();
+            std::hint::black_box(region.plan.clusters_needed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig17_series,
+    bench_production_layout,
+    bench_region_build
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the per-packet forwarding paths
+//! (companions to Fig 18: these measure the *model's* software cost; the
+//! Tbps envelopes come from the calibrated `perf` module).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use sailfish::prelude::*;
+use sailfish_tables::types::NcAddr;
+
+fn hardware_gateway() -> XgwH {
+    let mut gw = XgwH::with_defaults();
+    for v in 0..64u32 {
+        let vni = Vni::from_const(100 + v);
+        for s in 0..8u8 {
+            gw.tables
+                .routes
+                .insert(
+                    VxlanRouteKey::new(
+                        vni,
+                        format!("10.{s}.0.0/16").parse::<IpPrefix>().unwrap(),
+                    ),
+                    RouteTarget::Local,
+                )
+                .unwrap();
+        }
+        for h in 0..16u8 {
+            gw.tables
+                .add_vm(
+                    vni,
+                    format!("10.0.0.{}", 2 + h).parse().unwrap(),
+                    NcAddr::new("10.200.0.1".parse().unwrap()),
+                )
+                .unwrap();
+        }
+    }
+    gw
+}
+
+fn packets() -> Vec<GatewayPacket> {
+    (0..256u32)
+        .map(|i| {
+            GatewayPacketBuilder::new(
+                Vni::from_const(100 + i % 64),
+                "10.1.0.9".parse().unwrap(),
+                format!("10.0.0.{}", 2 + i % 16).parse().unwrap(),
+            )
+            .build()
+        })
+        .collect()
+}
+
+fn bench_hw_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xgw_h");
+    let mut gw = hardware_gateway();
+    let pkts = packets();
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.bench_function("process_256_packets", |b| {
+        b.iter(|| {
+            for (i, p) in pkts.iter().enumerate() {
+                std::hint::black_box(gw.process(p, i as u64));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_sw_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xgw_x86");
+    let mut fwd = SoftwareForwarder::default();
+    for v in 0..64u32 {
+        let vni = Vni::from_const(100 + v);
+        fwd.tables.routes.insert(
+            VxlanRouteKey::new(vni, "10.0.0.0/8".parse::<IpPrefix>().unwrap()),
+            RouteTarget::Local,
+        );
+        for h in 0..16u8 {
+            fwd.tables
+                .vm_nc
+                .insert(
+                    vni,
+                    format!("10.0.0.{}", 2 + h).parse().unwrap(),
+                    NcAddr::new("10.200.0.1".parse().unwrap()),
+                )
+                .unwrap();
+        }
+    }
+    let pkts = packets();
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.bench_function("process_256_packets", |b| {
+        b.iter(|| {
+            for (i, p) in pkts.iter().enumerate() {
+                std::hint::black_box(fwd.process(p, i as u64));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_parse_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let packet = packets()[0];
+    let bytes = packet.emit().expect("emittable");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("emit", |b| b.iter(|| std::hint::black_box(packet.emit().unwrap())));
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(GatewayPacket::parse(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rss(c: &mut Criterion) {
+    let toeplitz = sailfish_net::rss::Toeplitz::default();
+    let tuples: Vec<FiveTuple> = packets().iter().map(|p| p.five_tuple()).collect();
+    c.bench_function("rss_toeplitz_256_tuples", |b| {
+        b.iter_batched(
+            || tuples.clone(),
+            |tuples| {
+                for t in &tuples {
+                    std::hint::black_box(toeplitz.queue_for(t, 32));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hw_process,
+    bench_sw_process,
+    bench_parse_emit,
+    bench_rss
+);
+criterion_main!(benches);

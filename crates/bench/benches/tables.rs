@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the table structures: the compressed
+//! (ALPM/digest) paths versus their uncompressed references, quantifying
+//! the paper's "slightly reduced lookup efficiency" trade (§4.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sailfish_net::Vni;
+use sailfish_tables::alpm::{AlpmConfig, AlpmTable};
+use sailfish_tables::digest::DigestExactTable;
+use sailfish_tables::lpm::{Key128, Lpm128};
+use sailfish_tables::types::VmKey;
+
+const ROUTES: usize = 20_000;
+
+fn route_set() -> Vec<(Key128, u32)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..ROUTES as u32)
+        .map(|i| {
+            let len = 96 + rng.gen_range(0..=24u8);
+            let value = rng.gen_range(0..1u128 << 20) << 104 | u128::from(i) << 40;
+            (Key128::new(value, len).unwrap(), i)
+        })
+        .collect()
+}
+
+fn probes() -> Vec<u128> {
+    let mut rng = StdRng::seed_from_u64(2);
+    (0..1024)
+        .map(|_| rng.gen_range(0..1u128 << 20) << 104 | rng.gen::<u64>() as u128)
+        .collect()
+}
+
+fn bench_lpm_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_lookup_20k_routes");
+    let routes = route_set();
+    let probes = probes();
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    let mut trie = Lpm128::new();
+    for (k, v) in &routes {
+        trie.insert(*k, *v);
+    }
+    group.bench_function("trie_reference", |b| {
+        b.iter(|| {
+            for p in &probes {
+                std::hint::black_box(trie.lookup(*p));
+            }
+        })
+    });
+
+    let mut alpm = AlpmTable::new(AlpmConfig::default());
+    for (k, v) in &routes {
+        alpm.insert(*k, *v).unwrap();
+    }
+    group.bench_function("alpm_compressed", |b| {
+        b.iter(|| {
+            for p in &probes {
+                std::hint::black_box(alpm.lookup(*p));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_alpm_insert(c: &mut Criterion) {
+    let routes = route_set();
+    let mut group = c.benchmark_group("alpm");
+    group.sample_size(10);
+    group.bench_function("bulk_insert_20k", |b| {
+        b.iter(|| {
+            let mut alpm = AlpmTable::new(AlpmConfig::default());
+            for (k, v) in &routes {
+                alpm.insert(*k, *v).unwrap();
+            }
+            std::hint::black_box(alpm.stats())
+        })
+    });
+    group.finish();
+}
+
+fn bench_digest_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_nc_lookup_100k");
+    let mut table = DigestExactTable::new();
+    let keys: Vec<VmKey> = (0..100_000u32)
+        .map(|i| {
+            VmKey::new(
+                Vni::from_const(i % 1024),
+                core::net::IpAddr::V6(core::net::Ipv6Addr::from(
+                    0x2001_0db8u128 << 96 | u128::from(i),
+                )),
+            )
+        })
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        table.insert(*k, i).unwrap();
+    }
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("digest_compressed", |b| {
+        b.iter(|| {
+            for k in keys.iter().step_by(97).take(1024) {
+                std::hint::black_box(table.get(k));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lpm_lookup,
+    bench_alpm_insert,
+    bench_digest_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Fig 18: forwarding performance of XGW-H vs XGW-x86 at roughly the
+//! same unit price — throughput (>20x), packet rate (~72x), latency
+//! (−95%), plus the line-rate crossovers and the 128B–1024B latency
+//! spread reported in §5.1.
+
+use sailfish::prelude::*;
+use sailfish_bench::record::ExperimentRecord;
+use sailfish_bench::table::print_table;
+
+fn main() {
+    let hw = PerfEnvelope::tofino_64t();
+    let sw = XgwX86Config::default();
+
+    // Packet-size sweep.
+    let sizes = [64usize, 128, 256, 512, 1024, 1500];
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&b| {
+            let hw_pps = hw.max_pps(b, true, 0);
+            let hw_bps = hw.max_bps(b, true, 0);
+            let sw_pps = sw.max_pps(b);
+            let sw_bps = sw.max_bps(b);
+            vec![
+                format!("{b}"),
+                format!("{:.2}", hw_bps / 1e12),
+                format!("{:.0}", hw_pps / 1e6),
+                format!("{:.3}", sw_bps / 1e12),
+                format!("{:.1}", sw_pps / 1e6),
+                format!("{:.0}x", hw_bps / sw_bps),
+                format!("{:.0}x", hw_pps / sw_pps),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 18(a)(b): throughput and packet rate vs packet size",
+        &["Bytes", "XGW-H Tbps", "XGW-H Mpps", "x86 Tbps", "x86 Mpps", "bps ratio", "pps ratio"],
+        &rows,
+    );
+
+    // Latency.
+    let hw_lat_128 = hw.latency_ns(128, true);
+    let hw_lat_1024 = hw.latency_ns(1024, true);
+    let sw_lat = sw.latency_ns(0.3);
+    print_table(
+        "Fig 18(c): forwarding latency",
+        &["Node", "Latency µs"],
+        &[
+            vec!["XGW-x86".into(), format!("{:.0}", sw_lat / 1000.0)],
+            vec!["XGW-H (128B)".into(), format!("{:.3}", hw_lat_128 / 1000.0)],
+            vec!["XGW-H (1024B)".into(), format!("{:.3}", hw_lat_1024 / 1000.0)],
+        ],
+    );
+
+    let hw_small_pps = hw.max_pps(200, true, 0);
+    let sw_small_pps = sw.max_pps(200);
+    let mut rec = ExperimentRecord::new("fig18", "XGW-H vs XGW-x86 forwarding performance");
+    rec.compare(
+        "throughput ratio (bps, large packets)",
+        ">20x (3.2 Tbps vs x86)",
+        format!("{:.0}x", hw.max_bps(1500, true, 0) / sw.max_bps(1500)),
+        hw.max_bps(1500, true, 0) / sw.max_bps(1500) > 20.0,
+    );
+    rec.compare(
+        "packet-rate ratio (small packets)",
+        "71-72x (1800 vs 25 Mpps)",
+        format!("{:.0}x", hw_small_pps / sw_small_pps),
+        (60.0..85.0).contains(&(hw_small_pps / sw_small_pps)),
+    );
+    rec.compare(
+        "XGW-H peak packet rate",
+        "1800 Mpps",
+        format!("{:.0} Mpps", hw.max_pps(64, true, 0) / 1e6),
+        (hw.max_pps(64, true, 0) / 1e6 - 1800.0).abs() < 10.0,
+    );
+    rec.compare(
+        "latency reduction",
+        "95% (40µs -> 2µs)",
+        format!("{:.0}%", 100.0 * (1.0 - hw_lat_128 / sw_lat)),
+        1.0 - hw_lat_128 / sw_lat > 0.9,
+    );
+    rec.compare(
+        "XGW-H latency 128B..1024B",
+        "2.173..2.303 µs",
+        format!("{:.3}..{:.3} µs", hw_lat_128 / 1000.0, hw_lat_1024 / 1000.0),
+        (2.0..2.3).contains(&(hw_lat_128 / 1000.0)) && (2.2..2.5).contains(&(hw_lat_1024 / 1000.0)),
+    );
+    rec.compare(
+        "XGW-H line-rate crossover",
+        "< 256B",
+        format!("{}B", hw.line_rate_crossover_bytes()),
+        hw.line_rate_crossover_bytes() < 256,
+    );
+    rec.compare(
+        "XGW-x86 reaches line rate only above",
+        "512B",
+        (if sw.max_pps(512) < sw.total_pps() { "between 256B and 512B" } else { "above 512B" })
+            .to_string(),
+        sw.max_pps(512) < sw.total_pps() && (sw.max_pps(256) - sw.total_pps()).abs() < 1.0,
+    );
+    rec.finish();
+}

@@ -1,0 +1,14 @@
+//! # sailfish-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (`src/bin/*.rs`) plus Criterion micro-benchmarks (`benches/`).
+//!
+//! Each binary prints the same rows/series the paper reports and appends
+//! a machine-readable record to `experiments/<id>.json` so
+//! `EXPERIMENTS.md` can be cross-checked. Absolute values are
+//! model-derived; the *shape* (who wins, by what factor, where crossovers
+//! fall) is what must match the paper — see DESIGN.md §2.
+
+pub mod record;
+pub mod scale;
+pub mod table;

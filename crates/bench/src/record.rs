@@ -1,0 +1,123 @@
+//! Machine-readable experiment records.
+//!
+//! Every reproduction binary appends its paper-vs-measured comparison to
+//! `experiments/<id>.json` in the workspace root, which backs
+//! `EXPERIMENTS.md`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// One compared quantity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared (e.g. "SRAM % after a+b").
+    pub metric: String,
+    /// The paper's reported value, as printed in the paper.
+    pub paper: String,
+    /// Our measured/derived value.
+    pub measured: String,
+    /// Whether the shape/claim holds.
+    pub holds: bool,
+}
+
+/// A full experiment record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "fig17").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            title: title.into(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Adds a comparison row.
+    pub fn compare(
+        &mut self,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        holds: bool,
+    ) -> &mut Self {
+        self.comparisons.push(Comparison {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            holds,
+        });
+        self
+    }
+
+    /// Directory the records land in (workspace `experiments/`).
+    pub fn output_dir() -> PathBuf {
+        // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("experiments");
+        p
+    }
+
+    /// Writes the record and prints the comparison summary.
+    pub fn finish(&self) {
+        let dir = Self::output_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize record: {e}"),
+        }
+        println!("\n[{}] paper vs measured:", self.id);
+        let mut all_hold = true;
+        for c in &self.comparisons {
+            let mark = if c.holds { "OK " } else { "DIVERGES" };
+            println!("  [{mark}] {:<42} paper: {:<22} measured: {}", c.metric, c.paper, c.measured);
+            all_hold &= c.holds;
+        }
+        println!(
+            "  => {}",
+            if all_hold {
+                "all claims hold"
+            } else {
+                "some claims diverge (see EXPERIMENTS.md)"
+            }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let mut r = ExperimentRecord::new("test", "Test record");
+        r.compare("m", "1", "1.02", true);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.comparisons.len(), 1);
+        assert_eq!(back.id, "test");
+    }
+
+    #[test]
+    fn output_dir_is_workspace_experiments() {
+        let dir = ExperimentRecord::output_dir();
+        assert!(dir.ends_with("experiments"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared experiment scales and expensive shared builds.
+
+use sailfish::compression::{CALIBRATED_ROUTES, CALIBRATED_VMS};
+use sailfish::prelude::*;
+use sailfish_tables::alpm::AlpmStats;
+use sailfish_xgw_h::tables::HwRoutingTable;
+
+/// Builds the region-scale topology and measures the *real* ALPM layout
+/// by installing every route into a live `HwRoutingTable`. Slow (~tens of
+/// seconds in release); used by the memory experiments so the Fig 17 /
+/// Table 3 ALPM numbers come from the actual compressed structure, not a
+/// formula.
+pub fn measured_region_alpm() -> (Topology, AlpmStats) {
+    let topology = Topology::generate(TopologyConfig::region_scale());
+    let mut table = HwRoutingTable::new(AlpmConfig::default());
+    for (key, target) in &topology.routes {
+        table
+            .insert(*key, *target)
+            .expect("fresh table accepts all installs");
+    }
+    table.audit().expect("ALPM invariants hold at region scale");
+    let stats = table.grouped_alpm_stats();
+    (topology, stats)
+}
+
+/// The calibrated scenario scaled to an arbitrary measured route count
+/// (topology generation does not hit the calibrated counts exactly).
+pub fn scenario_with(routes: usize, vms: usize, v4_fraction: f64) -> MemoryScenario {
+    MemoryScenario {
+        route_entries: routes,
+        vm_entries: vms,
+        v4_fraction,
+    }
+}
+
+/// The paper-calibrated scenario (75/25 mix).
+pub fn calibrated_scenario() -> MemoryScenario {
+    MemoryScenario {
+        route_entries: CALIBRATED_ROUTES,
+        vm_entries: CALIBRATED_VMS,
+        v4_fraction: 0.75,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_scenario_matches_design_doc() {
+        let s = calibrated_scenario();
+        assert_eq!(s.route_entries, 229_300);
+        assert_eq!(s.vm_entries, 459_000);
+    }
+}

@@ -1,0 +1,412 @@
+//! The central controller.
+//!
+//! Responsibilities (§4.3, §6.1):
+//!
+//! - **Split planning** — horizontal table splitting by VNI: "each XGW-H
+//!   stores all the forwarding tables but only a portion of entries from
+//!   each table ... we only need to insert new table entries into one
+//!   cluster or allocate a new cluster if the original cluster is out of
+//!   memory",
+//! - **Installation** — pushing each VNI's routes and VM mappings to its
+//!   cluster (every device) and the full region state to the XGW-x86
+//!   fallback cluster,
+//! - **Consistency checking** — "table entry inconsistency between the
+//!   controller and the gateways may occur during table population ...
+//!   periodic consistency checks are needed",
+//! - **Update timeline** — the Fig 23 model: slow regular growth plus
+//!   sudden announced batches from top customers.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sailfish_net::Vni;
+use sailfish_sim::metrics::Series;
+use sailfish_sim::topology::Topology;
+
+use crate::cluster::{HwCluster, SwCluster};
+use crate::lb::VniDirectory;
+
+/// Per-cluster capacity limits (entries a single XGW-H can hold after the
+/// §4.4 compression).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterCapacity {
+    /// Maximum route entries.
+    pub max_routes: usize,
+    /// Maximum VM mappings.
+    pub max_vms: usize,
+}
+
+impl Default for ClusterCapacity {
+    fn default() -> Self {
+        // The DESIGN.md §3 calibration: one XGW-H comfortably holds ~229k
+        // routes and ~459k VMs with headroom (Table 4 shows ~69%/32%).
+        ClusterCapacity {
+            max_routes: 240_000,
+            max_vms: 480_000,
+        }
+    }
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// One VNI alone exceeds a cluster's capacity — "the VPC is the
+    /// smallest split granularity, however, some VPCs (e.g., top
+    /// customers) contain millions of entries that challenge the capacity
+    /// of a single cluster" (§4.4).
+    VniTooLarge {
+        /// The offending VPC.
+        vni: Vni,
+    },
+    /// More clusters would be needed than allowed.
+    NotEnoughClusters {
+        /// Clusters required by the plan.
+        needed: usize,
+        /// Clusters available.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlanError::VniTooLarge { vni } => {
+                write!(f, "{vni} exceeds single-cluster capacity")
+            }
+            PlanError::NotEnoughClusters { needed, available } => {
+                write!(f, "plan needs {needed} clusters, only {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Load assigned to one cluster by a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterLoad {
+    /// Route entries.
+    pub routes: usize,
+    /// VM mappings.
+    pub vms: usize,
+}
+
+/// A VNI→cluster assignment.
+#[derive(Debug, Clone)]
+pub struct SplitPlan {
+    /// Assignment of each VNI.
+    pub assignments: HashMap<Vni, usize>,
+    /// Load per cluster.
+    pub per_cluster: Vec<ClusterLoad>,
+}
+
+impl SplitPlan {
+    /// Number of clusters the plan uses.
+    pub fn clusters_needed(&self) -> usize {
+        self.per_cluster.len()
+    }
+}
+
+/// An inconsistency found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistency {
+    /// The cluster where it was found.
+    pub cluster: usize,
+    /// The device within the cluster.
+    pub device: usize,
+    /// The affected VNI.
+    pub vni: Vni,
+    /// Entries the controller believes are installed.
+    pub expected: usize,
+    /// Entries actually present.
+    pub actual: usize,
+}
+
+/// The central controller.
+#[derive(Debug, Default)]
+pub struct Controller {
+    /// Intended per-VNI route counts, recorded at install time.
+    intent: HashMap<Vni, usize>,
+}
+
+impl Controller {
+    /// Creates a controller with no recorded intent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plans the horizontal split: first-fit decreasing over per-VNI
+    /// entry weights, opening new clusters as needed (up to
+    /// `max_clusters`).
+    ///
+    /// Peered VPCs are planned as one indivisible group: a packet for
+    /// VNI A resolving to peer VNI B completes both lookups on the same
+    /// device, so the controller must co-locate peers (otherwise
+    /// cross-VPC traffic would fall back to software).
+    pub fn plan_split(
+        topology: &Topology,
+        capacity: ClusterCapacity,
+        max_clusters: usize,
+    ) -> Result<SplitPlan, PlanError> {
+        // Per-VNI weights.
+        let mut routes_per_vni: HashMap<Vni, usize> = HashMap::new();
+        for (key, _) in &topology.routes {
+            *routes_per_vni.entry(key.vni).or_default() += 1;
+        }
+        let mut vms_per_vni: HashMap<Vni, usize> = HashMap::new();
+        for vm in &topology.vms {
+            *vms_per_vni.entry(vm.vni).or_default() += 1;
+        }
+
+        // Group peered VPCs: every VNI maps to a canonical group leader.
+        let mut leader: HashMap<Vni, Vni> = HashMap::new();
+        for vpc in &topology.vpcs {
+            let mates = core::iter::once(vpc.vni).chain(vpc.peer);
+            let min = mates.clone().min().expect("non-empty");
+            for m in mates {
+                let entry = leader.entry(m).or_insert(min);
+                *entry = (*entry).min(min);
+            }
+        }
+        let group_of = |vni: Vni| leader.get(&vni).copied().unwrap_or(vni);
+
+        // leader -> (member VNIs, route weight, VM weight).
+        type Group = (Vec<Vni>, usize, usize);
+        let mut groups: HashMap<Vni, Group> = HashMap::new();
+        let all_vnis: std::collections::BTreeSet<Vni> = routes_per_vni
+            .keys()
+            .chain(vms_per_vni.keys())
+            .copied()
+            .collect();
+        for vni in all_vnis {
+            let g = groups.entry(group_of(vni)).or_default();
+            g.0.push(vni);
+            g.1 += routes_per_vni.get(&vni).copied().unwrap_or(0);
+            g.2 += vms_per_vni.get(&vni).copied().unwrap_or(0);
+        }
+        let mut ordered: Vec<(Vni, Group)> = groups.into_iter().collect();
+        // Decreasing by dominant load dimension; ties by leader for
+        // determinism.
+        ordered.sort_by_key(|(lead, (_, r, v))| (core::cmp::Reverse(r + v), *lead));
+
+        let mut per_cluster: Vec<ClusterLoad> = Vec::new();
+        let mut assignments = HashMap::new();
+        for (lead, (members, routes, vms)) in ordered {
+            if routes > capacity.max_routes || vms > capacity.max_vms {
+                return Err(PlanError::VniTooLarge { vni: lead });
+            }
+            let slot = per_cluster.iter().position(|load| {
+                load.routes + routes <= capacity.max_routes && load.vms + vms <= capacity.max_vms
+            });
+            let idx = match slot {
+                Some(idx) => idx,
+                None => {
+                    per_cluster.push(ClusterLoad::default());
+                    per_cluster.len() - 1
+                }
+            };
+            per_cluster[idx].routes += routes;
+            per_cluster[idx].vms += vms;
+            for vni in members {
+                assignments.insert(vni, idx);
+            }
+        }
+        if per_cluster.len() > max_clusters {
+            return Err(PlanError::NotEnoughClusters {
+                needed: per_cluster.len(),
+                available: max_clusters,
+            });
+        }
+        Ok(SplitPlan {
+            assignments,
+            per_cluster,
+        })
+    }
+
+    /// Installs a planned topology: per-VNI state to its hardware cluster,
+    /// the full state to the software cluster, and the VNI directory for
+    /// the load balancer. Records intent for later consistency checks.
+    pub fn install(
+        &mut self,
+        topology: &Topology,
+        plan: &SplitPlan,
+        hw: &mut [HwCluster],
+        sw: &mut SwCluster,
+        directory: &mut VniDirectory,
+    ) -> Result<(), sailfish_tables::Error> {
+        assert!(
+            hw.len() >= plan.clusters_needed(),
+            "install requires {} clusters",
+            plan.clusters_needed()
+        );
+        for (key, target) in &topology.routes {
+            let cluster = plan.assignments[&key.vni];
+            hw[cluster].install_route(*key, *target)?;
+            sw.install_route(*key, *target);
+            *self.intent.entry(key.vni).or_default() += 1;
+        }
+        for vm in &topology.vms {
+            let cluster = plan.assignments[&vm.vni];
+            hw[cluster].install_vm(vm.vni, vm.ip, vm.nc)?;
+            sw.install_vm(vm.vni, vm.ip, vm.nc)?;
+        }
+        for (vni, cluster) in &plan.assignments {
+            directory.assign(*vni, *cluster);
+        }
+        Ok(())
+    }
+
+    /// Periodic consistency check: compares recorded intent against every
+    /// device's actual per-VNI route counts.
+    pub fn check_consistency(
+        &self,
+        plan: &SplitPlan,
+        hw: &[HwCluster],
+    ) -> Vec<Inconsistency> {
+        let mut findings = Vec::new();
+        for (vni, expected) in &self.intent {
+            let cluster = plan.assignments[vni];
+            for (device, _) in hw[cluster].devices.iter().enumerate() {
+                let actual = hw[cluster].route_entries_for(device, *vni);
+                if actual != *expected {
+                    findings.push(Inconsistency {
+                        cluster,
+                        device,
+                        vni: *vni,
+                        expected: *expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        findings.sort_by_key(|f| (f.cluster, f.device, f.vni));
+        findings
+    }
+
+    /// The Fig 23 update-timeline model: per-cluster VXLAN-table entry
+    /// counts over `days`, with slow linear growth and rare, large,
+    /// pre-announced batches ("sudden increases are mainly ascribed to the
+    /// arrival of top customers").
+    pub fn update_timeline(
+        seed: u64,
+        clusters: usize,
+        days: usize,
+        samples_per_day: usize,
+        base_entries: usize,
+    ) -> Vec<Series> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(clusters);
+        for c in 0..clusters {
+            let mut series = Series::new(format!("cluster-{c}"));
+            let mut entries = base_entries as f64 * rng.gen_range(0.6..1.1);
+            // Regular growth: a fraction of a percent per day.
+            let daily_growth = entries * rng.gen_range(0.001..0.004);
+            // 1–3 sudden batches in the window.
+            let batches: Vec<(usize, f64)> = (0..rng.gen_range(1..=3))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..days * samples_per_day),
+                        entries * rng.gen_range(0.05..0.25),
+                    )
+                })
+                .collect();
+            for step in 0..days * samples_per_day {
+                entries += daily_growth / samples_per_day as f64;
+                for (at, size) in &batches {
+                    if step == *at {
+                        entries += size;
+                    }
+                }
+                series.push(step as f64 / samples_per_day as f64, entries);
+            }
+            out.push(series);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_sim::topology::TopologyConfig;
+
+    fn small_topology() -> Topology {
+        Topology::generate(TopologyConfig::default())
+    }
+
+    #[test]
+    fn plan_respects_capacity() {
+        let t = small_topology();
+        let cap = ClusterCapacity {
+            max_routes: 400,
+            max_vms: 2_000,
+        };
+        let plan = Controller::plan_split(&t, cap, 64).unwrap();
+        assert!(plan.clusters_needed() > 1, "should need several clusters");
+        for load in &plan.per_cluster {
+            assert!(load.routes <= cap.max_routes);
+            assert!(load.vms <= cap.max_vms);
+        }
+        // Every VNI with state is assigned.
+        for (key, _) in &t.routes {
+            assert!(plan.assignments.contains_key(&key.vni));
+        }
+        // Loads add up.
+        let total_routes: usize = plan.per_cluster.iter().map(|l| l.routes).sum();
+        assert_eq!(total_routes, t.routes.len());
+    }
+
+    #[test]
+    fn plan_rejects_oversized_vni() {
+        let t = small_topology();
+        let top = t.top_customer();
+        let top_vms = top.vm_range.1 - top.vm_range.0;
+        let cap = ClusterCapacity {
+            max_routes: 10_000,
+            max_vms: top_vms - 1,
+        };
+        match Controller::plan_split(&t, cap, 1024) {
+            Err(PlanError::VniTooLarge { vni }) => assert_eq!(vni, top.vni),
+            other => panic!("expected VniTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_respects_cluster_budget() {
+        let t = small_topology();
+        let cap = ClusterCapacity {
+            max_routes: 400,
+            max_vms: 2_000,
+        };
+        let err = Controller::plan_split(&t, cap, 1).unwrap_err();
+        assert!(matches!(err, PlanError::NotEnoughClusters { .. }));
+    }
+
+    #[test]
+    fn single_cluster_when_capacity_allows() {
+        let t = small_topology();
+        let plan = Controller::plan_split(&t, ClusterCapacity::default(), 8).unwrap();
+        assert_eq!(plan.clusters_needed(), 1);
+    }
+
+    #[test]
+    fn timeline_has_slow_growth_and_jumps() {
+        let series = Controller::update_timeline(9, 4, 30, 4, 50_000);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(last > first, "{}: entries must grow", s.label);
+            // There must be at least one visible jump: a step larger than
+            // 20x the median step.
+            let mut steps: Vec<f64> =
+                s.points.windows(2).map(|w| w[1].1 - w[0].1).collect();
+            steps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = steps[steps.len() / 2];
+            let max = *steps.last().unwrap();
+            assert!(max > 20.0 * median, "{}: no sudden batch visible", s.label);
+        }
+    }
+}

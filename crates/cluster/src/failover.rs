@@ -1,0 +1,263 @@
+//! Disaster recovery (§6.1).
+//!
+//! "Disaster recovery is designed at different levels including cluster,
+//! node and port. At the cluster level, all the gateway clusters strictly
+//! follow 1:1 backup... At the node level, when some gateway reports
+//! hardware failures..., the gateway will be put offline and the other
+//! gateways in the same cluster will share the traffic load... At the
+//! port level, when a port suffers abnormal jitters or persistent packet
+//! loss, it will be isolated."
+
+use crate::region::Region;
+
+/// Result of a recovery action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryOutcome {
+    /// Traffic rerouted to the backup cluster (`index`).
+    RolledToBackup {
+        /// The backup cluster now serving the traffic.
+        backup: usize,
+        /// VNIs that moved.
+        vnis_moved: usize,
+    },
+    /// The node went offline; its cluster absorbed the load.
+    NodeOffline {
+        /// Devices still online in the cluster.
+        remaining: usize,
+    },
+    /// Ports isolated; the device runs at reduced capacity.
+    PortsIsolated {
+        /// Remaining capacity fraction.
+        remaining_capacity: f64,
+    },
+    /// Nothing to do / not applicable.
+    NotApplicable,
+}
+
+/// Fails an entire primary cluster: the controller rewrites the upstream
+/// routes so its VNIs land on the 1:1 backup.
+pub fn fail_cluster(region: &mut Region, cluster: usize) -> RecoveryOutcome {
+    match region.backup_of(cluster) {
+        Some(backup) => {
+            let moved = region.directory.reroute_cluster(cluster, backup);
+            RecoveryOutcome::RolledToBackup {
+                backup,
+                vnis_moved: moved,
+            }
+        }
+        None => RecoveryOutcome::NotApplicable,
+    }
+}
+
+/// Restores a failed primary cluster, moving its VNIs back.
+pub fn restore_cluster(region: &mut Region, cluster: usize) -> RecoveryOutcome {
+    match region.backup_of(cluster) {
+        Some(backup) => {
+            let moved = region.directory.reroute_cluster(backup, cluster);
+            RecoveryOutcome::RolledToBackup {
+                backup: cluster,
+                vnis_moved: moved,
+            }
+        }
+        None => RecoveryOutcome::NotApplicable,
+    }
+}
+
+/// Takes one device offline; remaining cluster members share its load via
+/// ECMP re-hashing.
+pub fn fail_device(region: &mut Region, cluster: usize, device: usize) -> RecoveryOutcome {
+    if region.hw[cluster].take_device_offline(device) {
+        RecoveryOutcome::NodeOffline {
+            remaining: region.hw[cluster].online_devices(),
+        }
+    } else {
+        RecoveryOutcome::NotApplicable
+    }
+}
+
+/// Isolates a fraction of a device's ports after "abnormal jitters or
+/// persistent packet loss": its capacity drops proportionally while the
+/// remaining ports keep forwarding ("the traffic will be migrated to
+/// other ports"). `healthy_fraction` is the capacity that remains.
+pub fn isolate_ports(
+    region: &mut Region,
+    cluster: usize,
+    device: usize,
+    healthy_fraction: f64,
+) -> RecoveryOutcome {
+    match region
+        .capacity_scale
+        .get_mut(cluster)
+        .and_then(|c| c.get_mut(device))
+    {
+        Some(scale) => {
+            *scale = healthy_fraction.clamp(0.0, 1.0);
+            RecoveryOutcome::PortsIsolated {
+                remaining_capacity: *scale,
+            }
+        }
+        None => RecoveryOutcome::NotApplicable,
+    }
+}
+
+/// Restores all ports of a device.
+pub fn restore_ports(region: &mut Region, cluster: usize, device: usize) -> RecoveryOutcome {
+    isolate_ports(region, cluster, device, 1.0)
+}
+
+/// Brings a device back.
+pub fn restore_device(region: &mut Region, cluster: usize, device: usize) -> RecoveryOutcome {
+    match region.hw[cluster].bring_device_online(device) {
+        Ok(()) => RecoveryOutcome::NodeOffline {
+            remaining: region.hw[cluster].online_devices(),
+        },
+        Err(_) => RecoveryOutcome::NotApplicable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ClusterCapacity;
+    use crate::region::{FlowPath, RegionConfig};
+    use sailfish_sim::topology::{Topology, TopologyConfig};
+    use sailfish_sim::workload::{generate_flows, WorkloadConfig};
+
+    fn build() -> (Vec<sailfish_sim::workload::Flow>, Region) {
+        let topology = Topology::generate(TopologyConfig::default());
+        let region = Region::build(
+            &topology,
+            RegionConfig {
+                hw_clusters: 4,
+                devices_per_cluster: 3,
+                with_backup: true,
+                sw_nodes: 2,
+                capacity: ClusterCapacity {
+                    max_routes: 600,
+                    max_vms: 3_000,
+                },
+                ..RegionConfig::default()
+            },
+        )
+        .unwrap();
+        let flows = generate_flows(
+            &topology,
+            &WorkloadConfig {
+                flows: 2_000,
+                total_gbps: 1_000.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        (flows, region)
+    }
+
+    #[test]
+    fn cluster_failover_keeps_forwarding() {
+        let (flows, mut region) = build();
+        let before = region.offer(&flows, 1.0);
+        assert_eq!(before.unrouted_pps, 0.0);
+        let victim = 0usize;
+        let outcome = fail_cluster(&mut region, victim);
+        let backup = match outcome {
+            RecoveryOutcome::RolledToBackup { backup, vnis_moved } => {
+                assert!(vnis_moved > 0);
+                backup
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let after = region.offer(&flows, 1.0);
+        // No traffic lost to missing routes: the backup carries identical
+        // tables.
+        assert_eq!(after.unrouted_pps, 0.0);
+        assert!((after.offered_pps - before.offered_pps).abs() < 1.0);
+        // The backup cluster now carries load; the failed primary none.
+        let primary_load: f64 = after.device_util[victim].iter().sum();
+        let backup_load: f64 = after.device_util[backup].iter().sum();
+        assert_eq!(primary_load, 0.0);
+        assert!(backup_load > 0.0);
+        // Restore moves everything back.
+        restore_cluster(&mut region, victim);
+        let restored = region.offer(&flows, 1.0);
+        assert!(restored.device_util[victim].iter().sum::<f64>() > 0.0);
+        assert_eq!(restored.device_util[backup].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn node_failover_shares_load_within_cluster() {
+        let (flows, mut region) = build();
+        let before = region.offer(&flows, 1.0);
+        // Pick the busiest device of cluster 0.
+        let (victim, _) = before.device_util[0]
+            .iter()
+            .enumerate()
+            .fold((0, 0.0), |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc });
+        let outcome = fail_device(&mut region, 0, victim);
+        assert_eq!(outcome, RecoveryOutcome::NodeOffline { remaining: 2 });
+        let after = region.offer(&flows, 1.0);
+        // The victim serves nothing; its former flows re-hash within the
+        // cluster, keeping totals constant.
+        assert_eq!(after.device_util[0][victim], 0.0);
+        let cluster_pps_before: f64 = before.device_util[0].iter().sum();
+        let cluster_pps_after: f64 = after.device_util[0].iter().sum();
+        assert!((cluster_pps_after - cluster_pps_before).abs() / cluster_pps_before < 0.05);
+        assert_eq!(after.unrouted_pps, 0.0);
+
+        restore_device(&mut region, 0, victim);
+        let restored = region.offer(&flows, 1.0);
+        assert!(restored.device_util[0][victim] > 0.0);
+    }
+
+    #[test]
+    fn failing_all_devices_leaves_flows_unrouted() {
+        let (flows, mut region) = build();
+        for d in 0..region.config.devices_per_cluster {
+            fail_device(&mut region, 0, d);
+        }
+        // Flows of cluster 0 can no longer pick a device.
+        let mut unrouted = 0;
+        for f in &flows {
+            if region.directory.cluster_for(f.vni) == Some(0)
+                && region.classify(f) == FlowPath::Unrouted
+            {
+                unrouted += 1;
+            }
+        }
+        assert!(unrouted > 0, "cluster-0 flows must become unroutable");
+        // The documented remedy is cluster-level failover.
+        fail_cluster(&mut region, 0);
+        let after = region.offer(&flows, 1.0);
+        assert_eq!(after.unrouted_pps, 0.0);
+    }
+
+
+    #[test]
+    fn port_isolation_reduces_capacity_and_restores() {
+        let (flows, mut region) = build();
+        let before = region.offer(&flows, 1.0);
+        // Halve the ports of the busiest device of cluster 0.
+        let (victim, _) = before.device_util[0]
+            .iter()
+            .enumerate()
+            .fold((0, 0.0), |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc });
+        let outcome = isolate_ports(&mut region, 0, victim, 0.5);
+        assert_eq!(
+            outcome,
+            RecoveryOutcome::PortsIsolated { remaining_capacity: 0.5 }
+        );
+        let degraded = region.offer(&flows, 1.0);
+        // Same offered load, roughly doubled utilization on the victim.
+        let ratio = degraded.device_util[0][victim] / before.device_util[0][victim];
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        // And a correspondingly higher residual-loss exposure.
+        assert!(degraded.residual_dropped_pps >= before.residual_dropped_pps);
+        restore_ports(&mut region, 0, victim);
+        let restored = region.offer(&flows, 1.0);
+        let ratio = restored.device_util[0][victim] / before.device_util[0][victim];
+        assert!((ratio - 1.0).abs() < 1e-9);
+        // Out-of-range targets are rejected gracefully.
+        assert_eq!(
+            isolate_ports(&mut region, 99, 0, 0.5),
+            RecoveryOutcome::NotApplicable
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # sailfish-cluster
+//!
+//! Region-level assembly of Sailfish (Fig 10):
+//!
+//! - [`lb`] — the ECMP load balancer in front of the gateway clusters,
+//!   with the commercial next-hop cap that forces multiple clusters
+//!   (§2.3),
+//! - [`cluster`] — XGW-H clusters (replicated tables, shared load, mutual
+//!   backup) and the XGW-x86 fallback cluster,
+//! - [`controller`] — the central controller: horizontal table splitting
+//!   by VNI (§4.3), installation, consistency checking (§6.1), and the
+//!   table-update timeline of Fig 23,
+//! - [`region`] — the end-to-end region simulation in both Sailfish mode
+//!   and the XGW-x86-only baseline, producing the series behind Figs 4–6
+//!   and 19–22,
+//! - [`failover`] — disaster recovery at cluster, node, and port level
+//!   (§6.1),
+//! - [`hierarchy`] — the "N+1" hierarchical cache-cluster design of the
+//!   paper's future work (§8),
+//! - [`monitor`] — water-level monitoring and alerting (§6.1),
+//! - [`probe`] — the probe-generator validation gate used before
+//!   admitting user traffic to a new cluster (§6.1).
+
+pub mod cluster;
+pub mod controller;
+pub mod failover;
+pub mod hierarchy;
+pub mod lb;
+pub mod monitor;
+pub mod probe;
+pub mod region;
+
+pub use controller::{Controller, SplitPlan};
+pub use region::{Region, RegionConfig, RegionReport};

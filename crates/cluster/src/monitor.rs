@@ -1,0 +1,226 @@
+//! Runtime monitoring and water levels (§6.1, "Cluster management").
+//!
+//! "During the runtime of gateway clusters, we periodically monitor the
+//! table water level, traffic rate and packet loss rate... we will
+//! reserve a safe water level for tables ... When the water level is
+//! close to the safe threshold, we will temporarily close the sale of
+//! the cluster's resources... If the packet loss rate is close to the
+//! safe threshold, the controller will be alerted... At online shopping
+//! festivals ... we will deliberately raise the safe water level to
+//! further increase the gateway's allowable throughput by reducing the
+//! number of alerts."
+
+use crate::controller::ClusterCapacity;
+use crate::region::{Region, RegionReport};
+
+/// Alert thresholds, as fractions of capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterLevels {
+    /// Table occupancy (routes or VMs) above which sales close.
+    pub table_level: f64,
+    /// Device utilization above which the controller is alerted.
+    pub traffic_level: f64,
+    /// Loss ratio above which the controller is alerted.
+    pub loss_level: f64,
+}
+
+impl Default for WaterLevels {
+    fn default() -> Self {
+        WaterLevels {
+            table_level: 0.85,
+            traffic_level: 0.5, // "50% water level" in §2.3's sizing math
+            loss_level: 1e-8,
+        }
+    }
+}
+
+impl WaterLevels {
+    /// The festival configuration: "deliberately raise the safe water
+    /// level" so fewer alerts fire while headroom is consumed on purpose.
+    pub fn festival(self) -> Self {
+        WaterLevels {
+            traffic_level: (self.traffic_level * 1.6).min(0.95),
+            loss_level: self.loss_level * 10.0,
+            ..self
+        }
+    }
+}
+
+/// A monitoring alert.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alert {
+    /// A cluster's table occupancy crossed the water level: stop selling.
+    TableWaterLevel {
+        /// The cluster.
+        cluster: usize,
+        /// Occupancy fraction that triggered the alert.
+        occupancy: f64,
+    },
+    /// A device's utilization crossed the traffic water level.
+    TrafficWaterLevel {
+        /// The cluster.
+        cluster: usize,
+        /// The device.
+        device: usize,
+        /// Its utilization.
+        utilization: f64,
+    },
+    /// Region loss crossed the loss threshold.
+    LossWaterLevel {
+        /// Measured loss ratio.
+        loss_ratio: f64,
+    },
+}
+
+/// Evaluates the alert set for one measurement interval.
+pub fn evaluate(
+    region: &Region,
+    report: &RegionReport,
+    capacity: ClusterCapacity,
+    levels: WaterLevels,
+) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+
+    // Table water levels per primary cluster.
+    for (cluster, load) in region.plan.per_cluster.iter().enumerate() {
+        let occupancy = (load.routes as f64 / capacity.max_routes as f64)
+            .max(load.vms as f64 / capacity.max_vms as f64);
+        if occupancy >= levels.table_level {
+            alerts.push(Alert::TableWaterLevel { cluster, occupancy });
+        }
+    }
+
+    // Traffic water levels per device.
+    for (cluster, devices) in report.device_util.iter().enumerate() {
+        for (device, util) in devices.iter().enumerate() {
+            if *util >= levels.traffic_level {
+                alerts.push(Alert::TrafficWaterLevel {
+                    cluster,
+                    device,
+                    utilization: *util,
+                });
+            }
+        }
+    }
+
+    // Loss water level for the region.
+    let loss = report.loss_ratio();
+    if loss >= levels.loss_level {
+        alerts.push(Alert::LossWaterLevel { loss_ratio: loss });
+    }
+
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionConfig;
+    use sailfish_sim::topology::{Topology, TopologyConfig};
+    use sailfish_sim::workload::{generate_flows, WorkloadConfig};
+
+    fn setup(total_gbps: f64) -> (Region, RegionReport, ClusterCapacity) {
+        let topology = Topology::generate(TopologyConfig::default());
+        let capacity = ClusterCapacity {
+            max_routes: 600,
+            max_vms: 3_000,
+        };
+        let mut region = Region::build(
+            &topology,
+            RegionConfig {
+                devices_per_cluster: 2,
+                capacity,
+                ..RegionConfig::default()
+            },
+        )
+        .unwrap();
+        let flows = generate_flows(
+            &topology,
+            &WorkloadConfig {
+                flows: 4_000,
+                total_gbps,
+                ..WorkloadConfig::default()
+            },
+        );
+        let report = region.offer(&flows, 1.0);
+        (region, report, capacity)
+    }
+
+    #[test]
+    fn quiet_region_raises_no_traffic_alerts() {
+        let (region, report, capacity) = setup(500.0);
+        let alerts = evaluate(&region, &report, capacity, WaterLevels::default());
+        assert!(
+            !alerts
+                .iter()
+                .any(|a| matches!(a, Alert::TrafficWaterLevel { .. })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn hot_devices_trigger_traffic_alerts() {
+        // 20 Tbps over few devices crosses the 50% level somewhere.
+        let (region, report, capacity) = setup(20_000.0);
+        let alerts = evaluate(&region, &report, capacity, WaterLevels::default());
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, Alert::TrafficWaterLevel { .. })));
+    }
+
+    #[test]
+    fn festival_levels_reduce_alerts() {
+        let (region, report, capacity) = setup(20_000.0);
+        let normal = evaluate(&region, &report, capacity, WaterLevels::default());
+        let festival = evaluate(
+            &region,
+            &report,
+            capacity,
+            WaterLevels::default().festival(),
+        );
+        let count = |alerts: &[Alert]| {
+            alerts
+                .iter()
+                .filter(|a| matches!(a, Alert::TrafficWaterLevel { .. }))
+                .count()
+        };
+        assert!(
+            count(&festival) <= count(&normal),
+            "raising the water level must not add alerts"
+        );
+    }
+
+    #[test]
+    fn table_water_level_closes_sales() {
+        let (region, report, _capacity) = setup(500.0);
+        // Shrink the declared capacity so existing load sits above 85%.
+        let tight = ClusterCapacity {
+            max_routes: region.plan.per_cluster[0].routes + 5,
+            max_vms: 1_000_000,
+        };
+        let alerts = evaluate(&region, &report, tight, WaterLevels::default());
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, Alert::TableWaterLevel { cluster: 0, .. })));
+    }
+
+    #[test]
+    fn loss_alert_fires_only_on_real_loss() {
+        let (region, report, capacity) = setup(500.0);
+        // Default threshold 1e-8 sits above the residual floor at this
+        // load, so no alert…
+        let alerts = evaluate(&region, &report, capacity, WaterLevels::default());
+        assert!(!alerts
+            .iter()
+            .any(|a| matches!(a, Alert::LossWaterLevel { .. })));
+        // …but an aggressive threshold catches the residual floor.
+        let aggressive = WaterLevels {
+            loss_level: 1e-13,
+            ..WaterLevels::default()
+        };
+        let alerts = evaluate(&region, &report, capacity, aggressive);
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, Alert::LossWaterLevel { .. })));
+    }
+}

@@ -1,0 +1,387 @@
+//! The §4.4 table-compression engine.
+//!
+//! Reproduces the paper's memory story mechanically: a
+//! [`MemoryScenario`] (entry counts and IPv4/IPv6 mix) is laid out on the
+//! chip at each [`CompressionStep`], and the occupancy is *computed* from
+//! the `sailfish-asic` cost model — none of the Table 2 / Table 3 /
+//! Fig 17 numbers are hard-coded.
+//!
+//! Steps (cumulative, matching Fig 17's x-axis):
+//!
+//! 1. `Initial` — both tables straightforwardly, every pipe a full copy,
+//! 2. `+a` pipeline folding — the program spans two pipes' memory,
+//! 3. `+a+b` splitting between pipelines — each loop pipe holds half,
+//! 4. `+a+b+c+d` IPv4/IPv6 pooling + key compression — routing keys
+//!    expand to 128-bit pooled LPM (TCAM grows), VM-NC keys shrink to
+//!    32-bit digests with a conflict table (SRAM shrinks),
+//! 5. `+a..e` ALPM — the routing table moves to TCAM-index + SRAM
+//!    buckets (TCAM collapses, SRAM pays the bucket overhead).
+
+use sailfish_asic::config::TofinoConfig;
+use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
+use sailfish_asic::mem::Occupancy;
+use sailfish_asic::placement::{FoldStep, Layout, PlacedTable};
+use sailfish_tables::alpm::AlpmStats;
+use sailfish_xgw_h::layout::{
+    COMPRESSED_VMNC_KEY_BITS, CONFLICT_TABLE_RESERVED, POOLED_ROUTE_KEY_BITS,
+};
+
+/// The calibrated region scale (DESIGN.md §3): routes and VMs carried by
+/// one XGW-H after cluster-level splitting, chosen so the *initial*
+/// placement reproduces Table 2.
+pub const CALIBRATED_ROUTES: usize = 229_300;
+
+/// Calibrated VM-NC entries (see [`CALIBRATED_ROUTES`]).
+pub const CALIBRATED_VMS: usize = 459_000;
+
+/// The cumulative optimization steps of Fig 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CompressionStep {
+    /// No optimization: four full copies.
+    Initial,
+    /// a: pipeline folding.
+    Folding,
+    /// a+b: table splitting between pipelines.
+    FoldingSplit,
+    /// a+b+c+d: IPv4/IPv6 pooling and key compression.
+    FoldingSplitPooling,
+    /// a+b+c+d+e: ALPM TCAM conservation.
+    All,
+}
+
+impl CompressionStep {
+    /// All steps in Fig 17 order.
+    pub const ALL: [CompressionStep; 5] = [
+        CompressionStep::Initial,
+        CompressionStep::Folding,
+        CompressionStep::FoldingSplit,
+        CompressionStep::FoldingSplitPooling,
+        CompressionStep::All,
+    ];
+
+    /// Fig 17's x-axis label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompressionStep::Initial => "Initial",
+            CompressionStep::Folding => "a",
+            CompressionStep::FoldingSplit => "a+b",
+            CompressionStep::FoldingSplitPooling => "a+b+c+d",
+            CompressionStep::All => "a+b+c+d+e",
+        }
+    }
+}
+
+/// A memory scenario: table sizes and family mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryScenario {
+    /// VXLAN routing entries.
+    pub route_entries: usize,
+    /// VM-NC mapping entries.
+    pub vm_entries: usize,
+    /// Fraction of entries that are IPv4 (the paper evaluates 1.0, 0.75
+    /// and 0.0).
+    pub v4_fraction: f64,
+}
+
+impl MemoryScenario {
+    /// The paper's headline mix: 75% IPv4, 25% IPv6 at calibrated scale.
+    pub fn paper_mix() -> Self {
+        MemoryScenario {
+            route_entries: CALIBRATED_ROUTES,
+            vm_entries: CALIBRATED_VMS,
+            v4_fraction: 0.75,
+        }
+    }
+
+    /// Pure-IPv4 scenario.
+    pub fn all_v4() -> Self {
+        MemoryScenario {
+            v4_fraction: 1.0,
+            ..Self::paper_mix()
+        }
+    }
+
+    /// Pure-IPv6 scenario.
+    pub fn all_v6() -> Self {
+        MemoryScenario {
+            v4_fraction: 0.0,
+            ..Self::paper_mix()
+        }
+    }
+
+    fn split(&self, entries: usize) -> (usize, usize) {
+        let v4 = (entries as f64 * self.v4_fraction).round() as usize;
+        (v4, entries - v4)
+    }
+}
+
+/// Estimates ALPM layout statistics for a route count without building
+/// the structure: partitions ≈ entries / (bucket_capacity × fill). The
+/// default fill of 0.6 matches what the real [`AlpmTable`] measures on
+/// clustered VPC route sets (the Fig 17 bench builds the real structure
+/// and uses measured stats instead).
+///
+/// [`AlpmTable`]: sailfish_tables::alpm::AlpmTable
+pub fn estimate_alpm_stats(entries: usize, bucket_capacity: usize, fill: f64) -> AlpmStats {
+    let partitions = ((entries as f64) / (bucket_capacity as f64 * fill)).ceil() as usize;
+    AlpmStats {
+        tcam_entries: partitions,
+        bucket_entries: entries,
+        default_entries: partitions / 2,
+        allocated_slots: partitions * bucket_capacity,
+        avg_fill: fill,
+    }
+}
+
+/// One row of the Fig 17 series.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// The cumulative step.
+    pub step: CompressionStep,
+    /// Chip-wide occupancy at this step.
+    pub occupancy: Occupancy,
+}
+
+/// Builds the layout for one step.
+pub fn layout_at(
+    step: CompressionStep,
+    scenario: &MemoryScenario,
+    config: &TofinoConfig,
+    alpm: &AlpmStats,
+) -> Layout {
+    let folded = step >= CompressionStep::Folding;
+    let split = step >= CompressionStep::FoldingSplit;
+    let pooled = step >= CompressionStep::FoldingSplitPooling;
+    let use_alpm = step >= CompressionStep::All;
+
+    let mut layout = Layout::new(config.clone(), folded);
+    let mut place = |spec: TableSpec, step: FoldStep| {
+        let mut t = PlacedTable::new(spec, step);
+        t.split_across_pair = split;
+        layout.push(t);
+    };
+
+    // --- VXLAN routing table ---
+    if use_alpm {
+        place(
+            TableSpec::new(
+                "vxlan-routing-alpm",
+                MatchKind::Lpm,
+                POOLED_ROUTE_KEY_BITS,
+                32,
+                scenario.route_entries,
+                Storage::Alpm {
+                    tcam_index_entries: alpm.tcam_entries,
+                    allocated_slots: alpm.allocated_slots.max(scenario.route_entries),
+                },
+            )
+            .expect("static spec"),
+            FoldStep::EgressLoop,
+        );
+    } else if pooled {
+        // Pooling expands every key to the 128-bit plane for LPM.
+        place(
+            TableSpec::new(
+                "vxlan-routing-pooled",
+                MatchKind::Lpm,
+                POOLED_ROUTE_KEY_BITS,
+                32,
+                scenario.route_entries,
+                Storage::Tcam,
+            )
+            .expect("static spec"),
+            FoldStep::EgressLoop,
+        );
+    } else {
+        // Per-family tables at native key widths.
+        let (v4, v6) = scenario.split(scenario.route_entries);
+        if v4 > 0 {
+            place(
+                TableSpec::new("vxlan-routing-v4", MatchKind::Lpm, 24 + 32, 32, v4, Storage::Tcam)
+                    .expect("static spec"),
+                FoldStep::EgressLoop,
+            );
+        }
+        if v6 > 0 {
+            place(
+                TableSpec::new("vxlan-routing-v6", MatchKind::Lpm, 24 + 128, 32, v6, Storage::Tcam)
+                    .expect("static spec"),
+                FoldStep::EgressLoop,
+            );
+        }
+    }
+
+    // --- VM-NC mapping table ---
+    if pooled {
+        place(
+            TableSpec::new(
+                "vm-nc-compressed",
+                MatchKind::Exact,
+                COMPRESSED_VMNC_KEY_BITS,
+                32,
+                scenario.vm_entries,
+                Storage::SramHash,
+            )
+            .expect("static spec"),
+            FoldStep::IngressLoop,
+        );
+        place(
+            TableSpec::new(
+                "vm-nc-conflict",
+                MatchKind::Exact,
+                24 + 128,
+                32,
+                CONFLICT_TABLE_RESERVED,
+                Storage::SramHash,
+            )
+            .expect("static spec"),
+            FoldStep::IngressLoop,
+        );
+    } else {
+        let (v4, v6) = scenario.split(scenario.vm_entries);
+        if v4 > 0 {
+            place(
+                TableSpec::new("vm-nc-v4", MatchKind::Exact, 24 + 32, 32, v4, Storage::SramHash)
+                    .expect("static spec"),
+                FoldStep::IngressLoop,
+            );
+        }
+        if v6 > 0 {
+            place(
+                TableSpec::new("vm-nc-v6", MatchKind::Exact, 24 + 128, 32, v6, Storage::SramHash)
+                    .expect("static spec"),
+                FoldStep::IngressLoop,
+            );
+        }
+    }
+
+    layout
+}
+
+/// Chip-wide occupancy at one step.
+pub fn occupancy_at(
+    step: CompressionStep,
+    scenario: &MemoryScenario,
+    config: &TofinoConfig,
+    alpm: &AlpmStats,
+) -> Occupancy {
+    layout_at(step, scenario, config, alpm).total_occupancy()
+}
+
+/// The full Fig 17 series.
+pub fn step_series(
+    scenario: &MemoryScenario,
+    config: &TofinoConfig,
+    alpm: &AlpmStats,
+) -> Vec<StepReport> {
+    CompressionStep::ALL
+        .iter()
+        .map(|step| StepReport {
+            step: *step,
+            occupancy: occupancy_at(*step, scenario, config, alpm),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TofinoConfig {
+        TofinoConfig::tofino_64t()
+    }
+
+    fn alpm() -> AlpmStats {
+        estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6)
+    }
+
+    /// Table 2's "Sum" row: SRAM 102%, TCAM ~389% at the 75/25 mix.
+    #[test]
+    fn initial_occupancy_reproduces_table2() {
+        let occ = occupancy_at(
+            CompressionStep::Initial,
+            &MemoryScenario::paper_mix(),
+            &cfg(),
+            &alpm(),
+        );
+        assert_eq!(occ.sram_pct.round() as i64, 102, "{occ}");
+        assert!((388.0..390.0).contains(&occ.tcam_pct), "{occ}");
+        assert!(!occ.fits(), "the naive placement must NOT fit");
+    }
+
+    /// Fig 17: every step in the published series, derived.
+    #[test]
+    fn fig17_series_shape() {
+        let series = step_series(&MemoryScenario::paper_mix(), &cfg(), &alpm());
+        let rounded: Vec<(i64, i64)> = series
+            .iter()
+            .map(|r| {
+                (
+                    r.occupancy.sram_pct.round() as i64,
+                    r.occupancy.tcam_pct.round() as i64,
+                )
+            })
+            .collect();
+        // Paper: (102,389) (51,194) (26,97) (18,156) (36,11).
+        assert_eq!(rounded[0], (102, 389));
+        assert_eq!(rounded[1], (51, 194));
+        assert_eq!(rounded[2].0, 26);
+        assert_eq!(rounded[2].1, 97);
+        // Pooling: SRAM near 18, TCAM near 156.
+        assert!((16..=20).contains(&rounded[3].0), "{rounded:?}");
+        assert!((154..=158).contains(&rounded[3].1), "{rounded:?}");
+        // ALPM: SRAM ~36, TCAM ~11 in the paper. Our partitions are
+        // per-VPC (the VNI is an exact key component), which leaves some
+        // buckets under-filled and lands TCAM a few points higher (16);
+        // the 96% reduction claim still holds. Recorded in EXPERIMENTS.md.
+        assert!((30..=42).contains(&rounded[4].0), "{rounded:?}");
+        assert!((8..=17).contains(&rounded[4].1), "{rounded:?}");
+        // The final configuration fits.
+        assert!(series[4].occupancy.fits());
+    }
+
+    /// The abstract's reduction claims, derived from the model:
+    /// IPv4: SRAM −38%, TCAM −96%; IPv6: SRAM −85%, TCAM −98%.
+    #[test]
+    fn abstract_reduction_claims() {
+        for (scenario, sram_red, tcam_red) in [
+            (MemoryScenario::all_v4(), 0.38, 0.96),
+            (MemoryScenario::all_v6(), 0.85, 0.98),
+        ] {
+            let initial = occupancy_at(CompressionStep::Initial, &scenario, &cfg(), &alpm());
+            let fin = occupancy_at(CompressionStep::All, &scenario, &cfg(), &alpm());
+            let sram = 1.0 - fin.sram_pct / initial.sram_pct;
+            let tcam = 1.0 - fin.tcam_pct / initial.tcam_pct;
+            assert!(
+                (sram - sram_red).abs() < 0.08,
+                "v4_frac {}: SRAM reduction {sram:.2} vs paper {sram_red}",
+                scenario.v4_fraction
+            );
+            assert!(
+                (tcam - tcam_red).abs() < 0.03,
+                "v4_frac {}: TCAM reduction {tcam:.2} vs paper {tcam_red}",
+                scenario.v4_fraction
+            );
+        }
+    }
+
+    /// §4.4 "the memory occupancy will not further change with the traffic
+    /// ratio of IPv4/IPv6" once pooling is in place.
+    #[test]
+    fn pooled_occupancy_is_mix_invariant() {
+        let a = occupancy_at(CompressionStep::All, &MemoryScenario::all_v4(), &cfg(), &alpm());
+        let b = occupancy_at(CompressionStep::All, &MemoryScenario::all_v6(), &cfg(), &alpm());
+        assert!((a.sram_pct - b.sram_pct).abs() < 0.5, "{a} vs {b}");
+        assert!((a.tcam_pct - b.tcam_pct).abs() < 0.5);
+    }
+
+    #[test]
+    fn every_step_monotonically_helps_tcam_until_pooling() {
+        let series = step_series(&MemoryScenario::paper_mix(), &cfg(), &alpm());
+        // TCAM: down, down, up (pooling expands keys), down (ALPM).
+        assert!(series[1].occupancy.tcam_pct < series[0].occupancy.tcam_pct);
+        assert!(series[2].occupancy.tcam_pct < series[1].occupancy.tcam_pct);
+        assert!(series[3].occupancy.tcam_pct > series[2].occupancy.tcam_pct);
+        assert!(series[4].occupancy.tcam_pct < series[3].occupancy.tcam_pct);
+    }
+}

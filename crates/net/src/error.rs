@@ -1,0 +1,38 @@
+//! Error type shared by the wire parsers and packet model.
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the header (or declared payload).
+    Truncated,
+    /// A length field is inconsistent with the buffer (e.g. IPv4 total
+    /// length smaller than the header length).
+    Malformed,
+    /// An unsupported EtherType / next-header / port was encountered where a
+    /// specific protocol was required (e.g. non-VXLAN UDP destination port).
+    Unsupported,
+    /// A checksum did not verify.
+    Checksum,
+    /// A field value is out of range (e.g. a VNI wider than 24 bits or a
+    /// prefix length longer than the address).
+    OutOfRange,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer too short for header"),
+            Error::Malformed => write!(f, "inconsistent length or field encoding"),
+            Error::Unsupported => write!(f, "unsupported protocol or field value"),
+            Error::Checksum => write!(f, "checksum verification failed"),
+            Error::OutOfRange => write!(f, "field value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across `sailfish-net`.
+pub type Result<T> = core::result::Result<T, Error>;

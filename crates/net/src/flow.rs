@@ -1,0 +1,168 @@
+//! Flow identification: IP protocol numbers and the 5-tuple.
+//!
+//! XGW-x86 "conducts flow-based hashing and distributes packets received
+//! from a NIC to multiple RX queues via RSS" (§2.3); the SNAT table "maps
+//! the 5-tuple to the public network IP and port" (§4.2). Both are keyed by
+//! [`FiveTuple`].
+
+use core::fmt;
+use core::net::IpAddr;
+
+/// IP protocol numbers used by the gateway data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProtocol {
+    /// ICMP (1) — probe packets.
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17) — also the VXLAN outer transport.
+    Udp,
+    /// Any other protocol, kept verbatim.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The wire value of the protocol / next-header field.
+    pub fn number(&self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => *n,
+        }
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "icmp"),
+            IpProtocol::Tcp => write!(f, "tcp"),
+            IpProtocol::Udp => write!(f, "udp"),
+            IpProtocol::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// The classic connection 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Source IP address.
+    pub src_ip: IpAddr,
+    /// Destination IP address.
+    pub dst_ip: IpAddr,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Source port (0 for portless protocols).
+    pub src_port: u16,
+    /// Destination port (0 for portless protocols).
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Builds a 5-tuple.
+    pub fn new(
+        src_ip: IpAddr,
+        dst_ip: IpAddr,
+        protocol: IpProtocol,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The reply direction of this flow (src/dst swapped).
+    pub fn reversed(&self) -> Self {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            protocol: self.protocol,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// Whether both endpoints are in the same address family (mixed-family
+    /// tuples are never produced by the parsers, but generators can build
+    /// them and tables must reject them).
+    pub fn is_well_formed(&self) -> bool {
+        self.src_ip.is_ipv4() == self.dst_ip.is_ipv4()
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::new(
+            "192.168.1.2".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+            IpProtocol::Tcp,
+            12345,
+            443,
+        )
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        let t = tuple();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_ne!(t.reversed(), t);
+    }
+
+    #[test]
+    fn protocol_numbers_round_trip() {
+        for n in 0..=255u8 {
+            assert_eq!(IpProtocol::from(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(tuple().is_well_formed());
+        let mixed = FiveTuple::new(
+            "192.168.1.2".parse().unwrap(),
+            "2001:db8::1".parse().unwrap(),
+            IpProtocol::Udp,
+            1,
+            2,
+        );
+        assert!(!mixed.is_well_formed());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            tuple().to_string(),
+            "192.168.1.2:12345 -> 10.0.0.1:443 (tcp)"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # sailfish-net
+//!
+//! Wire formats and the packet model for the Sailfish cloud-gateway
+//! reproduction.
+//!
+//! The crate follows the smoltcp idiom for packet handling: every protocol
+//! header gets a zero-copy *view* type (`wire::ethernet::Frame`,
+//! `wire::ipv4::Packet`, ...) wrapping a byte buffer, with `new_checked`
+//! constructors that validate lengths before any accessor can panic, typed
+//! getters, and setters available when the underlying buffer is mutable.
+//!
+//! On top of the raw views, [`packet::GatewayPacket`] provides the owned,
+//! parsed representation the gateway simulators actually forward: a
+//! VXLAN-encapsulated packet with outer IP/UDP headers, the VXLAN header
+//! (VNI) and the inner Ethernet/IP headers. `GatewayPacket` serializes to
+//! real bytes via [`packet::GatewayPacket::emit`] and parses back via
+//! [`packet::GatewayPacket::parse`], so the fast-path representation is
+//! continuously cross-checked against the wire representation in tests.
+//!
+//! Other building blocks:
+//!
+//! - [`vni::Vni`]: 24-bit VXLAN network identifier (the VPC id),
+//! - [`prefix`]: masked IPv4/IPv6 prefixes with containment tests,
+//! - [`flow::FiveTuple`]: the flow key used by RSS and SNAT,
+//! - [`rss`]: the Toeplitz hash used by NICs for receive-side scaling,
+//! - [`checksum`]: Internet checksum helpers shared by the wire types.
+
+pub mod checksum;
+pub mod error;
+pub mod flow;
+pub mod mac;
+pub mod packet;
+pub mod prefix;
+pub mod rss;
+pub mod vni;
+pub mod wire;
+
+pub use error::{Error, Result};
+pub use flow::{FiveTuple, IpProtocol};
+pub use mac::MacAddr;
+pub use packet::GatewayPacket;
+pub use prefix::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+pub use vni::Vni;

@@ -1,0 +1,121 @@
+//! Ethernet MAC addresses.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::Error;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a placeholder before resolution.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds an address from the raw octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns whether the I/G bit marks this address as multicast
+    /// (broadcast included).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns whether the address is a unicast address (not multicast and
+    /// not all-zero).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && *self != Self::ZERO
+    }
+
+    /// Deterministically derives a locally-administered unicast MAC from an
+    /// integer id; used by topology generators so every simulated NIC or VM
+    /// gets a stable, collision-free address.
+    pub fn from_id(id: u64) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 sets the locally-administered bit and clears the multicast bit.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(Error::Malformed)?;
+            *octet = u8::from_str_radix(part, 16).map_err(|_| Error::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(Error::Malformed);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let mac = MacAddr([0x02, 0x00, 0xde, 0xad, 0xbe, 0xef]);
+        let shown = mac.to_string();
+        assert_eq!(shown, "02:00:de:ad:be:ef");
+        assert_eq!(shown.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("02:00:de:ad:be".parse::<MacAddr>().is_err());
+        assert!("02:00:de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("02:00:de:ad:be:zz".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+        assert!(!MacAddr::ZERO.is_unicast());
+        let uni = MacAddr::from_id(7);
+        assert!(uni.is_unicast());
+        assert!(!uni.is_multicast());
+    }
+
+    #[test]
+    fn from_id_is_stable_and_distinct() {
+        assert_eq!(MacAddr::from_id(1), MacAddr::from_id(1));
+        assert_ne!(MacAddr::from_id(1), MacAddr::from_id(2));
+        // Ids beyond 2^40 wrap into the 5 low-order bytes; nearby ids still
+        // differ.
+        assert_ne!(MacAddr::from_id(u64::MAX), MacAddr::from_id(u64::MAX - 1));
+    }
+}

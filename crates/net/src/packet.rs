@@ -1,0 +1,552 @@
+//! The owned packet model forwarded by the gateway simulators.
+//!
+//! A [`GatewayPacket`] is the parsed form of a VXLAN-encapsulated packet as
+//! it arrives at the cloud gateway (Fig 2): outer Ethernet/IP/UDP headers,
+//! the VXLAN header carrying the VNI, and the inner Ethernet/IP/transport
+//! headers of the tenant packet. The simulators forward this compact
+//! representation on the fast path; [`GatewayPacket::emit`] and
+//! [`GatewayPacket::parse`] convert to and from real wire bytes using the
+//! [`crate::wire`] views, and tests assert the round trip is lossless.
+
+use core::net::IpAddr;
+
+use crate::error::{Error, Result};
+use crate::flow::{FiveTuple, IpProtocol};
+use crate::mac::MacAddr;
+use crate::vni::Vni;
+use crate::wire::ethernet::{self, EtherType};
+use crate::wire::{ipv4, ipv6, tcp, udp, vxlan};
+
+/// Outer (underlay) headers of a VXLAN-encapsulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OuterHeaders {
+    /// Underlay source MAC.
+    pub src_mac: MacAddr,
+    /// Underlay destination MAC (next hop).
+    pub dst_mac: MacAddr,
+    /// Underlay source IP (vSwitch or gateway address).
+    pub src_ip: IpAddr,
+    /// Underlay destination IP (gateway, then rewritten to the NC).
+    pub dst_ip: IpAddr,
+    /// Outer UDP source port; carries flow entropy for underlay ECMP.
+    pub udp_src_port: u16,
+}
+
+/// Inner (tenant) headers of a VXLAN-encapsulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InnerHeaders {
+    /// Tenant-side source MAC.
+    pub src_mac: MacAddr,
+    /// Tenant-side destination MAC.
+    pub dst_mac: MacAddr,
+    /// Inner source IP (the sending VM).
+    pub src_ip: IpAddr,
+    /// Inner destination IP (the destination VM); the lookup key of both
+    /// major tables.
+    pub dst_ip: IpAddr,
+    /// Inner transport protocol.
+    pub protocol: IpProtocol,
+    /// Inner source port (0 when the protocol has no ports).
+    pub src_port: u16,
+    /// Inner destination port (0 when the protocol has no ports).
+    pub dst_port: u16,
+    /// Length of the application payload in bytes (content is synthetic).
+    pub payload_len: usize,
+}
+
+impl InnerHeaders {
+    /// The tenant flow 5-tuple, used for RSS hashing and SNAT.
+    pub fn five_tuple(&self) -> FiveTuple {
+        FiveTuple::new(
+            self.src_ip,
+            self.dst_ip,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+        )
+    }
+
+    /// Whether inner addresses share one family (wire-emittable).
+    pub fn is_well_formed(&self) -> bool {
+        self.src_ip.is_ipv4() == self.dst_ip.is_ipv4()
+    }
+}
+
+/// A parsed VXLAN-encapsulated packet, the unit of forwarding in Sailfish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayPacket {
+    /// Underlay headers.
+    pub outer: OuterHeaders,
+    /// The VXLAN network identifier (VPC id).
+    pub vni: Vni,
+    /// Tenant headers.
+    pub inner: InnerHeaders,
+}
+
+impl GatewayPacket {
+    /// Length of the inner transport header that `emit` produces.
+    fn inner_l4_len(&self) -> usize {
+        match self.inner.protocol {
+            IpProtocol::Udp => udp::HEADER_LEN,
+            IpProtocol::Tcp => tcp::HEADER_LEN,
+            _ => 0,
+        }
+    }
+
+    fn ip_header_len(addr: IpAddr) -> usize {
+        match addr {
+            IpAddr::V4(_) => ipv4::HEADER_LEN,
+            IpAddr::V6(_) => ipv6::HEADER_LEN,
+        }
+    }
+
+    /// The total on-the-wire length of the emitted packet in bytes.
+    pub fn wire_len(&self) -> usize {
+        ethernet::HEADER_LEN
+            + Self::ip_header_len(self.outer.src_ip)
+            + udp::HEADER_LEN
+            + vxlan::HEADER_LEN
+            + self.inner_wire_len()
+    }
+
+    /// The wire length of the inner (decapsulated) frame.
+    pub fn inner_wire_len(&self) -> usize {
+        ethernet::HEADER_LEN
+            + Self::ip_header_len(self.inner.src_ip)
+            + self.inner_l4_len()
+            + self.inner.payload_len
+    }
+
+    /// The tenant flow 5-tuple.
+    pub fn five_tuple(&self) -> FiveTuple {
+        self.inner.five_tuple()
+    }
+
+    /// Serializes the packet to wire bytes. Fails when the inner headers
+    /// mix address families or the outer families mismatch.
+    pub fn emit(&self) -> Result<Vec<u8>> {
+        if !self.inner.is_well_formed() {
+            return Err(Error::Malformed);
+        }
+        if self.outer.src_ip.is_ipv4() != self.outer.dst_ip.is_ipv4() {
+            return Err(Error::Malformed);
+        }
+
+        let total = self.wire_len();
+        let mut buf = vec![0u8; total];
+
+        // Outer Ethernet.
+        {
+            let mut eth = ethernet::Frame::new_unchecked(&mut buf[..]);
+            eth.set_src_mac(self.outer.src_mac);
+            eth.set_dst_mac(self.outer.dst_mac);
+            eth.set_ethertype(if self.outer.src_ip.is_ipv4() {
+                EtherType::Ipv4
+            } else {
+                EtherType::Ipv6
+            });
+        }
+
+        // Outer IP.
+        let outer_ip_start = ethernet::HEADER_LEN;
+        let outer_udp_len = udp::HEADER_LEN + vxlan::HEADER_LEN + self.inner_wire_len();
+        let outer_udp_start;
+        match (self.outer.src_ip, self.outer.dst_ip) {
+            (IpAddr::V4(src), IpAddr::V4(dst)) => {
+                outer_udp_start = outer_ip_start + ipv4::HEADER_LEN;
+                let mut ip = ipv4::Packet::new_unchecked(&mut buf[outer_ip_start..]);
+                ip.set_version_and_header_len();
+                ip.set_total_len((ipv4::HEADER_LEN + outer_udp_len) as u16);
+                ip.set_dont_fragment();
+                ip.set_ttl(64);
+                ip.set_protocol(IpProtocol::Udp);
+                ip.set_src_addr(src);
+                ip.set_dst_addr(dst);
+                ip.fill_checksum();
+            }
+            (IpAddr::V6(src), IpAddr::V6(dst)) => {
+                outer_udp_start = outer_ip_start + ipv6::HEADER_LEN;
+                let mut ip = ipv6::Packet::new_unchecked(&mut buf[outer_ip_start..]);
+                ip.set_version();
+                ip.set_payload_len(outer_udp_len as u16);
+                ip.set_next_header(IpProtocol::Udp);
+                ip.set_hop_limit(64);
+                ip.set_src_addr(src);
+                ip.set_dst_addr(dst);
+            }
+            _ => unreachable!("family mismatch checked above"),
+        }
+
+        // Outer UDP (checksum left zero, as VXLAN senders commonly do over
+        // IPv4; the v6 checksum is filled at the end once payload is known).
+        {
+            let mut u = udp::Datagram::new_unchecked(&mut buf[outer_udp_start..]);
+            u.set_src_port(self.outer.udp_src_port);
+            u.set_dst_port(vxlan::VXLAN_UDP_PORT);
+            u.set_len(outer_udp_len as u16);
+        }
+
+        // VXLAN header.
+        let vxlan_start = outer_udp_start + udp::HEADER_LEN;
+        {
+            let mut v = vxlan::Header::new_unchecked(&mut buf[vxlan_start..]);
+            v.init();
+            v.set_vni(self.vni);
+        }
+
+        // Inner Ethernet.
+        let inner_eth_start = vxlan_start + vxlan::HEADER_LEN;
+        {
+            let mut eth = ethernet::Frame::new_unchecked(&mut buf[inner_eth_start..]);
+            eth.set_src_mac(self.inner.src_mac);
+            eth.set_dst_mac(self.inner.dst_mac);
+            eth.set_ethertype(if self.inner.src_ip.is_ipv4() {
+                EtherType::Ipv4
+            } else {
+                EtherType::Ipv6
+            });
+        }
+
+        // Inner IP.
+        let inner_ip_start = inner_eth_start + ethernet::HEADER_LEN;
+        let inner_l4_total = self.inner_l4_len() + self.inner.payload_len;
+        let inner_l4_start;
+        match (self.inner.src_ip, self.inner.dst_ip) {
+            (IpAddr::V4(src), IpAddr::V4(dst)) => {
+                inner_l4_start = inner_ip_start + ipv4::HEADER_LEN;
+                let mut ip = ipv4::Packet::new_unchecked(&mut buf[inner_ip_start..]);
+                ip.set_version_and_header_len();
+                ip.set_total_len((ipv4::HEADER_LEN + inner_l4_total) as u16);
+                ip.set_dont_fragment();
+                ip.set_ttl(64);
+                ip.set_protocol(self.inner.protocol);
+                ip.set_src_addr(src);
+                ip.set_dst_addr(dst);
+                ip.fill_checksum();
+            }
+            (IpAddr::V6(src), IpAddr::V6(dst)) => {
+                inner_l4_start = inner_ip_start + ipv6::HEADER_LEN;
+                let mut ip = ipv6::Packet::new_unchecked(&mut buf[inner_ip_start..]);
+                ip.set_version();
+                ip.set_payload_len(inner_l4_total as u16);
+                ip.set_next_header(self.inner.protocol);
+                ip.set_hop_limit(64);
+                ip.set_src_addr(src);
+                ip.set_dst_addr(dst);
+            }
+            _ => unreachable!("family mismatch checked above"),
+        }
+
+        // Inner transport header: ports occupy the first four bytes in both
+        // UDP and TCP, which is all the gateway ever reads.
+        match self.inner.protocol {
+            IpProtocol::Udp => {
+                let mut u = udp::Datagram::new_unchecked(&mut buf[inner_l4_start..]);
+                u.set_src_port(self.inner.src_port);
+                u.set_dst_port(self.inner.dst_port);
+                u.set_len((udp::HEADER_LEN + self.inner.payload_len) as u16);
+            }
+            IpProtocol::Tcp => {
+                let mut t = tcp::Segment::new_unchecked(&mut buf[inner_l4_start..]);
+                t.set_src_port(self.inner.src_port);
+                t.set_dst_port(self.inner.dst_port);
+                t.set_basic_header_len();
+                t.set_flags(tcp::Flags::ACK);
+            }
+            _ => {}
+        }
+
+        // Fill the mandatory outer UDP checksum for IPv6 underlays.
+        if let (IpAddr::V6(src), IpAddr::V6(dst)) = (self.outer.src_ip, self.outer.dst_ip) {
+            let mut u = udp::Datagram::new_unchecked(&mut buf[outer_udp_start..]);
+            u.fill_checksum_v6(src, dst);
+        }
+
+        Ok(buf)
+    }
+
+    /// Parses wire bytes into a `GatewayPacket`.
+    ///
+    /// Returns `Error::Unsupported` when the packet is not VXLAN-in-UDP
+    /// (the gateway punts such traffic), and `Error::Truncated`/`Malformed`
+    /// on inconsistent buffers.
+    pub fn parse(data: &[u8]) -> Result<GatewayPacket> {
+        let eth = ethernet::Frame::new_checked(data)?;
+        let outer_src_mac = eth.src_mac();
+        let outer_dst_mac = eth.dst_mac();
+
+        let (outer_src_ip, outer_dst_ip, ip_payload): (IpAddr, IpAddr, &[u8]) =
+            match eth.ethertype() {
+                EtherType::Ipv4 => {
+                    let ip = ipv4::Packet::new_checked(eth.payload())?;
+                    if ip.protocol() != IpProtocol::Udp {
+                        return Err(Error::Unsupported);
+                    }
+                    let (s, d) = (ip.src_addr(), ip.dst_addr());
+                    let hl = ip.header_len();
+                    let tl = ip.total_len() as usize;
+                    (s.into(), d.into(), &eth.payload()[hl..tl])
+                }
+                EtherType::Ipv6 => {
+                    let ip = ipv6::Packet::new_checked(eth.payload())?;
+                    if ip.next_header() != IpProtocol::Udp {
+                        return Err(Error::Unsupported);
+                    }
+                    let (s, d) = (ip.src_addr(), ip.dst_addr());
+                    let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
+                    (s.into(), d.into(), &eth.payload()[ipv6::HEADER_LEN..total])
+                }
+                _ => return Err(Error::Unsupported),
+            };
+
+        let u = udp::Datagram::new_checked(ip_payload)?;
+        if u.dst_port() != vxlan::VXLAN_UDP_PORT {
+            return Err(Error::Unsupported);
+        }
+        let udp_src_port = u.src_port();
+        let udp_total = u.len() as usize;
+        let vx = vxlan::Header::new_checked(&ip_payload[udp::HEADER_LEN..udp_total])?;
+        let vni = vx.vni();
+
+        // Inner frame.
+        let inner = vx.payload();
+        let ieth = ethernet::Frame::new_checked(inner)?;
+        let inner_src_mac = ieth.src_mac();
+        let inner_dst_mac = ieth.dst_mac();
+        let (inner_src_ip, inner_dst_ip, protocol, l4): (IpAddr, IpAddr, IpProtocol, &[u8]) =
+            match ieth.ethertype() {
+                EtherType::Ipv4 => {
+                    let ip = ipv4::Packet::new_checked(ieth.payload())?;
+                    (
+                        ip.src_addr().into(),
+                        ip.dst_addr().into(),
+                        ip.protocol(),
+                        &ieth.payload()[ip.header_len()..ip.total_len() as usize],
+                    )
+                }
+                EtherType::Ipv6 => {
+                    let ip = ipv6::Packet::new_checked(ieth.payload())?;
+                    let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
+                    (
+                        ip.src_addr().into(),
+                        ip.dst_addr().into(),
+                        ip.next_header(),
+                        &ieth.payload()[ipv6::HEADER_LEN..total],
+                    )
+                }
+                _ => return Err(Error::Unsupported),
+            };
+
+        let (src_port, dst_port, payload_len) = match protocol {
+            IpProtocol::Udp => {
+                let iu = udp::Datagram::new_checked(l4)?;
+                (
+                    iu.src_port(),
+                    iu.dst_port(),
+                    iu.len() as usize - udp::HEADER_LEN,
+                )
+            }
+            IpProtocol::Tcp => {
+                let t = tcp::Segment::new_checked(l4)?;
+                (t.src_port(), t.dst_port(), t.payload().len())
+            }
+            _ => (0, 0, l4.len()),
+        };
+
+        Ok(GatewayPacket {
+            outer: OuterHeaders {
+                src_mac: outer_src_mac,
+                dst_mac: outer_dst_mac,
+                src_ip: outer_src_ip,
+                dst_ip: outer_dst_ip,
+                udp_src_port,
+            },
+            vni,
+            inner: InnerHeaders {
+                src_mac: inner_src_mac,
+                dst_mac: inner_dst_mac,
+                src_ip: inner_src_ip,
+                dst_ip: inner_dst_ip,
+                protocol,
+                src_port,
+                dst_port,
+                payload_len,
+            },
+        })
+    }
+}
+
+/// Convenience builder for gateway packets in tests, examples and workload
+/// generators.
+#[derive(Debug, Clone)]
+pub struct GatewayPacketBuilder {
+    packet: GatewayPacket,
+}
+
+impl GatewayPacketBuilder {
+    /// Starts from a VNI and inner src/dst VM addresses; everything else
+    /// takes workable defaults (UDP 10000→20000, 64-byte payload, underlay
+    /// 10.255.0.0/16 addresses).
+    pub fn new(vni: Vni, inner_src: IpAddr, inner_dst: IpAddr) -> Self {
+        GatewayPacketBuilder {
+            packet: GatewayPacket {
+                outer: OuterHeaders {
+                    src_mac: MacAddr::from_id(0xa),
+                    dst_mac: MacAddr::from_id(0xb),
+                    src_ip: "10.255.0.1".parse().unwrap(),
+                    dst_ip: "10.255.0.2".parse().unwrap(),
+                    udp_src_port: 49152,
+                },
+                vni,
+                inner: InnerHeaders {
+                    src_mac: MacAddr::from_id(0x1),
+                    dst_mac: MacAddr::from_id(0x2),
+                    src_ip: inner_src,
+                    dst_ip: inner_dst,
+                    protocol: IpProtocol::Udp,
+                    src_port: 10000,
+                    dst_port: 20000,
+                    payload_len: 64,
+                },
+            },
+        }
+    }
+
+    /// Sets the outer underlay addresses.
+    pub fn outer_ips(mut self, src: IpAddr, dst: IpAddr) -> Self {
+        self.packet.outer.src_ip = src;
+        self.packet.outer.dst_ip = dst;
+        self
+    }
+
+    /// Sets the inner transport protocol and ports. Ports are zeroed for
+    /// portless protocols — they have no wire representation there.
+    pub fn transport(mut self, protocol: IpProtocol, src_port: u16, dst_port: u16) -> Self {
+        self.packet.inner.protocol = protocol;
+        let has_ports = matches!(protocol, IpProtocol::Tcp | IpProtocol::Udp);
+        self.packet.inner.src_port = if has_ports { src_port } else { 0 };
+        self.packet.inner.dst_port = if has_ports { dst_port } else { 0 };
+        self
+    }
+
+    /// Sets the application payload length.
+    pub fn payload_len(mut self, len: usize) -> Self {
+        self.packet.inner.payload_len = len;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> GatewayPacket {
+        self.packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(vni: u32, v6: bool) -> GatewayPacket {
+        if v6 {
+            GatewayPacketBuilder::new(
+                Vni::from_const(vni),
+                "2001:db8:a::1".parse().unwrap(),
+                "2001:db8:b::2".parse().unwrap(),
+            )
+            .build()
+        } else {
+            GatewayPacketBuilder::new(
+                Vni::from_const(vni),
+                "192.168.10.2".parse().unwrap(),
+                "192.168.30.5".parse().unwrap(),
+            )
+            .build()
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip_v4() {
+        let p = sample(100, false);
+        let bytes = p.emit().unwrap();
+        assert_eq!(bytes.len(), p.wire_len());
+        let q = GatewayPacket::parse(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn emit_parse_round_trip_v6_inner() {
+        let p = sample(7, true);
+        let q = GatewayPacket::parse(&p.emit().unwrap()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn emit_parse_round_trip_v6_outer() {
+        let mut p = sample(7, false);
+        p.outer.src_ip = "fd00::1".parse().unwrap();
+        p.outer.dst_ip = "fd00::2".parse().unwrap();
+        let q = GatewayPacket::parse(&p.emit().unwrap()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn emit_parse_round_trip_tcp_inner() {
+        let p = GatewayPacketBuilder::new(
+            Vni::from_const(9),
+            "192.168.1.1".parse().unwrap(),
+            "192.168.1.2".parse().unwrap(),
+        )
+        .transport(IpProtocol::Tcp, 55555, 443)
+        .payload_len(256)
+        .build();
+        let q = GatewayPacket::parse(&p.emit().unwrap()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn emit_rejects_mixed_families() {
+        let mut p = sample(1, false);
+        p.inner.dst_ip = "2001:db8::1".parse().unwrap();
+        assert_eq!(p.emit().unwrap_err(), Error::Malformed);
+        let mut p = sample(1, false);
+        p.outer.dst_ip = "2001:db8::1".parse().unwrap();
+        assert_eq!(p.emit().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_non_vxlan() {
+        let p = sample(1, false);
+        let mut bytes = p.emit().unwrap();
+        // Change the outer UDP destination port away from 4789: offsets are
+        // eth(14) + ipv4(20) + 2.
+        bytes[14 + 20 + 2..14 + 20 + 4].copy_from_slice(&53u16.to_be_bytes());
+        assert_eq!(GatewayPacket::parse(&bytes).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn parse_rejects_truncation_at_every_boundary() {
+        let p = sample(3, false);
+        let bytes = p.emit().unwrap();
+        for cut in [4usize, 20, 40, 50, 60, bytes.len() - 1] {
+            assert!(
+                GatewayPacket::parse(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn five_tuple_matches_inner() {
+        let p = sample(1, false);
+        let t = p.five_tuple();
+        assert_eq!(t.src_ip, p.inner.src_ip);
+        assert_eq!(t.dst_port, p.inner.dst_port);
+    }
+
+    #[test]
+    fn wire_len_small_packet_matches_paper_scale() {
+        // A 64-byte-payload IPv4 packet encapsulated in VXLAN should be in
+        // the paper's "< 256B" small-packet regime.
+        let p = sample(1, false);
+        assert!(p.wire_len() < 256, "wire len {}", p.wire_len());
+    }
+}

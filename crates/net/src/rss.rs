@@ -1,0 +1,221 @@
+//! Toeplitz receive-side-scaling hash.
+//!
+//! XGW-x86 distributes packets to CPU cores with "flow-based hashing ...
+//! via the RSS (receiver side scaling) technology" (§2.3). This module
+//! implements the Microsoft RSS Toeplitz hash exactly as NICs do, so the
+//! software-gateway model inherits the real placement behaviour — including
+//! the property that a heavy-hitter flow lands on exactly one core.
+
+use core::net::IpAddr;
+
+use crate::flow::FiveTuple;
+
+/// The de-facto standard RSS key published in the Microsoft RSS
+/// specification and shipped as the default by many NIC drivers.
+pub const MICROSOFT_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// A Toeplitz hasher parameterized by a 40-byte secret key.
+///
+/// A 40-byte key supports inputs up to 36 bytes (IPv6 5-tuples), matching
+/// real NIC constraints.
+#[derive(Debug, Clone)]
+pub struct Toeplitz {
+    key: [u8; 40],
+}
+
+impl Default for Toeplitz {
+    fn default() -> Self {
+        Toeplitz {
+            key: MICROSOFT_KEY,
+        }
+    }
+}
+
+impl Toeplitz {
+    /// Builds a hasher with a custom key.
+    pub fn new(key: [u8; 40]) -> Self {
+        Toeplitz { key }
+    }
+
+    /// Hashes an arbitrary input byte string (at most 36 bytes, the IPv6
+    /// 4-tuple size; longer inputs would run off the end of the key).
+    ///
+    /// For each set bit of the input (MSB first), XORs in the 32-bit window
+    /// of the key starting at that bit position.
+    pub fn hash_bytes(&self, input: &[u8]) -> u32 {
+        assert!(
+            input.len() * 8 + 32 <= self.key.len() * 8,
+            "input of {} bytes exceeds the {}-byte Toeplitz key",
+            input.len(),
+            self.key.len()
+        );
+        let key = &self.key;
+        // 64-bit register; the top 32 bits are the current key window.
+        let mut window = u64::from(u32::from_be_bytes([key[0], key[1], key[2], key[3]])) << 32
+            | u64::from(u32::from_be_bytes([key[4], key[5], key[6], key[7]]));
+        let mut next_key_byte = 8;
+        let mut result = 0u32;
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= (window >> 32) as u32;
+                }
+                window <<= 1;
+            }
+            // After 8 shifts the low byte of the register is free; refill it
+            // with the next key byte while any remain.
+            if next_key_byte < key.len() {
+                window |= u64::from(key[next_key_byte]);
+                next_key_byte += 1;
+            }
+        }
+        result
+    }
+
+    /// Hashes a 5-tuple the way a dual-stack NIC does: source address,
+    /// destination address, then source and destination ports, all in
+    /// network byte order. (RSS does not hash the protocol field.)
+    pub fn hash_tuple(&self, t: &FiveTuple) -> u32 {
+        let mut buf = [0u8; 36];
+        let len = match (t.src_ip, t.dst_ip) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => {
+                buf[..4].copy_from_slice(&s.octets());
+                buf[4..8].copy_from_slice(&d.octets());
+                8
+            }
+            (IpAddr::V6(s), IpAddr::V6(d)) => {
+                buf[..16].copy_from_slice(&s.octets());
+                buf[16..32].copy_from_slice(&d.octets());
+                32
+            }
+            // Mixed-family tuples cannot appear on the wire; hash the IPv4
+            // side mapped into IPv6 space so the function stays total.
+            (s, d) => {
+                let s6 = match s {
+                    IpAddr::V4(a) => a.to_ipv6_mapped(),
+                    IpAddr::V6(a) => a,
+                };
+                let d6 = match d {
+                    IpAddr::V4(a) => a.to_ipv6_mapped(),
+                    IpAddr::V6(a) => a,
+                };
+                buf[..16].copy_from_slice(&s6.octets());
+                buf[16..32].copy_from_slice(&d6.octets());
+                32
+            }
+        };
+        buf[len..len + 2].copy_from_slice(&t.src_port.to_be_bytes());
+        buf[len + 2..len + 4].copy_from_slice(&t.dst_port.to_be_bytes());
+        self.hash_bytes(&buf[..len + 4])
+    }
+
+    /// Maps a flow to one of `queues` RX queues, as the NIC indirection
+    /// table does (low-order hash bits modulo the table size).
+    pub fn queue_for(&self, t: &FiveTuple, queues: usize) -> usize {
+        assert!(queues > 0, "queue count must be positive");
+        self.hash_tuple(t) as usize % queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::IpProtocol;
+
+    // Published test vectors from the Microsoft RSS specification
+    // ("with ports" column).
+    #[test]
+    fn microsoft_ipv4_test_vectors() {
+        let t = Toeplitz::default();
+        let cases: [(FiveTuple, u32); 2] = [
+            (
+                FiveTuple::new(
+                    "66.9.149.187".parse().unwrap(),
+                    "161.142.100.80".parse().unwrap(),
+                    IpProtocol::Tcp,
+                    2794,
+                    1766,
+                ),
+                0x51ccc178,
+            ),
+            (
+                FiveTuple::new(
+                    "199.92.111.2".parse().unwrap(),
+                    "65.69.140.83".parse().unwrap(),
+                    IpProtocol::Tcp,
+                    14230,
+                    4739,
+                ),
+                0xc626b0ea,
+            ),
+        ];
+        for (tuple, want) in cases {
+            assert_eq!(t.hash_tuple(&tuple), want, "tuple {tuple}");
+        }
+    }
+
+    #[test]
+    fn microsoft_ipv6_test_vector() {
+        let t = Toeplitz::default();
+        let tuple = FiveTuple::new(
+            "3ffe:2501:200:1fff::7".parse().unwrap(),
+            "3ffe:2501:200:3::1".parse().unwrap(),
+            IpProtocol::Tcp,
+            2794,
+            1766,
+        );
+        assert_eq!(t.hash_tuple(&tuple), 0x40207d3d);
+    }
+
+    #[test]
+    fn deterministic_queue_assignment() {
+        let t = Toeplitz::default();
+        let tuple = FiveTuple::new(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            IpProtocol::Udp,
+            1111,
+            2222,
+        );
+        let q = t.queue_for(&tuple, 32);
+        assert!(q < 32);
+        assert_eq!(q, t.queue_for(&tuple, 32));
+    }
+
+    #[test]
+    fn mixed_family_tuple_hashes_without_panicking() {
+        let t = Toeplitz::default();
+        let tuple = FiveTuple::new(
+            "10.0.0.1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            IpProtocol::Udp,
+            1,
+            2,
+        );
+        let _ = t.hash_tuple(&tuple);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue count")]
+    fn zero_queues_panics() {
+        let t = Toeplitz::default();
+        let tuple = FiveTuple::new(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            IpProtocol::Udp,
+            1,
+            2,
+        );
+        t.queue_for(&tuple, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Toeplitz key")]
+    fn oversized_input_panics() {
+        Toeplitz::default().hash_bytes(&[0u8; 37]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Ethernet II frame view.
+
+use core::fmt;
+
+use crate::error::{Error, Result};
+use crate::mac::MacAddr;
+
+/// Length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// Recognized EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// IPv6 (0x86dd).
+    Ipv6,
+    /// ARP (0x0806) — present for completeness; the gateway drops it.
+    Arp,
+    /// Anything else, kept verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn value(&self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => *v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x86dd => EtherType::Ipv6,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Ipv6 => write!(f, "IPv6"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer without validating its length.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Frame { buffer }
+    }
+
+    /// Wraps a buffer after checking it can hold an Ethernet header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_mac(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        MacAddr([d[0], d[1], d[2], d[3], d[4], d[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src_mac(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        MacAddr([d[6], d[7], d[8], d[9], d[10], d[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([d[12], d[13]]))
+    }
+
+    /// Frame payload (everything after the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_mac(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.octets());
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_mac(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.octets());
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&ethertype.value().to_be_bytes());
+    }
+
+    /// Mutable frame payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_rejects_short_buffer() {
+        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert!(Frame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let mut buf = [0u8; 20];
+        let mut frame = Frame::new_checked(&mut buf[..]).unwrap();
+        let src = MacAddr::from_id(1);
+        let dst = MacAddr::from_id(2);
+        frame.set_src_mac(src);
+        frame.set_dst_mac(dst);
+        frame.set_ethertype(EtherType::Ipv6);
+        frame.payload_mut().copy_from_slice(&[9; 6]);
+
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.src_mac(), src);
+        assert_eq!(frame.dst_mac(), dst);
+        assert_eq!(frame.ethertype(), EtherType::Ipv6);
+        assert_eq!(frame.payload(), &[9; 6]);
+    }
+
+    #[test]
+    fn ethertype_values() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Ipv6);
+        assert_eq!(EtherType::from(0x1234), EtherType::Other(0x1234));
+        assert_eq!(EtherType::Other(0x1234).value(), 0x1234);
+    }
+}

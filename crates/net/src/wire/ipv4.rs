@@ -1,0 +1,257 @@
+//! IPv4 packet view.
+//!
+//! Options are accepted on parse (via IHL) but never emitted by the gateway.
+
+use core::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// A view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Packet { buffer }
+    }
+
+    /// Wraps a buffer after validating version, IHL, and total length
+    /// against the buffer size.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Packet { buffer };
+        if packet.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        let header_len = packet.header_len();
+        if header_len < HEADER_LEN || header_len > len {
+            return Err(Error::Malformed);
+        }
+        let total = packet.total_len() as usize;
+        if total < header_len || total > len {
+            return Err(Error::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes, from the IHL field.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte.
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total packet length (header + payload) in bytes.
+    pub fn total_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[10], d[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[12], d[13], d[14], d[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[16], d[17], d[18], d[19])
+    }
+
+    /// Verifies the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..self.header_len()];
+        checksum::verify(header)
+    }
+
+    /// Packet payload, delimited by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        let header_len = self.header_len();
+        let total = self.total_len() as usize;
+        &self.buffer.as_ref()[header_len..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes version 4 and a 20-byte IHL.
+    pub fn set_version_and_header_len(&mut self) {
+        self.buffer.as_mut()[0] = 0x45;
+    }
+
+    /// Sets the DSCP/ECN byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[1] = tos;
+    }
+
+    /// Sets the total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, ident: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&ident.to_be_bytes());
+    }
+
+    /// Sets flags/fragment-offset to "don't fragment".
+    pub fn set_dont_fragment(&mut self) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&0x4000u16.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the transport protocol.
+    pub fn set_protocol(&mut self, protocol: IpProtocol) {
+        self.buffer.as_mut()[9] = protocol.number();
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&addr.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&addr.octets());
+    }
+
+    /// Recomputes and writes the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let header_len = self.header_len();
+        self.buffer.as_mut()[10..12].copy_from_slice(&[0, 0]);
+        let sum = checksum::checksum(&self.buffer.as_ref()[..header_len]);
+        self.buffer.as_mut()[10..12].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload, delimited by the total-length field.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let header_len = self.header_len();
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[header_len..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut p = Packet::new_unchecked(&mut buf[..]);
+        p.set_version_and_header_len();
+        p.set_total_len((HEADER_LEN + payload.len()) as u16);
+        p.set_ident(7);
+        p.set_dont_fragment();
+        p.set_ttl(64);
+        p.set_protocol(IpProtocol::Udp);
+        p.set_src_addr(Ipv4Addr::new(10, 1, 1, 1));
+        p.set_dst_addr(Ipv4Addr::new(10, 1, 1, 2));
+        p.fill_checksum();
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let buf = build(b"hello");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), HEADER_LEN);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.ident(), 7);
+        assert_eq!(p.protocol(), IpProtocol::Udp);
+        assert_eq!(p.src_addr(), Ipv4Addr::new(10, 1, 1, 1));
+        assert_eq!(p.dst_addr(), Ipv4Addr::new(10, 1, 1, 2));
+        assert_eq!(p.payload(), b"hello");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = build(b"hello");
+        buf[8] = 63; // change TTL without refreshing the checksum
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn checked_rejects_bad_version() {
+        let mut buf = build(b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn checked_rejects_bad_lengths() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = build(b"hello");
+        // Total length larger than the buffer.
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        // IHL below the minimum.
+        let mut buf = build(b"hello");
+        buf[0] = 0x44;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn payload_respects_total_len_with_trailing_bytes() {
+        let mut buf = build(b"hello");
+        buf.extend_from_slice(b"junk-after-packet");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"hello");
+    }
+}

@@ -1,0 +1,206 @@
+//! IPv6 packet view (base header only; extension headers are not used by
+//! the gateway data path).
+
+use core::net::Ipv6Addr;
+
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+
+/// Length of the IPv6 base header.
+pub const HEADER_LEN: usize = 40;
+
+/// A view of an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Packet { buffer }
+    }
+
+    /// Wraps a buffer after validating version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Packet { buffer };
+        if packet.version() != 6 {
+            return Err(Error::Malformed);
+        }
+        if HEADER_LEN + packet.payload_len() as usize > len {
+            return Err(Error::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field (must be 6).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Traffic-class byte.
+    pub fn traffic_class(&self) -> u8 {
+        let d = self.buffer.as_ref();
+        d[0] << 4 | d[1] >> 4
+    }
+
+    /// Flow label (20 bits).
+    pub fn flow_label(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from(d[1] & 0x0f) << 16 | u32::from(d[2]) << 8 | u32::from(d[3])
+    }
+
+    /// Payload length in bytes (excludes the base header).
+    pub fn payload_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Next-header field, interpreted as a transport protocol.
+    pub fn next_header(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[6])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        let d = self.buffer.as_ref();
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&d[8..24]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        let d = self.buffer.as_ref();
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&d[24..40]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Packet payload, delimited by the payload-length field.
+    pub fn payload(&self) -> &[u8] {
+        let total = HEADER_LEN + self.payload_len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes version 6 with zero traffic class and flow label.
+    pub fn set_version(&mut self) {
+        let d = self.buffer.as_mut();
+        d[0] = 0x60;
+        d[1] = 0;
+        d[2] = 0;
+        d[3] = 0;
+    }
+
+    /// Sets the flow label (20 bits; high bits are discarded).
+    pub fn set_flow_label(&mut self, label: u32) {
+        let d = self.buffer.as_mut();
+        d[1] = d[1] & 0xf0 | (label >> 16 & 0x0f) as u8;
+        d[2] = (label >> 8) as u8;
+        d[3] = label as u8;
+    }
+
+    /// Sets the payload length.
+    pub fn set_payload_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the next-header field.
+    pub fn set_next_header(&mut self, protocol: IpProtocol) {
+        self.buffer.as_mut()[6] = protocol.number();
+    }
+
+    /// Sets the hop limit.
+    pub fn set_hop_limit(&mut self, limit: u8) {
+        self.buffer.as_mut()[7] = limit;
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, addr: Ipv6Addr) {
+        self.buffer.as_mut()[8..24].copy_from_slice(&addr.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, addr: Ipv6Addr) {
+        self.buffer.as_mut()[24..40].copy_from_slice(&addr.octets());
+    }
+
+    /// Mutable payload, delimited by the payload-length field.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let total = HEADER_LEN + self.payload_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut p = Packet::new_unchecked(&mut buf[..]);
+        p.set_version();
+        p.set_flow_label(0xabcde);
+        p.set_payload_len(payload.len() as u16);
+        p.set_next_header(IpProtocol::Udp);
+        p.set_hop_limit(64);
+        p.set_src_addr("2001:db8::1".parse().unwrap());
+        p.set_dst_addr("2001:db8::2".parse().unwrap());
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let buf = build(b"payload");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.flow_label(), 0xabcde);
+        assert_eq!(p.payload_len(), 7);
+        assert_eq!(p.next_header(), IpProtocol::Udp);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.src_addr(), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(p.dst_addr(), "2001:db8::2".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(p.payload(), b"payload");
+    }
+
+    #[test]
+    fn checked_rejects_bad_input() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 39][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = build(b"x");
+        buf[0] = 0x40; // version 4
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        let mut buf = build(b"x");
+        buf[4..6].copy_from_slice(&500u16.to_be_bytes());
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn flow_label_masks_high_bits() {
+        let mut buf = build(b"");
+        let mut p = Packet::new_unchecked(&mut buf[..]);
+        p.set_flow_label(0xfffffff);
+        assert_eq!(p.flow_label(), 0xfffff);
+        // Traffic class nibble is untouched.
+        assert_eq!(p.version(), 6);
+    }
+}

@@ -1,0 +1,27 @@
+//! Zero-copy protocol header views, in the smoltcp style.
+//!
+//! Each submodule defines a view type generic over `T: AsRef<[u8]>` with:
+//!
+//! - `new_unchecked(buffer)` — wrap without validation,
+//! - `new_checked(buffer)` — wrap after verifying the buffer can hold the
+//!   header (and that length fields are consistent),
+//! - typed getters for every field,
+//! - setters when `T: AsMut<[u8]>`,
+//! - `payload()` / `payload_mut()` accessors delimiting the next layer.
+//!
+//! The gateway data path always works on full VXLAN-in-IP-in-Ethernet
+//! stacks; [`crate::packet::GatewayPacket`] composes these views.
+
+pub mod ethernet;
+pub mod ipv4;
+pub mod ipv6;
+pub mod tcp;
+pub mod udp;
+pub mod vxlan;
+
+pub use ethernet::{EtherType, Frame as EthernetFrame};
+pub use ipv4::Packet as Ipv4Packet;
+pub use ipv6::Packet as Ipv6Packet;
+pub use tcp::Segment as TcpSegment;
+pub use udp::Datagram as UdpDatagram;
+pub use vxlan::{Header as VxlanHeader, VXLAN_UDP_PORT};

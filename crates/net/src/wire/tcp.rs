@@ -1,0 +1,305 @@
+//! TCP segment view.
+//!
+//! The gateway never terminates TCP, but it parses inner TCP headers for
+//! the 5-tuple (SNAT, RSS, ACLs) and the SYN/FIN/RST flags that drive
+//! SNAT session lifecycle in production deployments.
+
+use core::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (in the low byte of the flags field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    /// FIN: sender is done.
+    pub const FIN: u8 = 0x01;
+    /// SYN: connection setup.
+    pub const SYN: u8 = 0x02;
+    /// RST: abort.
+    pub const RST: u8 = 0x04;
+    /// PSH: push buffered data.
+    pub const PSH: u8 = 0x08;
+    /// ACK: acknowledgement valid.
+    pub const ACK: u8 = 0x10;
+
+    /// Whether the SYN bit is set.
+    pub fn syn(&self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// Whether the FIN bit is set.
+    pub fn fin(&self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+
+    /// Whether the RST bit is set.
+    pub fn rst(&self) -> bool {
+        self.0 & Self::RST != 0
+    }
+
+    /// Whether the ACK bit is set.
+    pub fn ack(&self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+}
+
+/// A view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Segment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Segment<T> {
+    /// Wraps a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Segment { buffer }
+    }
+
+    /// Wraps a buffer after validating length and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let seg = Segment { buffer };
+        let off = seg.header_len();
+        if off < HEADER_LEN || off > len {
+            return Err(Error::Malformed);
+        }
+        Ok(seg)
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[4], d[5], d[6], d[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    /// Header length from the data-offset field, in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// The flag bits.
+    pub fn flags(&self) -> Flags {
+        Flags(self.buffer.as_ref()[13] & 0x3f)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[14], d[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[16], d[17]])
+    }
+
+    /// Segment payload (after options).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verifies the checksum over an IPv4 pseudo-header.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let data = self.buffer.as_ref();
+        let acc =
+            checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
+        checksum::finish(checksum::sum(acc, data)) == 0
+    }
+
+    /// Verifies the checksum over an IPv6 pseudo-header.
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        let data = self.buffer.as_ref();
+        let acc =
+            checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
+        checksum::finish(checksum::sum(acc, data)) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack_number(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets a 20-byte header (data offset 5).
+    pub fn set_basic_header_len(&mut self) {
+        self.buffer.as_mut()[12] = 5 << 4;
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, flags: u8) {
+        self.buffer.as_mut()[13] = flags & 0x3f;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&window.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        let data = self.buffer.as_ref();
+        let acc =
+            checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
+        let sum = checksum::finish(checksum::sum(acc, data));
+        self.buffer.as_mut()[16..18].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        let data = self.buffer.as_ref();
+        let acc =
+            checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
+        let sum = checksum::finish(checksum::sum(acc, data));
+        self.buffer.as_mut()[16..18].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut s = Segment::new_unchecked(&mut buf[..]);
+        s.set_src_port(51000);
+        s.set_dst_port(443);
+        s.set_seq(0x01020304);
+        s.set_ack_number(0x0a0b0c0d);
+        s.set_basic_header_len();
+        s.set_flags(Flags::SYN | Flags::ACK);
+        s.set_window(65000);
+        s.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let buf = build(b"hello");
+        let s = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(s.src_port(), 51000);
+        assert_eq!(s.dst_port(), 443);
+        assert_eq!(s.seq(), 0x01020304);
+        assert_eq!(s.ack_number(), 0x0a0b0c0d);
+        assert_eq!(s.header_len(), HEADER_LEN);
+        assert!(s.flags().syn() && s.flags().ack());
+        assert!(!s.flags().fin() && !s.flags().rst());
+        assert_eq!(s.window(), 65000);
+        assert_eq!(s.payload(), b"hello");
+    }
+
+    #[test]
+    fn v4_checksum_round_trip() {
+        let mut buf = build(b"data");
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut s = Segment::new_unchecked(&mut buf[..]);
+        s.fill_checksum_v4(src, dst);
+        let s = Segment::new_checked(&buf[..]).unwrap();
+        assert!(s.verify_checksum_v4(src, dst));
+        let mut bad = buf.clone();
+        bad[HEADER_LEN] ^= 1;
+        assert!(!Segment::new_unchecked(&bad[..]).verify_checksum_v4(src, dst));
+    }
+
+    #[test]
+    fn v6_checksum_round_trip() {
+        let mut buf = build(b"data");
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let mut s = Segment::new_unchecked(&mut buf[..]);
+        s.fill_checksum_v6(src, dst);
+        assert!(Segment::new_unchecked(&buf[..]).verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn checked_rejects_bad_input() {
+        assert_eq!(
+            Segment::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = build(b"");
+        buf[12] = 4 << 4; // data offset below the minimum
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        let mut buf = build(b"");
+        buf[12] = 15 << 4; // data offset beyond the buffer
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn options_shift_payload() {
+        // 24-byte header (one option word).
+        let mut buf = vec![0u8; 24 + 3];
+        let mut s = Segment::new_unchecked(&mut buf[..]);
+        s.set_src_port(1);
+        s.set_dst_port(2);
+        buf[12] = 6 << 4;
+        buf[24..].copy_from_slice(b"abc");
+        let s = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(s.header_len(), 24);
+        assert_eq!(s.payload(), b"abc");
+    }
+}

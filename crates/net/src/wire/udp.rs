@@ -1,0 +1,227 @@
+//! UDP datagram view.
+
+use core::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::flow::IpProtocol;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wraps a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Datagram { buffer }
+    }
+
+    /// Wraps a buffer after validating the length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let dgram = Datagram { buffer };
+        let declared = dgram.len() as usize;
+        if declared < HEADER_LEN || declared > len {
+            return Err(Error::Malformed);
+        }
+        Ok(dgram)
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Datagram length (header + payload).
+    pub fn len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Returns true when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Checksum field (0 means "not computed" over IPv4).
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// Datagram payload.
+    pub fn payload(&self) -> &[u8] {
+        let total = self.len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+
+    /// Verifies the checksum over an IPv4 pseudo-header. A zero checksum is
+    /// accepted as "not computed" per RFC 768.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.len() as usize];
+        let acc = checksum::pseudo_header_v4(src, dst, IpProtocol::Udp.number(), self.len());
+        checksum::finish(checksum::sum(acc, data)) == 0
+    }
+
+    /// Verifies the checksum over an IPv6 pseudo-header (mandatory in v6).
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        if self.checksum() == 0 {
+            return false;
+        }
+        let data = &self.buffer.as_ref()[..self.len() as usize];
+        let acc =
+            checksum::pseudo_header_v6(src, dst, IpProtocol::Udp.number(), u32::from(self.len()));
+        checksum::finish(checksum::sum(acc, data)) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Clears the checksum (legal over IPv4; VXLAN senders routinely do
+    /// this for the outer UDP header).
+    pub fn clear_checksum(&mut self) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&[0, 0]);
+    }
+
+    /// Computes and writes the checksum over an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.clear_checksum();
+        let len = self.len();
+        let acc = checksum::pseudo_header_v4(src, dst, IpProtocol::Udp.number(), len);
+        let sum = checksum::finish(checksum::sum(acc, &self.buffer.as_ref()[..len as usize]));
+        // An all-zero computed checksum is transmitted as 0xffff.
+        let wire = if sum == 0 { 0xffff } else { sum };
+        self.buffer.as_mut()[6..8].copy_from_slice(&wire.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum over an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        self.clear_checksum();
+        let len = self.len();
+        let acc =
+            checksum::pseudo_header_v6(src, dst, IpProtocol::Udp.number(), u32::from(len));
+        let sum = checksum::finish(checksum::sum(acc, &self.buffer.as_ref()[..len as usize]));
+        let wire = if sum == 0 { 0xffff } else { sum };
+        self.buffer.as_mut()[6..8].copy_from_slice(&wire.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let total = self.len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut d = Datagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(4789);
+        d.set_dst_port(4789);
+        d.set_len((HEADER_LEN + payload.len()) as u16);
+        d.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn round_trip_and_v4_checksum() {
+        let mut buf = build(b"data");
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut d = Datagram::new_checked(&mut buf[..]).unwrap();
+        d.fill_checksum_v4(src, dst);
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 4789);
+        assert_eq!(d.dst_port(), 4789);
+        assert_eq!(d.payload(), b"data");
+        assert!(d.verify_checksum_v4(src, dst));
+        // Corrupting the payload must break verification (the checksum is
+        // nonzero, so the "not computed" escape hatch does not apply).
+        let mut bad = buf.clone();
+        bad[HEADER_LEN] ^= 0x01;
+        let bad = Datagram::new_checked(&bad[..]).unwrap();
+        assert!(!bad.verify_checksum_v4(src, dst));
+    }
+
+    #[test]
+    fn zero_checksum_v4_accepted_v6_rejected() {
+        let buf = build(b"data");
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum_v4(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED));
+        assert!(!d.verify_checksum_v6(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap()
+        ));
+    }
+
+    #[test]
+    fn v6_checksum_round_trip() {
+        let mut buf = build(b"data");
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let mut d = Datagram::new_unchecked(&mut buf[..]);
+        d.fill_checksum_v6(src, dst);
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn checked_rejects_bad_lengths() {
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = build(b"data");
+        buf[4..6].copy_from_slice(&3u16.to_be_bytes()); // shorter than the header
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        let mut buf = build(b"data");
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // longer than the buffer
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+}

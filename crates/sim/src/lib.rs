@@ -1,0 +1,28 @@
+//! # sailfish-sim
+//!
+//! Deterministic workload generation and measurement utilities.
+//!
+//! The paper's evaluation rests on Alibaba's production traffic, which we
+//! cannot ship; this crate builds the closest synthetic equivalents
+//! (DESIGN.md §2):
+//!
+//! - [`zipf`] — heavy-tailed flow-size distributions ("the traffic exactly
+//!   follows the 80/20 rule", §4.2),
+//! - [`topology`] — multi-tenant region topologies: VPCs, subnets, VMs on
+//!   NCs, peerings, Internet/IDC/cross-region routes, at up to the
+//!   O(1M)-entry scale of §3.3,
+//! - [`workload`] — flow sets with configurable heavy hitters and the
+//!   diurnal/shopping-festival load profile behind Figs 4–6 and 19,
+//! - [`metrics`] — seedable, reproducible measurement helpers (histograms,
+//!   loss accounting, time series).
+//!
+//! Everything is seeded `StdRng`; no wall clock, no global state — every
+//! figure regenerates bit-for-bit.
+
+pub mod metrics;
+pub mod topology;
+pub mod workload;
+pub mod zipf;
+
+pub use topology::{Topology, TopologyConfig};
+pub use workload::{festival_profile, Flow, WorkloadConfig};

@@ -1,0 +1,207 @@
+//! Measurement helpers: histograms, loss accounting, time series.
+
+/// A log-scale histogram for latency-like quantities.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket boundaries grow geometrically from `min` by `factor`.
+    min: f64,
+    factor: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min, min*factor^buckets)`.
+    pub fn new(min: f64, factor: f64, buckets: usize) -> Self {
+        assert!(min > 0.0 && factor > 1.0 && buckets > 0);
+        Histogram {
+            min,
+            factor,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// A latency histogram from 100ns to ~100ms.
+    pub fn latency_ns() -> Self {
+        Self::new(100.0, 1.3, 54)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let idx = if value <= self.min {
+            0
+        } else {
+            let raw = (value / self.min).ln() / self.factor.ln();
+            (raw as usize).min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        if value > self.max_seen {
+            self.max_seen = value;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Approximate quantile (upper bucket boundary), `q` in `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return self.min * self.factor.powi(i as i32 + 1);
+            }
+        }
+        self.max_seen
+    }
+}
+
+/// Offered/dropped packet accounting with exact ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossAccount {
+    /// Packets offered.
+    pub offered: f64,
+    /// Packets dropped.
+    pub dropped: f64,
+}
+
+impl LossAccount {
+    /// Records an interval's load.
+    pub fn add(&mut self, offered: f64, dropped: f64) {
+        debug_assert!(dropped <= offered + 1e-9, "cannot drop more than offered");
+        self.offered += offered;
+        self.dropped += dropped;
+    }
+
+    /// Loss ratio in `[0,1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.offered == 0.0 {
+            0.0
+        } else {
+            self.dropped / self.offered
+        }
+    }
+
+    /// Loss expressed as "one packet per N" (`None` when lossless).
+    pub fn one_in(&self) -> Option<f64> {
+        if self.dropped == 0.0 {
+            None
+        } else {
+            Some(self.offered / self.dropped)
+        }
+    }
+}
+
+/// A labelled time series of `(time, value)` points.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series label (figure legend).
+    pub label: String,
+    /// The points, in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty labelled series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Maximum value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Mean value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, v)| *v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::latency_ns();
+        for _ in 0..99 {
+            h.record(1_000.0);
+        }
+        h.record(1_000_000.0);
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 10_990.0).abs() < 1.0);
+        // p50 near 1µs (bucket-rounded), p100 covers the outlier.
+        assert!(h.quantile(0.5) < 2_000.0);
+        assert!(h.quantile(1.0) >= 1_000_000.0 * 0.7);
+        assert_eq!(h.max(), 1_000_000.0);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(1.0, 2.0, 4); // covers up to 16
+        h.record(0.001);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn loss_account_ratios() {
+        let mut l = LossAccount::default();
+        l.add(1e10, 1.0);
+        assert!((l.ratio() - 1e-10).abs() < 1e-24);
+        assert!((l.one_in().unwrap() - 1e10).abs() < 1.0);
+        let clean = LossAccount::default();
+        assert_eq!(clean.ratio(), 0.0);
+        assert!(clean.one_in().is_none());
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = Series::new("cpu");
+        s.push(0.0, 10.0);
+        s.push(1.0, 30.0);
+        assert_eq!(s.max(), 30.0);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.label, "cpu");
+    }
+}

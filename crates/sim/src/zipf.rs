@@ -1,0 +1,139 @@
+//! Zipf-like heavy-tailed distributions.
+//!
+//! "Through data mining of real cloud traffic, we find that the traffic
+//! exactly follows the '80/20 rule'. For example, in a typical cloud
+//! region, 5% of the table entries carry 95% of the traffic" (§4.2). A
+//! Zipf law with exponent ≈1.5 reproduces that ratio at region scale; the
+//! exponent is a config knob everywhere it is used.
+
+use rand::Rng;
+
+/// Normalized Zipf weights: `w[i] ∝ (i+1)^-s`, summing to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one weight");
+    let mut weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    weights
+}
+
+/// Fraction of total mass held by the top `top` ranks.
+pub fn top_share(weights: &[f64], top: usize) -> f64 {
+    weights.iter().take(top).sum()
+}
+
+/// A sampler drawing ranks `0..n` with Zipf(`s`) probabilities via inverse
+/// CDF + binary search (O(log n) per draw, exact, deterministic under a
+/// seeded RNG).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let weights = zipf_weights(n, s);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        // Guard against floating-point undershoot at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_normalized_and_decreasing() {
+        let w = zipf_weights(1000, 1.5);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    /// The §4.2 claim: 5% of entries carry ≈95% of traffic at s = 1.5.
+    #[test]
+    fn eighty_twenty_rule_at_default_exponent() {
+        let w = zipf_weights(10_000, 1.5);
+        let share = top_share(&w, 500);
+        assert!(share > 0.9, "top-5% share {share:.3}");
+    }
+
+    #[test]
+    fn flat_exponent_is_uniform() {
+        let w = zipf_weights(100, 0.0);
+        assert!((w[0] - 0.01).abs() < 1e-12);
+        assert!((top_share(&w, 50) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_matches_weights() {
+        let n = 50;
+        let s = 1.2;
+        let sampler = ZipfSampler::new(n, s);
+        assert_eq!(sampler.len(), n);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; n];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let weights = zipf_weights(n, s);
+        // Rank 0 empirical frequency within 5% relative error.
+        let freq0 = counts[0] as f64 / draws as f64;
+        assert!((freq0 - weights[0]).abs() / weights[0] < 0.05);
+        // Monotone-ish: rank 0 drawn more than rank 10.
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_under_seed() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn zero_ranks_panics() {
+        zipf_weights(0, 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! ACL tables.
+//!
+//! "Some tables are QoS-related and installed based on the SLAs signed
+//! with customers, such as meter, counter, ACL tables" (§3.3). The ACL
+//! matches 5-tuples against prioritized rules with wildcard fields —
+//! semantically a TCAM — and yields permit/deny.
+
+use sailfish_net::{FiveTuple, IpPrefix, IpProtocol, Vni};
+
+use crate::error::{Error, Result};
+
+/// Verdict of an ACL evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclAction {
+    /// Forward the packet.
+    Permit,
+    /// Drop the packet.
+    Deny,
+}
+
+/// One ACL rule; `None` fields are wildcards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclRule {
+    /// Priority; larger wins.
+    pub priority: u32,
+    /// Restrict to one VPC.
+    pub vni: Option<Vni>,
+    /// Source prefix filter.
+    pub src: Option<IpPrefix>,
+    /// Destination prefix filter.
+    pub dst: Option<IpPrefix>,
+    /// Protocol filter.
+    pub protocol: Option<IpProtocol>,
+    /// Inclusive source-port range filter.
+    pub src_ports: Option<(u16, u16)>,
+    /// Inclusive destination-port range filter.
+    pub dst_ports: Option<(u16, u16)>,
+    /// Verdict when the rule matches.
+    pub action: AclAction,
+}
+
+impl AclRule {
+    /// A permit-everything rule at the given priority.
+    pub fn permit_all(priority: u32) -> Self {
+        AclRule {
+            priority,
+            vni: None,
+            src: None,
+            dst: None,
+            protocol: None,
+            src_ports: None,
+            dst_ports: None,
+            action: AclAction::Permit,
+        }
+    }
+
+    /// Whether the rule matches a flow in a VPC.
+    pub fn matches(&self, vni: Vni, tuple: &FiveTuple) -> bool {
+        if let Some(rule_vni) = self.vni {
+            if rule_vni != vni {
+                return false;
+            }
+        }
+        if let Some(src) = &self.src {
+            if !src.contains(tuple.src_ip) {
+                return false;
+            }
+        }
+        if let Some(dst) = &self.dst {
+            if !dst.contains(tuple.dst_ip) {
+                return false;
+            }
+        }
+        if let Some(protocol) = self.protocol {
+            if protocol != tuple.protocol {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.src_ports {
+            if tuple.src_port < lo || tuple.src_port > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.dst_ports {
+            if tuple.dst_port < lo || tuple.dst_port > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A prioritized ACL with a default action.
+#[derive(Debug, Clone)]
+pub struct AclTable {
+    /// Rules sorted by descending priority (stable for ties).
+    rules: Vec<AclRule>,
+    default: AclAction,
+    capacity: Option<usize>,
+}
+
+impl AclTable {
+    /// Creates an ACL with a default action for non-matching traffic.
+    pub fn new(default: AclAction, capacity: Option<usize>) -> Self {
+        AclTable {
+            rules: Vec::new(),
+            default,
+            capacity,
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds a rule.
+    pub fn insert(&mut self, rule: AclRule) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.rules.len() >= cap {
+                return Err(Error::CapacityExceeded);
+            }
+        }
+        let idx = self
+            .rules
+            .partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(idx, rule);
+        Ok(())
+    }
+
+    /// Removes the first rule equal to `rule`.
+    pub fn remove(&mut self, rule: &AclRule) -> Result<()> {
+        match self.rules.iter().position(|r| r == rule) {
+            Some(idx) => {
+                self.rules.remove(idx);
+                Ok(())
+            }
+            None => Err(Error::NotFound),
+        }
+    }
+
+    /// Evaluates a flow, returning the action of the highest-priority
+    /// matching rule or the default.
+    pub fn evaluate(&self, vni: Vni, tuple: &FiveTuple) -> AclAction {
+        self.rules
+            .iter()
+            .find(|r| r.matches(vni, tuple))
+            .map(|r| r.action)
+            .unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(dst_port: u16) -> FiveTuple {
+        FiveTuple::new(
+            "192.168.1.10".parse().unwrap(),
+            "192.168.2.20".parse().unwrap(),
+            IpProtocol::Tcp,
+            40000,
+            dst_port,
+        )
+    }
+
+    #[test]
+    fn default_applies_when_no_rule_matches() {
+        let acl = AclTable::new(AclAction::Permit, None);
+        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Permit);
+        let acl = AclTable::new(AclAction::Deny, None);
+        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Deny);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut acl = AclTable::new(AclAction::Permit, None);
+        // Low priority: deny everything from the /24.
+        acl.insert(AclRule {
+            priority: 1,
+            vni: None,
+            src: Some("192.168.1.0/24".parse().unwrap()),
+            dst: None,
+            protocol: None,
+            src_ports: None,
+            dst_ports: None,
+            action: AclAction::Deny,
+        })
+        .unwrap();
+        // High priority: permit TCP/443 specifically.
+        acl.insert(AclRule {
+            priority: 10,
+            vni: None,
+            src: None,
+            dst: None,
+            protocol: Some(IpProtocol::Tcp),
+            src_ports: None,
+            dst_ports: Some((443, 443)),
+            action: AclAction::Permit,
+        })
+        .unwrap();
+        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(443)), AclAction::Permit);
+        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Deny);
+    }
+
+    #[test]
+    fn vni_scoping() {
+        let mut acl = AclTable::new(AclAction::Permit, None);
+        acl.insert(AclRule {
+            priority: 5,
+            vni: Some(Vni::from_const(7)),
+            src: None,
+            dst: None,
+            protocol: None,
+            src_ports: None,
+            dst_ports: None,
+            action: AclAction::Deny,
+        })
+        .unwrap();
+        assert_eq!(acl.evaluate(Vni::from_const(7), &tuple(80)), AclAction::Deny);
+        assert_eq!(acl.evaluate(Vni::from_const(8), &tuple(80)), AclAction::Permit);
+    }
+
+    #[test]
+    fn port_ranges_inclusive() {
+        let rule = AclRule {
+            priority: 1,
+            vni: None,
+            src: None,
+            dst: None,
+            protocol: None,
+            src_ports: None,
+            dst_ports: Some((100, 200)),
+            action: AclAction::Deny,
+        };
+        assert!(rule.matches(Vni::from_const(1), &tuple(100)));
+        assert!(rule.matches(Vni::from_const(1), &tuple(200)));
+        assert!(!rule.matches(Vni::from_const(1), &tuple(99)));
+        assert!(!rule.matches(Vni::from_const(1), &tuple(201)));
+    }
+
+    #[test]
+    fn capacity_and_remove() {
+        let mut acl = AclTable::new(AclAction::Permit, Some(1));
+        let rule = AclRule::permit_all(1);
+        acl.insert(rule.clone()).unwrap();
+        assert_eq!(acl.insert(AclRule::permit_all(2)), Err(Error::CapacityExceeded));
+        acl.remove(&rule).unwrap();
+        assert_eq!(acl.remove(&rule), Err(Error::NotFound));
+        assert!(acl.is_empty());
+    }
+}

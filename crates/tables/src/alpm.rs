@@ -1,0 +1,562 @@
+//! Algorithmic longest-prefix match (ALPM).
+//!
+//! "We implement algorithmic LPM (ALPM) to flexibly reduce the TCAM usage
+//! at the cost of slightly reduced lookup efficiency and more SRAM usage.
+//! The entire routing table is partitioned into two levels with the first
+//! level stored in TCAM, indexing the second level stored in SRAM" (§4.4,
+//! Fig 16).
+//!
+//! This implementation partitions the prefix trie into subtrees of at most
+//! `bucket_capacity` entries. Each partition is represented by:
+//!
+//! - a **covering prefix** installed in the first-level TCAM (one TCAM
+//!   entry per partition instead of one per route — the source of the
+//!   389% → 11% TCAM reduction in Fig 17), and
+//! - an SRAM **bucket** holding the partition's entries, plus a
+//!   **default** — the longest prefix *outside* the partition that covers
+//!   its range, replicated into the bucket so lookups never need a second
+//!   TCAM probe.
+//!
+//! The table maintains an authoritative software trie alongside the
+//! compressed structure; lookups go through the compressed path and
+//! property tests assert equivalence with the trie on random workloads.
+
+use crate::error::Result;
+use crate::lpm::{Key128, Lpm128};
+
+/// Configuration of the ALPM partitioning.
+#[derive(Debug, Clone, Copy)]
+pub struct AlpmConfig {
+    /// Maximum number of entries per SRAM partition (the paper's "depth of
+    /// the first level" trade-off knob).
+    pub bucket_capacity: usize,
+}
+
+impl Default for AlpmConfig {
+    fn default() -> Self {
+        // 24 entries/partition reproduces the paper's ~11% TCAM occupancy
+        // at the calibrated route count with the measured ~0.6 bucket
+        // fill (see DESIGN.md §3).
+        AlpmConfig {
+            bucket_capacity: 24,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Partition<T> {
+    root: Key128,
+    entries: Vec<(Key128, T)>,
+    /// Longest prefix outside the partition covering its whole range,
+    /// replicated here so a bucket miss resolves without re-probing.
+    default: Option<(Key128, T)>,
+}
+
+impl<T: Clone> Partition<T> {
+    fn lookup(&self, addr: u128) -> Option<(Key128, &T)> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.contains(addr))
+            .max_by_key(|(k, _)| k.len)
+            .map(|(k, v)| (*k, v))
+            .or_else(|| self.default.as_ref().map(|(k, v)| (*k, v)))
+    }
+}
+
+/// Statistics describing the compressed layout, consumed by the
+/// `sailfish-asic` cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlpmStats {
+    /// Number of first-level TCAM entries (= partitions).
+    pub tcam_entries: usize,
+    /// Number of SRAM bucket slots holding real entries.
+    pub bucket_entries: usize,
+    /// Number of replicated default entries (one per partition at most).
+    pub default_entries: usize,
+    /// Total bucket slots allocated (partitions × capacity).
+    pub allocated_slots: usize,
+    /// Average bucket fill in `[0, 1]`.
+    pub avg_fill: f64,
+}
+
+/// A two-level ALPM table over the 128-bit MSB-aligned key space.
+#[derive(Debug)]
+pub struct AlpmTable<T: Clone> {
+    config: AlpmConfig,
+    authoritative: Lpm128<T>,
+    /// First level: covering prefix → partition slot ("TCAM").
+    index: Lpm128<usize>,
+    partitions: Vec<Option<Partition<T>>>,
+    free: Vec<usize>,
+}
+
+impl<T: Clone> Default for AlpmTable<T> {
+    fn default() -> Self {
+        Self::new(AlpmConfig::default())
+    }
+}
+
+impl<T: Clone> AlpmTable<T> {
+    /// Creates an empty table.
+    pub fn new(config: AlpmConfig) -> Self {
+        assert!(config.bucket_capacity >= 1, "bucket capacity must be >= 1");
+        AlpmTable {
+            config,
+            authoritative: Lpm128::new(),
+            index: Lpm128::new(),
+            partitions: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of routes stored.
+    pub fn len(&self) -> usize {
+        self.authoritative.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.authoritative.is_empty()
+    }
+
+    /// Inserts a route; replacing an existing identical prefix returns the
+    /// old value.
+    pub fn insert(&mut self, key: Key128, value: T) -> Result<Option<T>> {
+        let old = self.authoritative.insert(key, value.clone());
+        if old.is_some() {
+            // Pure value replacement: update in place wherever it lives.
+            self.replace_value(key, value);
+            return Ok(old);
+        }
+
+        match self.owner_partition(key) {
+            Some(slot) => {
+                let part = self.partitions[slot].as_mut().expect("live slot");
+                part.entries.push((key, value));
+                if part.entries.len() > self.config.bucket_capacity {
+                    self.split(slot);
+                }
+            }
+            None => {
+                // No covering partition: the entry becomes its own
+                // partition root.
+                let default = self.compute_default(key);
+                self.add_partition(Partition {
+                    root: key,
+                    entries: vec![(key, value)],
+                    default,
+                });
+            }
+        }
+        self.refresh_defaults_covered_by(key);
+        self.maybe_rebuild();
+        Ok(None)
+    }
+
+    /// Re-carves the whole table from scratch, minimizing first-level TCAM
+    /// entries. Incremental inserts can fragment the partitioning (each
+    /// uncovered entry starts as its own partition); the table triggers
+    /// this automatically once fragmentation exceeds 2× the ideal
+    /// partition count, giving amortized O(1) rebuild cost per update —
+    /// the same strategy hardware ALPM drivers use.
+    pub fn rebuild(&mut self) {
+        let entries: Vec<(Key128, T)> = self
+            .authoritative
+            .iter()
+            .map(|(k, v)| (k, v.clone()))
+            .collect();
+        self.index = Lpm128::new();
+        self.partitions.clear();
+        self.free.clear();
+        let mut pieces = Vec::new();
+        Self::carve(
+            self.config.bucket_capacity,
+            Key128 { value: 0, len: 0 },
+            entries,
+            &mut pieces,
+        );
+        for (root, entries) in pieces {
+            let default = self.compute_default(root);
+            self.add_partition(Partition {
+                root,
+                entries,
+                default,
+            });
+        }
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let live = self.partitions.iter().flatten().count();
+        let ideal = self.len().div_ceil(self.config.bucket_capacity);
+        if live > ideal + ideal / 2 + 4 {
+            self.rebuild();
+        }
+    }
+
+    /// Removes a route, returning its value.
+    pub fn remove(&mut self, key: Key128) -> Option<T> {
+        let removed = self.authoritative.remove(key)?;
+        let slot = self
+            .owner_partition(key)
+            .expect("every stored route has an owner partition");
+        let part = self.partitions[slot].as_mut().expect("live slot");
+        let idx = part
+            .entries
+            .iter()
+            .position(|(k, _)| *k == key)
+            .expect("owner partition holds the route");
+        part.entries.swap_remove(idx);
+        if part.entries.is_empty() {
+            let root = part.root;
+            self.partitions[slot] = None;
+            self.free.push(slot);
+            self.index.remove(root);
+        }
+        self.refresh_defaults_covered_by(key);
+        Some(removed)
+    }
+
+    /// Longest-prefix lookup through the compressed (TCAM + bucket) path.
+    pub fn lookup(&self, addr: u128) -> Option<(Key128, &T)> {
+        let (_, &slot) = self.index.lookup(addr)?;
+        self.partitions[slot]
+            .as_ref()
+            .expect("index points at live partitions")
+            .lookup(addr)
+    }
+
+    /// Longest-prefix lookup through the authoritative trie (reference
+    /// semantics for tests and audits).
+    pub fn lookup_reference(&self, addr: u128) -> Option<(Key128, &T)> {
+        self.authoritative.lookup(addr)
+    }
+
+    /// Layout statistics for the memory model.
+    pub fn stats(&self) -> AlpmStats {
+        let live: Vec<&Partition<T>> = self.partitions.iter().flatten().collect();
+        let tcam_entries = live.len();
+        let bucket_entries: usize = live.iter().map(|p| p.entries.len()).sum();
+        let default_entries = live.iter().filter(|p| p.default.is_some()).count();
+        let allocated_slots = tcam_entries * self.config.bucket_capacity;
+        AlpmStats {
+            tcam_entries,
+            bucket_entries,
+            default_entries,
+            allocated_slots,
+            avg_fill: if allocated_slots == 0 {
+                0.0
+            } else {
+                bucket_entries as f64 / allocated_slots as f64
+            },
+        }
+    }
+
+    /// Checks internal invariants; returns a description of the first
+    /// violation. Used by property tests and the controller's consistency
+    /// checker.
+    pub fn audit(&self) -> core::result::Result<(), String> {
+        let mut seen = 0usize;
+        for part in self.partitions.iter().flatten() {
+            if part.entries.len() > self.config.bucket_capacity {
+                return Err(format!("partition {} overflows", part.root.value));
+            }
+            for (k, _) in &part.entries {
+                if !part.root.covers(k) {
+                    return Err(format!("entry {k:?} outside its partition root"));
+                }
+                if self.authoritative.get_exact(*k).is_none() {
+                    return Err(format!("stale entry {k:?} in bucket"));
+                }
+                seen += 1;
+            }
+            if let Some((dk, _)) = &part.default {
+                if dk.len >= part.root.len || !dk.contains(part.root.value) {
+                    return Err(format!("bad default {dk:?} for root {:?}", part.root));
+                }
+            }
+        }
+        if seen != self.authoritative.len() {
+            return Err(format!(
+                "bucket entries {seen} != authoritative {}",
+                self.authoritative.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The deepest partition root covering `key`, i.e. its owner.
+    fn owner_partition(&self, key: Key128) -> Option<usize> {
+        self.index
+            .lookup_max_len(key.value, key.len)
+            .map(|(_, &slot)| slot)
+    }
+
+    /// The longest authoritative prefix strictly shorter than `root`
+    /// covering its range.
+    fn compute_default(&self, root: Key128) -> Option<(Key128, T)> {
+        if root.len == 0 {
+            return None;
+        }
+        self.authoritative
+            .lookup_max_len(root.value, root.len - 1)
+            .map(|(k, v)| (k, v.clone()))
+    }
+
+    /// Re-derives the default of every partition whose root is covered by
+    /// `changed` (an inserted or removed prefix shorter than the root).
+    fn refresh_defaults_covered_by(&mut self, changed: Key128) {
+        let affected: Vec<usize> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, p)| {
+                let p = p.as_ref()?;
+                (changed.len < p.root.len && changed.contains(p.root.value)).then_some(slot)
+            })
+            .collect();
+        for slot in affected {
+            let root = self.partitions[slot].as_ref().expect("live").root;
+            let default = self.compute_default(root);
+            self.partitions[slot].as_mut().expect("live").default = default;
+        }
+    }
+
+    fn replace_value(&mut self, key: Key128, value: T) {
+        let slot = self
+            .owner_partition(key)
+            .expect("existing route has an owner");
+        let part = self.partitions[slot].as_mut().expect("live slot");
+        if let Some(pair) = part.entries.iter_mut().find(|(k, _)| *k == key) {
+            pair.1 = value;
+        }
+        // The replaced prefix may also serve as a default elsewhere.
+        self.refresh_defaults_covered_by(key);
+    }
+
+    fn add_partition(&mut self, part: Partition<T>) -> usize {
+        let root = part.root;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.partitions[slot] = Some(part);
+                slot
+            }
+            None => {
+                self.partitions.push(Some(part));
+                self.partitions.len() - 1
+            }
+        };
+        let prev = self.index.insert(root, slot);
+        debug_assert!(prev.is_none(), "two partitions with one root");
+        slot
+    }
+
+    /// Splits an overflowing partition by re-carving its subtree.
+    fn split(&mut self, slot: usize) {
+        let part = self.partitions[slot].take().expect("live slot");
+        self.free.push(slot);
+        self.index.remove(part.root);
+        let mut pieces = Vec::new();
+        Self::carve(
+            self.config.bucket_capacity,
+            part.root,
+            part.entries,
+            &mut pieces,
+        );
+        for (root, entries) in pieces {
+            let default = self.compute_default(root);
+            self.add_partition(Partition {
+                root,
+                entries,
+                default,
+            });
+        }
+    }
+
+    /// Recursively carves `entries` (all covered by `root`) into subtrees
+    /// of at most `cap` entries.
+    fn carve(
+        cap: usize,
+        root: Key128,
+        entries: Vec<(Key128, T)>,
+        out: &mut Vec<(Key128, Vec<(Key128, T)>)>,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        if entries.len() <= cap || root.len == 128 {
+            out.push((root, entries));
+            return;
+        }
+        let mut at_root = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (k, v) in entries {
+            if k.len == root.len {
+                // The entry equal to the root cannot descend; it becomes a
+                // tiny partition of its own and serves the children as
+                // their (re-derived) default.
+                at_root.push((k, v));
+            } else if Key128::bit(k.value, root.len) == 0 {
+                left.push((k, v));
+            } else {
+                right.push((k, v));
+            }
+        }
+        if !at_root.is_empty() {
+            out.push((root, at_root));
+        }
+        let left_root = Key128 {
+            value: root.value,
+            len: root.len + 1,
+        };
+        let right_root = Key128 {
+            value: root.value | 1 << (127 - root.len as u32),
+            len: root.len + 1,
+        };
+        Self::carve(cap, left_root, left, out);
+        Self::carve(cap, right_root, right, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(value: u128, len: u8) -> Key128 {
+        Key128::new(value, len).unwrap()
+    }
+
+    #[test]
+    fn single_entry() {
+        let mut t = AlpmTable::default();
+        t.insert(key(0xab << 120, 8), "a").unwrap();
+        assert_eq!(t.lookup(0xab11u128 << 112).unwrap().1, &"a");
+        assert!(t.lookup(0xcc << 120).is_none());
+        t.audit().unwrap();
+        assert_eq!(t.stats().tcam_entries, 1);
+    }
+
+    #[test]
+    fn split_reduces_tcam_below_entries() {
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 4 });
+        // 64 host-like routes under one /8.
+        for i in 0..64u128 {
+            t.insert(key(0xab << 120 | i << 64, 64), i).unwrap();
+        }
+        t.audit().unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.bucket_entries, 64);
+        assert!(stats.tcam_entries >= 16, "{stats:?}");
+        assert!(stats.tcam_entries < 64, "{stats:?}");
+        for i in 0..64u128 {
+            let addr = 0xab << 120 | i << 64 | 42;
+            assert_eq!(*t.lookup(addr).unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn default_replication_covers_bucket_misses() {
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 2 });
+        // A short covering route plus enough long routes to force splits.
+        t.insert(key(0xab << 120, 8), 999u128).unwrap();
+        for i in 0..8u128 {
+            t.insert(key(0xab << 120 | i << 100, 28), i).unwrap();
+        }
+        t.audit().unwrap();
+        // An address inside the /8 but in none of the /28s must fall back
+        // to the /8 via a replicated default.
+        let addr = 0xab << 120 | 0xff << 100;
+        assert_eq!(*t.lookup(addr).unwrap().1, 999);
+        assert_eq!(t.lookup(addr).unwrap().0.len, 8);
+    }
+
+    #[test]
+    fn remove_restores_consistency() {
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 2 });
+        t.insert(key(0xab << 120, 8), 0u32).unwrap();
+        for i in 0..8u128 {
+            t.insert(key(0xab << 120 | i << 100, 28), 1).unwrap();
+        }
+        // Remove the covering /8; fallback inside empty ranges disappears.
+        assert_eq!(t.remove(key(0xab << 120, 8)), Some(0));
+        t.audit().unwrap();
+        let addr = 0xab << 120 | 0xff << 100;
+        assert!(t.lookup(addr).is_none());
+        // Removing a missing key is a no-op.
+        assert_eq!(t.remove(key(0xab << 120, 8)), None);
+    }
+
+    #[test]
+    fn value_replacement_updates_defaults() {
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 1 });
+        t.insert(key(0xab << 120, 8), 1u32).unwrap();
+        t.insert(key(0xab << 120 | 1 << 100, 28), 2).unwrap();
+        t.insert(key(0xab << 120 | 2 << 100, 28), 3).unwrap();
+        // Replace the /8's value; bucket-miss fallbacks must see it.
+        assert_eq!(t.insert(key(0xab << 120, 8), 10).unwrap(), Some(1));
+        t.audit().unwrap();
+        let addr = 0xab << 120 | 0xff << 100;
+        assert_eq!(*t.lookup(addr).unwrap().1, 10);
+    }
+
+    #[test]
+    fn default_route_len_zero() {
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 1 });
+        t.insert(key(0, 0), "default").unwrap();
+        t.insert(key(0xab << 120, 8), "ab").unwrap();
+        t.insert(key(0xac << 120, 8), "ac").unwrap();
+        t.audit().unwrap();
+        assert_eq!(*t.lookup(0xff << 120).unwrap().1, "default");
+        assert_eq!(*t.lookup(0xab << 120 | 1).unwrap().1, "ab");
+    }
+
+    #[test]
+    fn randomized_equivalence_with_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xa1b2);
+        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 3 });
+        let mut keys: Vec<Key128> = Vec::new();
+        for step in 0..800u32 {
+            let remove = !keys.is_empty() && rng.gen_bool(0.3);
+            if remove {
+                let idx = rng.gen_range(0..keys.len());
+                let k = keys.swap_remove(idx);
+                t.remove(k);
+            } else {
+                let len = rng.gen_range(0..=24u8);
+                let value = rng.gen_range(0..1u128 << 20) << 104;
+                let k = Key128::new(value, len).unwrap();
+                if t.insert(k, step).unwrap().is_none() {
+                    keys.push(k);
+                } else {
+                    // replacement: key already tracked
+                }
+            }
+            if step % 50 == 0 {
+                t.audit().unwrap();
+            }
+        }
+        t.audit().unwrap();
+        let mut rng = StdRng::seed_from_u64(0xc3d4);
+        for _ in 0..3000 {
+            let addr = rng.gen_range(0..1u128 << 24) << 104 | rng.gen_range(0..1u128 << 64);
+            let via_alpm = t.lookup(addr).map(|(k, v)| (k, *v));
+            let via_trie = t.lookup_reference(addr).map(|(k, v)| (k, *v));
+            // Compare the matched prefix lengths and values; the matched
+            // Key128 from the reference normalizes to the address, so
+            // compare lens.
+            assert_eq!(
+                via_alpm.map(|(k, v)| (k.len, v)),
+                via_trie.map(|(k, v)| (k.len, v)),
+                "addr {addr:#034x}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket capacity")]
+    fn zero_capacity_rejected() {
+        let _ = AlpmTable::<u32>::new(AlpmConfig { bucket_capacity: 0 });
+    }
+}

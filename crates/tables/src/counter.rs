@@ -1,0 +1,98 @@
+//! Indexed packet/byte counters, as attached to match-action tables on the
+//! Tofino (§3.3 lists counters among the QoS tables installed per SLA).
+
+/// One counter cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Packets counted.
+    pub packets: u64,
+    /// Bytes counted.
+    pub bytes: u64,
+}
+
+/// A fixed-size array of counters, indexed like a P4 indirect counter.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    cells: Vec<Counter>,
+}
+
+impl CounterArray {
+    /// Creates `size` zeroed counters.
+    pub fn new(size: usize) -> Self {
+        CounterArray {
+            cells: vec![Counter::default(); size],
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Counts one packet of `bytes` at `index`.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds, mirroring the P4 compiler's
+    /// static bounds guarantee.
+    pub fn count(&mut self, index: usize, bytes: usize) {
+        let cell = &mut self.cells[index];
+        cell.packets += 1;
+        cell.bytes += bytes as u64;
+    }
+
+    /// Reads a cell.
+    pub fn get(&self, index: usize) -> Counter {
+        self.cells[index]
+    }
+
+    /// Clears every cell.
+    pub fn reset(&mut self) {
+        self.cells.fill(Counter::default());
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> Counter {
+        let mut total = Counter::default();
+        for c in &self.cells {
+            total.packets += c.packets;
+            total.bytes += c.bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_total() {
+        let mut c = CounterArray::new(4);
+        c.count(0, 100);
+        c.count(0, 50);
+        c.count(3, 25);
+        assert_eq!(c.get(0), Counter { packets: 2, bytes: 150 });
+        assert_eq!(c.get(1), Counter::default());
+        assert_eq!(c.total(), Counter { packets: 3, bytes: 175 });
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = CounterArray::new(2);
+        c.count(1, 10);
+        c.reset();
+        assert_eq!(c.total(), Counter::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut c = CounterArray::new(1);
+        c.count(1, 1);
+    }
+}

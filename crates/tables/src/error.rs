@@ -1,0 +1,38 @@
+//! Error type shared by the table implementations.
+
+use core::fmt;
+
+/// Errors produced by table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The table is full (capacity or port-pool exhaustion).
+    CapacityExceeded,
+    /// The entry already exists (insertions are not silent upserts where
+    /// the control plane must know).
+    Duplicate,
+    /// The entry was not found.
+    NotFound,
+    /// The key is invalid for this table (e.g. mixed-family 5-tuple, or a
+    /// prefix length beyond the address width).
+    InvalidKey,
+    /// Resolution exceeded the maximum peer-VPC indirection depth (a
+    /// routing loop between VPCs).
+    RoutingLoop,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::CapacityExceeded => write!(f, "table capacity exceeded"),
+            Error::Duplicate => write!(f, "entry already exists"),
+            Error::NotFound => write!(f, "entry not found"),
+            Error::InvalidKey => write!(f, "invalid key for this table"),
+            Error::RoutingLoop => write!(f, "peer-VPC routing loop detected"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across `sailfish-tables`.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,148 @@
+//! Exact-match table with capacity semantics.
+//!
+//! A thin wrapper over a hash map that adds the control-plane behaviours
+//! the gateway needs: bounded capacity (hardware tables overflow, §3.3),
+//! explicit duplicate handling, and occupancy statistics for the memory
+//! model.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::error::{Error, Result};
+
+/// A bounded exact-match table.
+#[derive(Debug, Clone)]
+pub struct ExactTable<K, V> {
+    map: HashMap<K, V>,
+    capacity: Option<usize>,
+}
+
+impl<K: Eq + Hash, V> Default for ExactTable<K, V> {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+impl<K: Eq + Hash, V> ExactTable<K, V> {
+    /// Creates a table, optionally bounded to `capacity` entries.
+    pub fn new(capacity: Option<usize>) -> Self {
+        ExactTable {
+            map: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Occupancy in `[0, 1]`; `None` when unbounded.
+    pub fn utilization(&self) -> Option<f64> {
+        self.capacity.map(|c| self.map.len() as f64 / c as f64)
+    }
+
+    /// Inserts a new entry; duplicates are an error so the control plane
+    /// notices conflicting installs.
+    pub fn insert(&mut self, key: K, value: V) -> Result<()> {
+        if self.map.contains_key(&key) {
+            return Err(Error::Duplicate);
+        }
+        if let Some(cap) = self.capacity {
+            if self.map.len() >= cap {
+                return Err(Error::CapacityExceeded);
+            }
+        }
+        self.map.insert(key, value);
+        Ok(())
+    }
+
+    /// Inserts or replaces, returning the previous value. Still enforces
+    /// capacity for genuinely new keys.
+    pub fn upsert(&mut self, key: K, value: V) -> Result<Option<V>> {
+        if !self.map.contains_key(&key) {
+            if let Some(cap) = self.capacity {
+                if self.map.len() >= cap {
+                    return Err(Error::CapacityExceeded);
+                }
+            }
+        }
+        Ok(self.map.insert(key, value))
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterates over entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    /// Removes all entries matching a predicate, returning how many were
+    /// removed.
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, v| keep(k, v));
+        before - self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = ExactTable::new(None);
+        t.insert("a", 1).unwrap();
+        assert_eq!(t.get(&"a"), Some(&1));
+        assert_eq!(t.insert("a", 2), Err(Error::Duplicate));
+        assert_eq!(t.upsert("a", 2).unwrap(), Some(1));
+        assert_eq!(t.remove(&"a"), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced_for_new_keys_only() {
+        let mut t = ExactTable::new(Some(1));
+        t.insert(1, "x").unwrap();
+        assert_eq!(t.insert(2, "y"), Err(Error::CapacityExceeded));
+        // Upserting an existing key is fine at capacity.
+        assert_eq!(t.upsert(1, "z").unwrap(), Some("x"));
+        assert_eq!(t.upsert(2, "y"), Err(Error::CapacityExceeded));
+        assert_eq!(t.utilization(), Some(1.0));
+    }
+
+    #[test]
+    fn retain_counts_removals() {
+        let mut t = ExactTable::new(None);
+        for i in 0..10 {
+            t.insert(i, i * 2).unwrap();
+        }
+        let removed = t.retain(|k, _| k % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(t.len(), 5);
+    }
+}

@@ -1,0 +1,224 @@
+//! Ternary content-addressable memory model.
+//!
+//! A [`Tcam`] matches a 128-bit search key against `(value, mask)` entries
+//! in priority order, exactly like the hardware TCAM blocks on the Tofino.
+//! The gateway uses TCAM semantics for the VXLAN routing table before ALPM
+//! is applied, and the cost model in `sailfish-asic` charges
+//! `ceil(width/44)` slice-rows per entry.
+//!
+//! The model keeps entries sorted by priority (higher wins) and detects
+//! *shadowed* entries (entries that can never match because a higher
+//! priority entry covers them) — a classic TCAM management hazard.
+
+use crate::error::{Error, Result};
+
+/// One TCAM entry: match `key & mask == value`, win by highest priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// Bits to compare (must be pre-masked: `value & mask == value`).
+    pub value: u128,
+    /// Care bits: 1 = compare, 0 = wildcard.
+    pub mask: u128,
+    /// Priority; larger values win. For LPM emulation use the prefix
+    /// length.
+    pub priority: u32,
+}
+
+impl TcamEntry {
+    /// Builds an entry, rejecting values with bits outside the mask.
+    pub fn new(value: u128, mask: u128, priority: u32) -> Result<Self> {
+        if value & !mask != 0 {
+            return Err(Error::InvalidKey);
+        }
+        Ok(TcamEntry {
+            value,
+            mask,
+            priority,
+        })
+    }
+
+    /// Builds an entry from an MSB-aligned prefix (LPM emulation: priority
+    /// = prefix length).
+    pub fn from_prefix(value: u128, len: u8) -> Result<Self> {
+        if len > 128 {
+            return Err(Error::InvalidKey);
+        }
+        let mask = crate::lpm::Key128::mask(len);
+        Self::new(value & mask, mask, u32::from(len))
+    }
+
+    /// Whether `key` matches this entry.
+    pub fn matches(&self, key: u128) -> bool {
+        key & self.mask == self.value
+    }
+
+    /// Whether this entry covers every key `other` could match (same or
+    /// wider wildcard span).
+    pub fn covers(&self, other: &TcamEntry) -> bool {
+        // Every care bit of `self` must also be cared for by `other` with
+        // the same value.
+        self.mask & other.mask == self.mask && other.value & self.mask == self.value
+    }
+}
+
+/// A priority-ordered TCAM holding entries with attached data.
+#[derive(Debug, Clone)]
+pub struct Tcam<T> {
+    /// Entries sorted by descending priority; ties broken by insertion
+    /// order (older first), matching typical driver behaviour.
+    entries: Vec<(TcamEntry, T)>,
+    capacity: Option<usize>,
+}
+
+impl<T> Default for Tcam<T> {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+impl<T> Tcam<T> {
+    /// Creates a TCAM, optionally bounded to `capacity` entries.
+    pub fn new(capacity: Option<usize>) -> Self {
+        Tcam {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TCAM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an entry with attached data.
+    pub fn insert(&mut self, entry: TcamEntry, data: T) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap {
+                return Err(Error::CapacityExceeded);
+            }
+        }
+        // Find the insertion point: after all strictly-higher priorities
+        // and after equal priorities (stable order).
+        let idx = self
+            .entries
+            .partition_point(|(e, _)| e.priority >= entry.priority);
+        self.entries.insert(idx, (entry, data));
+        Ok(())
+    }
+
+    /// Removes the first entry with identical value/mask/priority,
+    /// returning its data.
+    pub fn remove(&mut self, entry: &TcamEntry) -> Option<T> {
+        let idx = self.entries.iter().position(|(e, _)| e == entry)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Looks up `key`, returning the winning entry and its data.
+    pub fn lookup(&self, key: u128) -> Option<(&TcamEntry, &T)> {
+        self.entries
+            .iter()
+            .find(|(e, _)| e.matches(key))
+            .map(|(e, d)| (e, d))
+    }
+
+    /// Returns the indices of entries that can never match because a
+    /// higher-placed entry covers them entirely.
+    pub fn shadowed(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, (entry, _)) in self.entries.iter().enumerate() {
+            if self.entries[..i].iter().any(|(above, _)| above.covers(entry)) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Iterates entries in match order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TcamEntry, &T)> {
+        self.entries.iter().map(|(e, d)| (e, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_rejects_value_outside_mask() {
+        assert!(TcamEntry::new(0b10, 0b01, 0).is_err());
+        assert!(TcamEntry::new(0b01, 0b01, 0).is_ok());
+    }
+
+    #[test]
+    fn lpm_emulation() {
+        let mut t = Tcam::new(None);
+        let short = TcamEntry::from_prefix(0xab << 120, 8).unwrap();
+        let long = TcamEntry::from_prefix(0xabcd << 112, 16).unwrap();
+        t.insert(short, "short").unwrap();
+        t.insert(long, "long").unwrap();
+        assert_eq!(t.lookup(0xabcd_0001u128 << 96).unwrap().1, &"long");
+        assert_eq!(t.lookup(0xabff_0001u128 << 96).unwrap().1, &"short");
+        assert!(t.lookup(0xcc << 120).is_none());
+    }
+
+    #[test]
+    fn priority_and_stability() {
+        let mut t = Tcam::new(None);
+        let wild = TcamEntry::new(0, 0, 1).unwrap();
+        let wild_older = TcamEntry::new(0, 0, 1).unwrap();
+        t.insert(wild_older, "older").unwrap();
+        t.insert(wild, "newer").unwrap();
+        // Same priority: the older entry wins.
+        assert_eq!(t.lookup(123).unwrap().1, &"older");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = Tcam::new(Some(1));
+        t.insert(TcamEntry::new(0, 0, 0).unwrap(), ()).unwrap();
+        assert_eq!(
+            t.insert(TcamEntry::new(0, 0, 0).unwrap(), ()),
+            Err(Error::CapacityExceeded)
+        );
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut t = Tcam::new(None);
+        let a = TcamEntry::from_prefix(1 << 127, 1).unwrap();
+        t.insert(a, 1).unwrap();
+        assert_eq!(t.remove(&a), Some(1));
+        assert_eq!(t.remove(&a), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shadow_detection() {
+        let mut t = Tcam::new(None);
+        // A high-priority wildcard shadows everything below.
+        t.insert(TcamEntry::new(0, 0, 100).unwrap(), "any").unwrap();
+        t.insert(TcamEntry::from_prefix(0xab << 120, 8).unwrap(), "ab")
+            .unwrap();
+        assert_eq!(t.shadowed(), vec![1]);
+        // Without the wildcard nothing is shadowed.
+        let mut t = Tcam::new(None);
+        t.insert(TcamEntry::from_prefix(0xab << 120, 8).unwrap(), "ab")
+            .unwrap();
+        t.insert(TcamEntry::from_prefix(0xac << 120, 8).unwrap(), "ac")
+            .unwrap();
+        assert!(t.shadowed().is_empty());
+    }
+
+    #[test]
+    fn covers_is_not_symmetric() {
+        let wide = TcamEntry::from_prefix(0xab << 120, 8).unwrap();
+        let narrow = TcamEntry::from_prefix(0xabcd << 112, 16).unwrap();
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+    }
+}

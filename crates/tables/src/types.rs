@@ -1,0 +1,174 @@
+//! Shared key/value types of the gateway forwarding tables.
+
+use core::fmt;
+use core::net::IpAddr;
+
+use sailfish_net::{IpPrefix, Vni};
+
+/// Identifier of a cloud region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region-{}", self.0)
+    }
+}
+
+/// Identifier of an enterprise IDC attached over the CEN leased-line
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdcId(pub u32);
+
+impl fmt::Display for IdcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idc-{}", self.0)
+    }
+}
+
+/// Result of a VXLAN routing-table lookup: the scope of the destination
+/// (Fig 2's `Scope` + `Next Hop` columns, extended with the cross-gateway
+/// destinations of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteTarget {
+    /// The destination VM is in this VPC; continue with the VM-NC lookup.
+    Local,
+    /// The destination belongs to a peered VPC; re-run the routing lookup
+    /// with this VNI ("until the scope becomes Local", §2.1).
+    Peer(Vni),
+    /// The destination is in another region, reached over the cross-region
+    /// network.
+    CrossRegion(RegionId),
+    /// The destination is in an enterprise IDC, reached over the CEN.
+    Idc(IdcId),
+    /// The destination is on the public Internet; requires SNAT on
+    /// XGW-x86 ("a special VNI tag ... requires SNAT", §4.2).
+    InternetSnat,
+}
+
+impl RouteTarget {
+    /// Whether the lookup must recurse with a new VNI.
+    pub fn is_peer(&self) -> bool {
+        matches!(self, RouteTarget::Peer(_))
+    }
+}
+
+/// Key of the VXLAN routing table: `(VNI, inner destination prefix)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VxlanRouteKey {
+    /// The VPC in whose routing context the lookup happens.
+    pub vni: Vni,
+    /// The destination prefix (LPM component).
+    pub prefix: IpPrefix,
+}
+
+impl VxlanRouteKey {
+    /// Builds a key.
+    pub fn new(vni: Vni, prefix: IpPrefix) -> Self {
+        VxlanRouteKey { vni, prefix }
+    }
+
+    /// Wire width of the key in bits: 24-bit VNI plus the address.
+    pub fn key_bits(&self) -> u32 {
+        24 + if self.prefix.is_v4() { 32 } else { 128 }
+    }
+}
+
+impl fmt::Display for VxlanRouteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.vni, self.prefix)
+    }
+}
+
+/// Key of the VM-NC mapping table: `(VNI, VM IP)` exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmKey {
+    /// The VPC containing the VM.
+    pub vni: Vni,
+    /// The VM's inner IP address.
+    pub ip: IpAddr,
+}
+
+impl VmKey {
+    /// Builds a key.
+    pub fn new(vni: Vni, ip: IpAddr) -> Self {
+        VmKey { vni, ip }
+    }
+
+    /// Wire width of the key in bits.
+    pub fn key_bits(&self) -> u32 {
+        24 + if self.ip.is_ipv4() { 32 } else { 128 }
+    }
+
+    /// A canonical 152-bit encoding of the key: VNI in the top 24 bits of a
+    /// (u32, u128) pair. Used by the digest compressor.
+    pub fn canonical_bits(&self) -> (u32, u128) {
+        let addr = match self.ip {
+            IpAddr::V4(a) => u128::from(u32::from(a)),
+            IpAddr::V6(a) => u128::from(a),
+        };
+        (self.vni.value(), addr)
+    }
+}
+
+impl fmt::Display for VmKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.vni, self.ip)
+    }
+}
+
+/// The NC (Node Controller) — "the physical server hosting VMs" — a VM
+/// maps to, plus the egress port used to reach it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NcAddr {
+    /// Underlay IP address of the server.
+    pub ip: IpAddr,
+}
+
+impl NcAddr {
+    /// Builds an NC address.
+    pub fn new(ip: IpAddr) -> Self {
+        NcAddr { ip }
+    }
+}
+
+impl fmt::Display for NcAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nc@{}", self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bits() {
+        let k = VxlanRouteKey::new(Vni::from_const(1), "10.0.0.0/8".parse().unwrap());
+        assert_eq!(k.key_bits(), 56);
+        let k = VxlanRouteKey::new(Vni::from_const(1), "2001:db8::/32".parse().unwrap());
+        assert_eq!(k.key_bits(), 152);
+        let k = VmKey::new(Vni::from_const(1), "10.0.0.1".parse().unwrap());
+        assert_eq!(k.key_bits(), 56);
+        let k = VmKey::new(Vni::from_const(1), "2001:db8::1".parse().unwrap());
+        assert_eq!(k.key_bits(), 152);
+    }
+
+    #[test]
+    fn canonical_bits_distinguish_families() {
+        // ::a.b.c.d (IPv4-compatible IPv6) and a.b.c.d produce the same
+        // 128-bit address bits but VmKey equality still differs because the
+        // digest layer adds a family label; here we just check values.
+        let v4 = VmKey::new(Vni::from_const(5), "1.2.3.4".parse().unwrap());
+        let (vni, addr) = v4.canonical_bits();
+        assert_eq!(vni, 5);
+        assert_eq!(addr, 0x01020304);
+    }
+
+    #[test]
+    fn route_target_peer() {
+        assert!(RouteTarget::Peer(Vni::from_const(2)).is_peer());
+        assert!(!RouteTarget::Local.is_peer());
+        assert!(!RouteTarget::InternetSnat.is_peer());
+    }
+}

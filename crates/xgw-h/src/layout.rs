@@ -1,0 +1,261 @@
+//! The production pipeline layout (Table 4).
+//!
+//! Places the two major tables (after all §4.4 optimizations) along the
+//! fold path together with a representative complement of service tables
+//! — "the gateway also needs to carry other tables for diverse cloud
+//! services" (§3.3). The paper does not disclose individual service-table
+//! sizes; the complement below is chosen to be representative (tunnel /
+//! vport classification, per-SLA ACLs, meters, counters, load-balancing
+//! scratch tables, QoS marking) and its aggregate footprint reproduces
+//! Table 4's per-pipe occupancy. Every number is computed through the
+//! same cost model as the major tables.
+
+use sailfish_asic::config::TofinoConfig;
+use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
+use sailfish_asic::placement::{FoldStep, Layout, PlacedTable};
+use sailfish_tables::alpm::AlpmStats;
+
+/// Reserved entries in the digest-conflict table. Hardware must
+/// pre-allocate it; 24k entries is generous against the ~1-2 expected
+/// collisions at region scale (§4.4 "the table dedicated to conflict
+/// resolution will not consume much memory").
+pub const CONFLICT_TABLE_RESERVED: usize = 24_576;
+
+/// Pooled VXLAN routing key: 24-bit VNI + 128-bit pooled address.
+pub const POOLED_ROUTE_KEY_BITS: u32 = 24 + 128;
+
+/// Compressed VM-NC key: 24-bit VNI + 32-bit address/digest + 2-bit
+/// family label.
+pub const COMPRESSED_VMNC_KEY_BITS: u32 = 24 + 32 + 2;
+
+/// The two major tables, fully optimized, placed along the fold path.
+/// `alpm` carries the measured first-level/bucket sizes of the live
+/// routing table.
+pub fn major_tables(
+    route_entries: usize,
+    alpm: &AlpmStats,
+    vmnc_entries: usize,
+) -> Vec<PlacedTable> {
+    let mut tables = Vec::new();
+
+    // VXLAN routing — ALPM, in the loop pipes' egress, split by VNI
+    // parity between Pipe 1 and Pipe 3 (Fig 14).
+    let routing = TableSpec::new(
+        "vxlan-routing-alpm",
+        MatchKind::Lpm,
+        POOLED_ROUTE_KEY_BITS,
+        32,
+        route_entries,
+        Storage::Alpm {
+            tcam_index_entries: alpm.tcam_entries,
+            allocated_slots: alpm.allocated_slots.max(route_entries),
+        },
+    )
+    .expect("static spec");
+    let mut routing = PlacedTable::new(routing, FoldStep::EgressLoop);
+    routing.split_across_pair = true;
+    tables.push(routing);
+
+    // VM-NC mapping — digest-compressed exact match. Three tenths in
+    // Ingress Pipe 1/3 (whose SRAM the ALPM buckets already consume),
+    // the rest mapped across to Egress Pipe 0/2 (Fig 15's Table D),
+    // both halves split across the pair.
+    let vmnc_spec = |entries: usize| {
+        TableSpec::new(
+            "vm-nc-compressed",
+            MatchKind::Exact,
+            COMPRESSED_VMNC_KEY_BITS,
+            32,
+            entries,
+            Storage::SramHash,
+        )
+        .expect("static spec")
+    };
+    let mut vmnc_main = PlacedTable::new(vmnc_spec(vmnc_entries), FoldStep::IngressLoop);
+    vmnc_main.fraction = (3, 10);
+    vmnc_main.split_across_pair = true;
+    tables.push(vmnc_main);
+
+    // The digest-conflict table rides with the main VM-NC lookup (it is
+    // probed first, in the same gress).
+    let conflict = TableSpec::new(
+        "vm-nc-conflict",
+        MatchKind::Exact,
+        24 + 128,
+        32,
+        CONFLICT_TABLE_RESERVED,
+        Storage::SramHash,
+    )
+    .expect("static spec");
+    let mut conflict = PlacedTable::new(conflict, FoldStep::IngressLoop);
+    conflict.split_across_pair = true;
+    tables.push(conflict);
+
+    let mut vmnc_rest = PlacedTable::new(vmnc_spec(vmnc_entries), FoldStep::EgressOuter);
+    vmnc_rest.fraction = (7, 10);
+    vmnc_rest.split_across_pair = true;
+    tables.push(vmnc_rest);
+
+    tables
+}
+
+/// The representative service-table complement (§3.3's "diverse cloud
+/// services"): classification and per-SLA state in the outer pipes,
+/// cross-region/QoS state in the loop pipes.
+pub fn service_tables() -> Vec<PlacedTable> {
+    let mut tables = Vec::new();
+
+    let mut push = |spec: TableSpec, step: FoldStep| {
+        let mut t = PlacedTable::new(spec, step);
+        // Service tables are consulted positionally; they do not bridge
+        // metadata across gresses.
+        t.depends_on_previous = false;
+        tables.push(t);
+    };
+
+    // Ingress Pipe 0/2: tunnel/vport classification, per-tenant ACL,
+    // meters, counters, LB scratch sessions.
+    push(
+        TableSpec::new("vport-classify", MatchKind::Exact, 56, 32, 200_000, Storage::SramHash)
+            .expect("static spec"),
+        FoldStep::IngressOuter,
+    );
+    push(
+        TableSpec::new("tenant-acl", MatchKind::Ternary, 128, 8, 20_000, Storage::Tcam)
+            .expect("static spec"),
+        FoldStep::IngressOuter,
+    );
+    push(
+        TableSpec::new("sla-meters", MatchKind::Exact, 24, 104, 100_000, Storage::SramDirect)
+            .expect("static spec"),
+        FoldStep::IngressOuter,
+    );
+    push(
+        TableSpec::new("service-counters", MatchKind::Exact, 24, 104, 40_000, Storage::SramDirect)
+            .expect("static spec"),
+        FoldStep::IngressOuter,
+    );
+    push(
+        TableSpec::new("lb-scratch", MatchKind::Exact, 56, 64, 80_000, Storage::SramHash)
+            .expect("static spec"),
+        FoldStep::IngressOuter,
+    );
+
+    // Loop pipes: cross-region tunnel state and QoS marking.
+    push(
+        TableSpec::new("xregion-tunnels", MatchKind::Exact, 56, 64, 80_000, Storage::SramHash)
+            .expect("static spec"),
+        FoldStep::IngressLoop,
+    );
+    push(
+        TableSpec::new("qos-marking", MatchKind::Exact, 56, 16, 30_000, Storage::SramHash)
+            .expect("static spec"),
+        FoldStep::IngressLoop,
+    );
+
+    tables
+}
+
+/// The full production layout of one XGW-H (folded, majors + services).
+pub fn production_layout(
+    config: TofinoConfig,
+    route_entries: usize,
+    alpm: &AlpmStats,
+    vmnc_entries: usize,
+) -> Layout {
+    let mut layout = Layout::new(config, true);
+    // Services first in lookup order within their steps; the Layout only
+    // validates step monotonicity, so interleave by step.
+    let mut tables: Vec<PlacedTable> = Vec::new();
+    tables.extend(service_tables());
+    tables.extend(major_tables(route_entries, alpm, vmnc_entries));
+    tables.sort_by_key(|t| t.step);
+    for t in tables {
+        layout.push(t);
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_asic::placement::PipePair;
+
+    /// Region-scale ALPM stats matching DESIGN.md §3 calibration
+    /// (bucket capacity 24, measured fill ≈ 0.6).
+    fn calibrated_alpm() -> AlpmStats {
+        AlpmStats {
+            tcam_entries: 15_900,
+            bucket_entries: 229_300,
+            default_entries: 12_000,
+            allocated_slots: 15_900 * 24,
+            avg_fill: 229_300.0 / (15_900.0 * 24.0),
+        }
+    }
+
+    #[test]
+    fn production_layout_fits_and_matches_table4_shape() {
+        let layout = production_layout(
+            TofinoConfig::tofino_64t(),
+            229_300,
+            &calibrated_alpm(),
+            459_000,
+        );
+        layout.validate().unwrap();
+        let (outer, looped) = layout.occupancy();
+        // Table 4: Pipeline 0/2 ≈ 70% SRAM / 41% TCAM.
+        assert!((60.0..80.0).contains(&outer.sram_pct), "outer {outer}");
+        assert!((35.0..47.0).contains(&outer.tcam_pct), "outer {outer}");
+        // Table 4: Pipeline 1/3 ≈ 68% SRAM / 22% TCAM.
+        assert!((58.0..78.0).contains(&looped.sram_pct), "loop {looped}");
+        assert!((16.0..28.0).contains(&looped.tcam_pct), "loop {looped}");
+        // Headroom remains ("there is still room for adding future table
+        // entries").
+        assert!(outer.fits() && looped.fits());
+    }
+
+    #[test]
+    fn major_tables_alone_match_table3() {
+        let mut layout = Layout::new(TofinoConfig::tofino_64t(), true);
+        for t in major_tables(229_300, &calibrated_alpm(), 459_000) {
+            layout.push(t);
+        }
+        layout.validate().unwrap();
+        let total = layout.total_occupancy();
+        // Table 3: 36% SRAM / 11% TCAM for the two major tables.
+        assert!((30.0..42.0).contains(&total.sram_pct), "{total}");
+        assert!((8.0..14.0).contains(&total.tcam_pct), "{total}");
+    }
+
+    #[test]
+    fn lookup_order_is_monotone() {
+        let layout = production_layout(
+            TofinoConfig::tofino_64t(),
+            229_300,
+            &calibrated_alpm(),
+            459_000,
+        );
+        let mut prev = FoldStep::IngressOuter;
+        for t in &layout.tables {
+            assert!(t.step >= prev);
+            prev = t.step;
+        }
+    }
+
+    #[test]
+    fn loop_pair_carries_the_routing_tcam() {
+        let layout = production_layout(
+            TofinoConfig::tofino_64t(),
+            229_300,
+            &calibrated_alpm(),
+            459_000,
+        );
+        let outer = layout.pair_usage(PipePair::Outer);
+        let looped = layout.pair_usage(PipePair::Loop);
+        // The outer TCAM holds only the ACL; the loop TCAM holds the ALPM
+        // index.
+        assert!(outer.tcam_rows > 0);
+        assert!(looped.tcam_rows > 0);
+        assert!(looped.sram_words > 0 && outer.sram_words > 0);
+    }
+}

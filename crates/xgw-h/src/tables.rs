@@ -1,0 +1,370 @@
+//! The on-chip table set.
+//!
+//! "XGW-H stores a few key tables frequently hit by the majority of
+//! traffic" (§4.2): the VXLAN routing table (as pooled ALPM, §4.4) and the
+//! VM-NC mapping table (digest-compressed, §4.4), plus the per-SLA service
+//! tables (ACL, meters, counters).
+
+use std::collections::HashMap;
+
+use core::net::IpAddr;
+
+use sailfish_net::Vni;
+use sailfish_tables::acl::{AclAction, AclTable};
+use sailfish_tables::alpm::{AlpmConfig, AlpmStats};
+use sailfish_tables::counter::CounterArray;
+use sailfish_tables::error::{Error, Result};
+use sailfish_tables::pooled::PooledAlpm;
+use sailfish_tables::types::{NcAddr, RouteTarget, VxlanRouteKey};
+use sailfish_tables::vm_nc::VmNcTable;
+
+/// Maximum peer-VPC hops in hardware; mirrors the software bound.
+pub const MAX_PEER_HOPS: usize = 8;
+
+/// Result of the hardware routing stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwResolution {
+    /// VNI of the final (non-peer) match.
+    pub final_vni: Vni,
+    /// Terminal target.
+    pub target: RouteTarget,
+    /// Peer hops followed (each one is a pipeline recirculation in
+    /// hardware, so the program bounds it tightly).
+    pub hops: usize,
+}
+
+/// The hardware VXLAN routing table: per-VNI pooled ALPM.
+///
+/// Keeping one compressed table per VNI mirrors the physical layout —
+/// the VNI is an exact-match component of the key, so partitions never
+/// span VPCs, and "the VPC is the smallest split granularity" (§4.4).
+#[derive(Debug, Default)]
+pub struct HwRoutingTable {
+    per_vni: HashMap<Vni, PooledAlpm<RouteTarget>>,
+    alpm_config: AlpmConfig,
+}
+
+impl HwRoutingTable {
+    /// Creates an empty table with the given ALPM partition size.
+    pub fn new(alpm_config: AlpmConfig) -> Self {
+        HwRoutingTable {
+            per_vni: HashMap::new(),
+            alpm_config,
+        }
+    }
+
+    /// Total route entries.
+    pub fn len(&self) -> usize {
+        self.per_vni.values().map(|t| t.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs a route.
+    pub fn insert(&mut self, key: VxlanRouteKey, target: RouteTarget) -> Result<Option<RouteTarget>> {
+        self.per_vni
+            .entry(key.vni)
+            .or_insert_with(|| PooledAlpm::new(self.alpm_config))
+            .insert(key.prefix, target)
+    }
+
+    /// Removes a route.
+    pub fn remove(&mut self, key: &VxlanRouteKey) -> Option<RouteTarget> {
+        let table = self.per_vni.get_mut(&key.vni)?;
+        let old = table.remove(&key.prefix);
+        if table.is_empty() {
+            self.per_vni.remove(&key.vni);
+        }
+        old
+    }
+
+    /// Single-step LPM within one VNI, through the compressed path.
+    pub fn lookup(&self, vni: Vni, dst: IpAddr) -> Option<RouteTarget> {
+        self.per_vni.get(&vni)?.lookup(dst).map(|(_, t)| *t)
+    }
+
+    /// Full resolution following peer chains.
+    pub fn resolve(&self, vni: Vni, dst: IpAddr) -> Result<HwResolution> {
+        let mut current = vni;
+        for hops in 0..=MAX_PEER_HOPS {
+            match self.lookup(current, dst) {
+                None => return Err(Error::NotFound),
+                Some(RouteTarget::Peer(next)) => current = next,
+                Some(target) => {
+                    return Ok(HwResolution {
+                        final_vni: current,
+                        target,
+                        hops,
+                    })
+                }
+            }
+        }
+        Err(Error::RoutingLoop)
+    }
+
+    /// Physical-layout statistics with **VNI grouping**.
+    ///
+    /// The physical first-level TCAM matches the full ternary
+    /// `(VNI, pooled address)` key, so partitions are not forced to be
+    /// per-VPC: small VPCs share a partition whose TCAM entry covers an
+    /// aligned *VNI range* with a wildcarded address, and only VPCs whose
+    /// route sets exceed one bucket partition further by address (their
+    /// measured per-VNI ALPM layout). This method carves the 24-bit VNI
+    /// space exactly like ALPM carves address space and returns the
+    /// resulting layout statistics. Lookup behaviour is unchanged — a
+    /// grouped bucket stores `(VNI, prefix)` records and the in-bucket
+    /// match already compares the exact VNI.
+    pub fn grouped_alpm_stats(&self) -> AlpmStats {
+        let bucket = self.alpm_config.bucket_capacity;
+        // Sorted (vni, route count) pairs.
+        let mut counts: Vec<(u32, usize)> = self
+            .per_vni
+            .iter()
+            .map(|(v, t)| (v.value(), t.len()))
+            .collect();
+        counts.sort_unstable();
+
+        let mut stats = AlpmStats {
+            tcam_entries: 0,
+            bucket_entries: 0,
+            default_entries: 0,
+            allocated_slots: 0,
+            avg_fill: 0.0,
+        };
+        // Recursive carve over VNI ranges [lo, hi) aligned to powers of 2.
+        fn carve(
+            table: &HwRoutingTable,
+            counts: &[(u32, usize)],
+            lo: u32,
+            len: u32,
+            bucket: usize,
+            stats: &mut AlpmStats,
+        ) {
+            if counts.is_empty() {
+                return;
+            }
+            let total: usize = counts.iter().map(|(_, c)| c).sum();
+            if total == 0 {
+                return;
+            }
+            if total <= bucket {
+                // One shared partition for every VPC in this VNI range.
+                stats.tcam_entries += 1;
+                stats.bucket_entries += total;
+                stats.allocated_slots += bucket;
+                return;
+            }
+            if len == 1 {
+                // A single large VPC: use its measured per-address layout.
+                let vni = Vni::new(lo).expect("24-bit by construction");
+                if let Some(t) = table.per_vni.get(&vni) {
+                    let s = t.stats();
+                    stats.tcam_entries += s.tcam_entries;
+                    stats.bucket_entries += s.bucket_entries;
+                    stats.default_entries += s.default_entries;
+                    stats.allocated_slots += s.allocated_slots;
+                }
+                return;
+            }
+            let half = len / 2;
+            let split = counts.partition_point(|(v, _)| *v < lo + half);
+            carve(table, &counts[..split], lo, half, bucket, stats);
+            carve(table, &counts[split..], lo + half, len - half, bucket, stats);
+        }
+        carve(self, &counts, 0, 1 << 24, bucket, &mut stats);
+        stats.avg_fill = if stats.allocated_slots == 0 {
+            0.0
+        } else {
+            stats.bucket_entries as f64 / stats.allocated_slots as f64
+        };
+        stats
+    }
+
+    /// Aggregated ALPM layout statistics across VNIs (they share the
+    /// physical TCAM/SRAM pools).
+    pub fn alpm_stats(&self) -> AlpmStats {
+        let mut tcam = 0;
+        let mut buckets = 0;
+        let mut defaults = 0;
+        let mut slots = 0;
+        for t in self.per_vni.values() {
+            let s = t.stats();
+            tcam += s.tcam_entries;
+            buckets += s.bucket_entries;
+            defaults += s.default_entries;
+            slots += s.allocated_slots;
+        }
+        AlpmStats {
+            tcam_entries: tcam,
+            bucket_entries: buckets,
+            default_entries: defaults,
+            allocated_slots: slots,
+            avg_fill: if slots == 0 {
+                0.0
+            } else {
+                buckets as f64 / slots as f64
+            },
+        }
+    }
+
+    /// Invariant audit over every VNI's compressed structure.
+    pub fn audit(&self) -> core::result::Result<(), String> {
+        for (vni, t) in &self.per_vni {
+            t.audit().map_err(|e| format!("{vni}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// VNIs present, ascending.
+    pub fn vnis(&self) -> Vec<Vni> {
+        let mut v: Vec<Vni> = self.per_vni.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Entries for one VNI.
+    pub fn len_for_vni(&self, vni: Vni) -> usize {
+        self.per_vni.get(&vni).map_or(0, |t| t.len())
+    }
+}
+
+/// All tables resident on the hardware gateway.
+#[derive(Debug)]
+pub struct HardwareTables {
+    /// VXLAN routing (pooled ALPM).
+    pub routes: HwRoutingTable,
+    /// VM-NC mapping (digest-compressed exact match).
+    pub vm_nc: VmNcTable,
+    /// Per-SLA ACLs.
+    pub acl: AclTable,
+    /// Per-service traffic counters (indexed by service class).
+    pub counters: CounterArray,
+}
+
+impl HardwareTables {
+    /// Empty hardware tables with default-permit ACL.
+    pub fn new(alpm_config: AlpmConfig) -> Self {
+        HardwareTables {
+            routes: HwRoutingTable::new(alpm_config),
+            vm_nc: VmNcTable::new(),
+            acl: AclTable::new(AclAction::Permit, None),
+            counters: CounterArray::new(8),
+        }
+    }
+
+    /// Convenience: register a VM (route + mapping already split by the
+    /// controller; this only touches the mapping table).
+    pub fn add_vm(&mut self, vni: Vni, vm_ip: IpAddr, nc: NcAddr) -> Result<()> {
+        self.vm_nc.insert(vni, vm_ip, nc)
+    }
+}
+
+impl Default for HardwareTables {
+    fn default() -> Self {
+        Self::new(AlpmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_net::IpPrefix;
+
+    fn key(vni: u32, p: &str) -> VxlanRouteKey {
+        VxlanRouteKey::new(Vni::from_const(vni), p.parse::<IpPrefix>().unwrap())
+    }
+
+    #[test]
+    fn resolve_through_compressed_path() {
+        let mut t = HwRoutingTable::new(AlpmConfig { bucket_capacity: 2 });
+        t.insert(key(1, "192.168.0.0/16"), RouteTarget::Peer(Vni::from_const(2)))
+            .unwrap();
+        t.insert(key(2, "192.168.0.0/16"), RouteTarget::Local).unwrap();
+        // Enough routes to force partition splits and re-carving in VNI 1.
+        for i in 0..32u8 {
+            t.insert(
+                key(1, &format!("10.{i}.0.0/16")),
+                RouteTarget::Local,
+            )
+            .unwrap();
+        }
+        t.audit().unwrap();
+        let r = t
+            .resolve(Vni::from_const(1), "192.168.3.4".parse().unwrap())
+            .unwrap();
+        assert_eq!(r.final_vni, Vni::from_const(2));
+        assert_eq!(r.target, RouteTarget::Local);
+        assert_eq!(r.hops, 1);
+        let stats = t.alpm_stats();
+        assert!(stats.tcam_entries > 0);
+        assert!(stats.tcam_entries < t.len());
+    }
+
+    #[test]
+    fn routing_loop_bounded() {
+        let mut t = HwRoutingTable::default();
+        t.insert(key(1, "10.0.0.0/8"), RouteTarget::Peer(Vni::from_const(2)))
+            .unwrap();
+        t.insert(key(2, "10.0.0.0/8"), RouteTarget::Peer(Vni::from_const(1)))
+            .unwrap();
+        assert_eq!(
+            t.resolve(Vni::from_const(1), "10.1.1.1".parse().unwrap()),
+            Err(Error::RoutingLoop)
+        );
+    }
+
+    #[test]
+    fn remove_cleans_empty_vni() {
+        let mut t = HwRoutingTable::default();
+        t.insert(key(5, "10.0.0.0/8"), RouteTarget::Local).unwrap();
+        assert_eq!(t.vnis().len(), 1);
+        assert_eq!(t.remove(&key(5, "10.0.0.0/8")), Some(RouteTarget::Local));
+        assert!(t.is_empty());
+        assert!(t.vnis().is_empty());
+        assert_eq!(t.len_for_vni(Vni::from_const(5)), 0);
+    }
+
+    #[test]
+    fn grouped_stats_share_partitions_across_small_vpcs() {
+        let mut t = HwRoutingTable::new(AlpmConfig { bucket_capacity: 16 });
+        // 64 tiny VPCs with 2 routes each.
+        for v in 0..64u32 {
+            t.insert(key(v, "10.0.0.0/24"), RouteTarget::Local).unwrap();
+            t.insert(key(v, "10.0.1.0/24"), RouteTarget::Local).unwrap();
+        }
+        let per_vni = t.alpm_stats();
+        let grouped = t.grouped_alpm_stats();
+        // Per-VNI layout needs one partition per VPC; grouped packs ~8
+        // VPCs (16 entries) per partition.
+        assert!(per_vni.tcam_entries >= 64);
+        assert!(grouped.tcam_entries <= 20, "{grouped:?}");
+        assert!(grouped.tcam_entries >= 8, "{grouped:?}");
+        // Entry accounting is conserved either way.
+        assert_eq!(grouped.bucket_entries, 128);
+        assert!(grouped.avg_fill > 0.5, "{grouped:?}");
+    }
+
+    #[test]
+    fn grouped_stats_fall_back_to_internal_partitioning_for_big_vpcs() {
+        let mut t = HwRoutingTable::new(AlpmConfig { bucket_capacity: 4 });
+        for i in 0..64u8 {
+            t.insert(key(7, &format!("10.{i}.0.0/16")), RouteTarget::Local)
+                .unwrap();
+        }
+        let grouped = t.grouped_alpm_stats();
+        // One big VPC: grouping cannot help; the measured internal layout
+        // is used (16+ partitions for 64 entries at capacity 4).
+        assert!(grouped.tcam_entries >= 16, "{grouped:?}");
+        assert_eq!(grouped.bucket_entries, 64);
+    }
+
+    #[test]
+    fn per_vni_isolation() {
+        let mut t = HwRoutingTable::default();
+        t.insert(key(1, "10.0.0.0/8"), RouteTarget::Local).unwrap();
+        assert!(t.lookup(Vni::from_const(2), "10.1.1.1".parse().unwrap()).is_none());
+    }
+}

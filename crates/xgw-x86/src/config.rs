@@ -1,0 +1,92 @@
+//! XGW-x86 performance envelope.
+
+/// Static description of one XGW-x86 node.
+///
+/// Defaults reproduce the paper's Fig 18 measurements: ~25 Mpps aggregate
+/// over 32 DPDK cores, ~150 Gbps of NIC capacity (so XGW-H's 3.2 Tbps is
+/// "more than 20x"), and 40µs forwarding latency.
+#[derive(Debug, Clone)]
+pub struct XgwX86Config {
+    /// Number of packet-processing CPU cores.
+    pub cores: usize,
+    /// Sustainable packets/s per core (run-to-completion, DPDK).
+    pub pps_per_core: f64,
+    /// Aggregate NIC capacity in bits/s.
+    pub nic_bps: f64,
+    /// Base forwarding latency in ns (kernel-bypass but still store-and-
+    /// forward through DRAM).
+    pub base_latency_ns: f64,
+    /// Extra queueing latency per unit utilization, ns (M/M/1-flavoured
+    /// knee; only used for reporting, not for drop decisions).
+    pub queueing_latency_ns: f64,
+}
+
+impl Default for XgwX86Config {
+    fn default() -> Self {
+        XgwX86Config {
+            cores: 32,
+            pps_per_core: 781_250.0, // 32 × 781,250 = 25 Mpps (Fig 18b)
+            // 100GbE NIC: makes the pps→line-rate crossover land just
+            // under 512B ("XGW-x86 reaches line rate with packets larger
+            // than 512B") and the XGW-H bps advantage 32x (">20x").
+            nic_bps: 100e9,
+            base_latency_ns: 40_000.0, // Fig 18(c)
+            queueing_latency_ns: 60_000.0,
+        }
+    }
+}
+
+impl XgwX86Config {
+    /// Aggregate packet-rate capacity.
+    pub fn total_pps(&self) -> f64 {
+        self.cores as f64 * self.pps_per_core
+    }
+
+    /// Achievable packet rate for `wire_bytes` packets: per-core compute
+    /// bound and NIC line-rate bound, whichever bites first.
+    pub fn max_pps(&self, wire_bytes: usize) -> f64 {
+        let nic_bound = self.nic_bps / ((wire_bytes + 20) as f64 * 8.0);
+        self.total_pps().min(nic_bound)
+    }
+
+    /// Achievable goodput in bits/s for `wire_bytes` packets.
+    pub fn max_bps(&self, wire_bytes: usize) -> f64 {
+        self.max_pps(wire_bytes) * wire_bytes as f64 * 8.0
+    }
+
+    /// Forwarding latency at a given box utilization in `[0, 1]`.
+    pub fn latency_ns(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 0.99);
+        self.base_latency_ns + self.queueing_latency_ns * u / (1.0 - u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_envelope() {
+        let c = XgwX86Config::default();
+        // 25 Mpps aggregate.
+        assert!((c.total_pps() - 25e6).abs() < 1.0);
+        // Small packets are compute-bound at 25 Mpps.
+        assert!((c.max_pps(128) - 25e6).abs() < 1.0);
+        // Large packets are NIC-bound; goodput stays below 100 Gbps.
+        assert!(c.max_bps(1500) < 100e9);
+        // "XGW-x86 reaches line rate with packets larger than 512B":
+        // at 512B the NIC line-rate bound binds, not the cores.
+        assert!(c.max_pps(512) < c.total_pps());
+        // ...and the crossover sits between 256B and 512B.
+        assert!((c.max_pps(256) - c.total_pps()).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let c = XgwX86Config::default();
+        assert!((c.latency_ns(0.0) - 40_000.0).abs() < 1e-6);
+        assert!(c.latency_ns(0.5) > c.latency_ns(0.1));
+        // Clamped near saturation instead of diverging.
+        assert!(c.latency_ns(1.5).is_finite());
+    }
+}

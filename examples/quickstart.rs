@@ -1,0 +1,111 @@
+//! Quickstart: the paper's Fig 2 scenario on a single hardware gateway.
+//!
+//! Builds the two-VPC routing/mapping state, sends real VXLAN packets
+//! through the folded gateway program, and shows both the same-VPC and
+//! cross-VPC (peer) forwarding paths — including the wire round trip.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sailfish::prelude::*;
+
+fn main() {
+    // Two tenants: VPC A (VNI 100) and VPC B (VNI 200), as in Fig 2.
+    let vpc_a = Vni::from_const(100);
+    let vpc_b = Vni::from_const(200);
+
+    let mut gw = XgwH::with_defaults();
+
+    // VXLAN routing table (Fig 2, left).
+    gw.tables
+        .routes
+        .insert(
+            VxlanRouteKey::new(vpc_a, "192.168.10.0/24".parse().unwrap()),
+            RouteTarget::Local,
+        )
+        .unwrap();
+    gw.tables
+        .routes
+        .insert(
+            VxlanRouteKey::new(vpc_a, "192.168.30.0/24".parse().unwrap()),
+            RouteTarget::Peer(vpc_b),
+        )
+        .unwrap();
+    gw.tables
+        .routes
+        .insert(
+            VxlanRouteKey::new(vpc_b, "192.168.30.0/24".parse().unwrap()),
+            RouteTarget::Local,
+        )
+        .unwrap();
+    gw.tables
+        .routes
+        .insert(
+            VxlanRouteKey::new(vpc_b, "192.168.10.0/24".parse().unwrap()),
+            RouteTarget::Peer(vpc_a),
+        )
+        .unwrap();
+
+    // VM-NC mapping table (Fig 2, right).
+    for (vni, vm, nc) in [
+        (vpc_a, "192.168.10.2", "10.1.1.11"),
+        (vpc_a, "192.168.10.3", "10.1.1.12"),
+        (vpc_b, "192.168.30.5", "10.1.1.15"),
+    ] {
+        gw.tables
+            .add_vm(vni, vm.parse().unwrap(), NcAddr::new(nc.parse().unwrap()))
+            .unwrap();
+    }
+
+    // --- Case 1: VM-VM, same VPC, different vSwitches ---
+    let packet = GatewayPacketBuilder::new(
+        vpc_a,
+        "192.168.10.2".parse().unwrap(),
+        "192.168.10.3".parse().unwrap(),
+    )
+    .build();
+    println!("case 1: {} -> {} in {vpc_a}", packet.inner.src_ip, packet.inner.dst_ip);
+    match gw.process(&packet, 0) {
+        HwDecision::ToNc { packet, nc } => {
+            println!("  forwarded to {nc}; outer dst rewritten to {}", packet.outer.dst_ip);
+            assert_eq!(packet.outer.dst_ip, "10.1.1.12".parse::<std::net::IpAddr>().unwrap());
+        }
+        other => panic!("unexpected decision: {other:?}"),
+    }
+
+    // --- Case 2: VM-VM across peered VPCs ---
+    let packet = GatewayPacketBuilder::new(
+        vpc_a,
+        "192.168.10.2".parse().unwrap(),
+        "192.168.30.5".parse().unwrap(),
+    )
+    .build();
+    println!("case 2: {} -> {} (peer chain)", packet.inner.src_ip, packet.inner.dst_ip);
+    match gw.process(&packet, 0) {
+        HwDecision::ToNc { packet, nc } => {
+            println!(
+                "  forwarded to {nc}; VNI rewritten {} -> {}",
+                vpc_a, packet.vni
+            );
+            assert_eq!(packet.vni, vpc_b);
+        }
+        other => panic!("unexpected decision: {other:?}"),
+    }
+
+    // --- The wire round trip: the fast-path packet is real bytes ---
+    let bytes = packet.emit().expect("serializable");
+    let parsed = GatewayPacket::parse(&bytes).expect("parseable");
+    assert_eq!(parsed, packet);
+    println!(
+        "wire round trip: {} bytes (VXLAN-in-UDP-in-IPv4), VNI {}",
+        bytes.len(),
+        parsed.vni
+    );
+
+    // --- Gateway stats ---
+    let stats = gw.stats();
+    println!(
+        "gateway stats: {} forwarded, {} punted, pipe bytes {:?}",
+        stats.forwarded_packets, stats.punted_packets, stats.pipe_bytes
+    );
+    println!("quickstart OK");
+}

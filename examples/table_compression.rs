@@ -1,0 +1,59 @@
+//! Walks the §4.4 compression pipeline step by step, printing the memory
+//! occupancy after each optimization — a command-line rendition of
+//! Fig 17, with every number derived from the chip cost model.
+//!
+//! Run with: `cargo run --example table_compression`
+
+use sailfish::compression::{
+    estimate_alpm_stats, step_series, CompressionStep, MemoryScenario, CALIBRATED_ROUTES,
+};
+use sailfish::prelude::*;
+
+fn main() {
+    let config = TofinoConfig::tofino_64t();
+    println!(
+        "chip: {} pipes x {} stages, {:.1} MB SRAM total, {} TCAM rows/pipe",
+        config.pipelines,
+        config.stages_per_pipe,
+        config.total_sram_bytes() as f64 / (1024.0 * 1024.0),
+        config.tcam_rows_per_pipe()
+    );
+
+    let alpm = estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6);
+    for (name, scenario) in [
+        ("100% IPv4", MemoryScenario::all_v4()),
+        ("75% IPv4 / 25% IPv6", MemoryScenario::paper_mix()),
+        ("100% IPv6", MemoryScenario::all_v6()),
+    ] {
+        println!("\nscenario: {name} ({} routes, {} VMs)", scenario.route_entries, scenario.vm_entries);
+        let series = step_series(&scenario, &config, &alpm);
+        for report in &series {
+            let occ = report.occupancy;
+            let verdict = if occ.fits() { "fits" } else { "DOES NOT FIT" };
+            println!(
+                "  {:<10} SRAM {:>5.1}%  TCAM {:>5.1}%   [{verdict}]",
+                report.step.label(),
+                occ.sram_pct,
+                occ.tcam_pct
+            );
+        }
+        let initial = series
+            .iter()
+            .find(|r| r.step == CompressionStep::Initial)
+            .unwrap()
+            .occupancy;
+        let fin = series
+            .iter()
+            .find(|r| r.step == CompressionStep::All)
+            .unwrap()
+            .occupancy;
+        println!(
+            "  => SRAM reduced {:.0}%, TCAM reduced {:.0}%",
+            100.0 * (1.0 - fin.sram_pct / initial.sram_pct),
+            100.0 * (1.0 - fin.tcam_pct / initial.tcam_pct)
+        );
+    }
+
+    println!("\nsteps: a=pipeline folding, b=split between pipelines,");
+    println!("       c=IPv4/IPv6 pooling, d=key-digest compression, e=ALPM");
+}
