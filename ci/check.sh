@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the Sailfish workspace.
+#
+# The workspace is hermetic: it must build and test fully offline, from
+# an empty cargo registry, with no external crates (sailfish-util is the
+# in-tree replacement for what used to come from crates.io). This script
+# is the single check every PR must pass:
+#
+#   ci/check.sh            # build + test + fmt + clippy + dependency policy
+#
+# fmt and clippy skip gracefully when the component is not installed
+# (e.g. a minimal CI container); build and test never skip.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo
+    echo "==> ${name}: $*"
+    if "$@"; then
+        echo "==> ${name}: OK"
+    else
+        echo "==> ${name}: FAILED"
+        failures=$((failures + 1))
+    fi
+}
+
+# 1. Offline release build — proves dependency resolution needs no network.
+run_step "build" cargo build --release --offline
+
+# 2. Offline test suite.
+run_step "test" cargo test -q --offline
+
+# 3. Formatting (skip if rustfmt is not installed).
+if cargo fmt --version >/dev/null 2>&1; then
+    run_step "fmt" cargo fmt --check
+else
+    echo "==> fmt: SKIPPED (rustfmt not installed)"
+fi
+
+# 4. Lints (skip if clippy is not installed).
+if cargo clippy --version >/dev/null 2>&1; then
+    run_step "clippy" cargo clippy --offline --all-targets -- -D warnings
+else
+    echo "==> clippy: SKIPPED (clippy not installed)"
+fi
+
+# 5. Dependency policy: no external crates anywhere in the workspace.
+echo
+echo "==> policy: no external crate references in manifests"
+if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "==> policy: FAILED (external crate reference found above)"
+    failures=$((failures + 1))
+else
+    echo "==> policy: OK"
+fi
+
+echo
+if [ "${failures}" -ne 0 ]; then
+    echo "ci/check.sh: ${failures} step(s) failed"
+    exit 1
+fi
+echo "ci/check.sh: all checks passed"

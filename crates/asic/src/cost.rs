@@ -148,13 +148,11 @@ impl TableSpec {
             } => {
                 // Each bucket slot stores prefix (key_bits) + prefix length
                 // (8) + action + valid overhead.
-                let slot_bits =
-                    self.key_bits + 8 + self.action_bits + config.entry_overhead_bits;
+                let slot_bits = self.key_bits + 8 + self.action_bits + config.entry_overhead_bits;
                 let words = slot_bits.div_ceil(config.sram_word_bits) as usize;
                 MemAmount {
                     sram_words: allocated_slots * words,
-                    tcam_rows: tcam_index_entries
-                        * config.tcam_slices_for(self.key_bits) as usize,
+                    tcam_rows: tcam_index_entries * config.tcam_slices_for(self.key_bits) as usize,
                 }
             }
         }

@@ -27,7 +27,10 @@ impl fmt::Display for Error {
         match self {
             Error::DoesNotFit { detail } => write!(f, "placement does not fit: {detail}"),
             Error::OrderViolation { table } => {
-                write!(f, "table '{table}' placed before its predecessor in the fold path")
+                write!(
+                    f,
+                    "table '{table}' placed before its predecessor in the fold path"
+                )
             }
             Error::PhvExhausted => write!(f, "PHV container budget exhausted"),
             Error::InvalidSpec(what) => write!(f, "invalid table spec: {what}"),

@@ -273,7 +273,10 @@ mod tests {
         let mut unfolded = Layout::new(cfg.clone(), false);
         unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
         unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
-        assert!(unfolded.validate().is_err(), "two copies cannot fit one pipe");
+        assert!(
+            unfolded.validate().is_err(),
+            "two copies cannot fit one pipe"
+        );
 
         let mut folded = Layout::new(cfg, true);
         folded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
@@ -302,8 +305,7 @@ mod tests {
         part_a.fraction = (3, 4);
         let mut part_b = PlacedTable::new(base, FoldStep::EgressOuter);
         part_b.fraction = (1, 4);
-        let total =
-            part_a.cost_per_pipe(&cfg).sram_words + part_b.cost_per_pipe(&cfg).sram_words;
+        let total = part_a.cost_per_pipe(&cfg).sram_words + part_b.cost_per_pipe(&cfg).sram_words;
         let full = spec("d", 400_000).cost(&cfg).sram_words;
         // Fraction rounding may add a word or two but never loses entries.
         assert!(total >= full, "{total} >= {full}");
@@ -324,7 +326,10 @@ mod tests {
     #[test]
     fn capacity_violation_detected() {
         let mut l = Layout::new(TofinoConfig::tofino_64t(), true);
-        l.push(PlacedTable::new(tcam_spec("huge", 200_000), FoldStep::IngressOuter));
+        l.push(PlacedTable::new(
+            tcam_spec("huge", 200_000),
+            FoldStep::IngressOuter,
+        ));
         assert!(matches!(l.validate(), Err(Error::DoesNotFit { .. })));
     }
 

@@ -1,91 +1,112 @@
-//! Property-based tests for the placement and cost model.
+//! Property-based tests for the placement and cost model, on the
+//! in-tree seeded harness (`sailfish_util::check`).
 
-use proptest::prelude::*;
+use sailfish_util::check;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::Rng;
 
 use sailfish_asic::config::TofinoConfig;
 use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
 use sailfish_asic::mem::Occupancy;
 use sailfish_asic::placement::{FoldStep, Layout, PipePair, PlacedTable};
 
-fn arb_spec() -> impl Strategy<Value = TableSpec> {
-    (
-        1u32..=152,
-        0u32..=64,
-        1usize..200_000,
-        prop_oneof![Just(0u8), Just(1), Just(2)],
-    )
-        .prop_map(|(key_bits, action_bits, entries, kind)| match kind {
-            0 => TableSpec::new("t", MatchKind::Exact, key_bits, action_bits, entries, Storage::SramHash)
-                .expect("valid"),
-            1 => TableSpec::new("t", MatchKind::Lpm, key_bits, action_bits, entries, Storage::Tcam)
-                .expect("valid"),
-            _ => TableSpec::new(
-                "t",
-                MatchKind::Lpm,
-                key_bits,
-                action_bits,
-                entries,
-                Storage::Alpm {
-                    tcam_index_entries: entries.div_ceil(16).min(entries),
-                    allocated_slots: entries.next_multiple_of(16),
-                },
-            )
-            .expect("valid"),
-        })
+fn arb_spec(rng: &mut StdRng) -> TableSpec {
+    let key_bits = rng.gen_range(1u32..=152);
+    let action_bits = rng.gen_range(0u32..=64);
+    let entries = rng.gen_range(1usize..200_000);
+    match check::one_of(rng, 3) {
+        0 => TableSpec::new(
+            "t",
+            MatchKind::Exact,
+            key_bits,
+            action_bits,
+            entries,
+            Storage::SramHash,
+        )
+        .expect("valid"),
+        1 => TableSpec::new(
+            "t",
+            MatchKind::Lpm,
+            key_bits,
+            action_bits,
+            entries,
+            Storage::Tcam,
+        )
+        .expect("valid"),
+        _ => TableSpec::new(
+            "t",
+            MatchKind::Lpm,
+            key_bits,
+            action_bits,
+            entries,
+            Storage::Alpm {
+                tcam_index_entries: entries.div_ceil(16).min(entries),
+                allocated_slots: entries.next_multiple_of(16),
+            },
+        )
+        .expect("valid"),
+    }
 }
 
-fn arb_step() -> impl Strategy<Value = FoldStep> {
-    prop_oneof![
-        Just(FoldStep::IngressOuter),
-        Just(FoldStep::EgressLoop),
-        Just(FoldStep::IngressLoop),
-        Just(FoldStep::EgressOuter),
-    ]
+fn arb_step(rng: &mut StdRng) -> FoldStep {
+    match check::one_of(rng, 4) {
+        0 => FoldStep::IngressOuter,
+        1 => FoldStep::EgressLoop,
+        2 => FoldStep::IngressLoop,
+        _ => FoldStep::EgressOuter,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Cost is monotone in entries and key width, and never zero for a
-    /// non-empty table.
-    #[test]
-    fn cost_monotone(spec in arb_spec()) {
+/// Cost is monotone in entries and key width, and never zero for a
+/// non-empty table.
+#[test]
+fn cost_monotone() {
+    check::run("cost_monotone", 256, |rng| {
+        let spec = arb_spec(rng);
         let cfg = TofinoConfig::tofino_64t();
         let cost = spec.cost(&cfg);
-        prop_assert!(cost.sram_words + cost.tcam_rows > 0);
+        assert!(cost.sram_words + cost.tcam_rows > 0);
 
         let mut bigger = spec.clone();
         bigger.entries += 1;
-        if let Storage::Alpm { allocated_slots, .. } = &mut bigger.storage {
+        if let Storage::Alpm {
+            allocated_slots, ..
+        } = &mut bigger.storage
+        {
             *allocated_slots = bigger.entries.next_multiple_of(16);
         }
         let bigger_cost = bigger.cost(&cfg);
-        prop_assert!(bigger_cost.sram_words >= cost.sram_words);
-        prop_assert!(bigger_cost.tcam_rows >= cost.tcam_rows);
-    }
+        assert!(bigger_cost.sram_words >= cost.sram_words);
+        assert!(bigger_cost.tcam_rows >= cost.tcam_rows);
+    });
+}
 
-    /// Splitting a table across the pipe pair never increases, and at
-    /// most halves (+rounding), the per-pipe footprint.
-    #[test]
-    fn split_halves_per_pipe(spec in arb_spec(), step in arb_step()) {
+/// Splitting a table across the pipe pair never increases, and at most
+/// halves (+rounding), the per-pipe footprint.
+#[test]
+fn split_halves_per_pipe() {
+    check::run("split_halves_per_pipe", 256, |rng| {
+        let spec = arb_spec(rng);
+        let step = arb_step(rng);
         let cfg = TofinoConfig::tofino_64t();
         let whole = PlacedTable::new(spec.clone(), step);
         let mut split = PlacedTable::new(spec, step);
         split.split_across_pair = true;
         let w = whole.cost_per_pipe(&cfg);
         let s = split.cost_per_pipe(&cfg);
-        prop_assert!(s.sram_words <= w.sram_words);
-        prop_assert!(s.tcam_rows <= w.tcam_rows);
-        prop_assert!(s.sram_words >= w.sram_words / 2);
-        prop_assert!(s.tcam_rows >= w.tcam_rows / 2);
-    }
+        assert!(s.sram_words <= w.sram_words);
+        assert!(s.tcam_rows <= w.tcam_rows);
+        assert!(s.sram_words >= w.sram_words / 2);
+        assert!(s.tcam_rows >= w.tcam_rows / 2);
+    });
+}
 
-    /// A layout in lookup order always validates its ordering; memory
-    /// accounting equals the sum over pairs; occupancy is linear.
-    #[test]
-    fn layout_accounting_consistent(
-        specs in prop::collection::vec((arb_spec(), arb_step()), 1..8),
-    ) {
+/// A layout in lookup order always validates its ordering; memory
+/// accounting equals the sum over pairs; occupancy is linear.
+#[test]
+fn layout_accounting_consistent() {
+    check::run("layout_accounting_consistent", 256, |rng| {
+        let specs = check::vec_of(rng, 1..8, |r| (arb_spec(r), arb_step(r)));
         let cfg = TofinoConfig::tofino_64t();
         let mut ordered = specs.clone();
         ordered.sort_by_key(|(_, step)| *step);
@@ -105,21 +126,24 @@ proptest! {
         match layout.validate() {
             Ok(()) => {}
             Err(sailfish_asic::Error::DoesNotFit { .. }) => {} // capacity may overflow
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("unexpected: {e}"),
         }
-        prop_assert_eq!(layout.pair_usage(PipePair::Outer).sram_words, expect_outer);
-        prop_assert_eq!(layout.pair_usage(PipePair::Loop).sram_words, expect_loop);
+        assert_eq!(layout.pair_usage(PipePair::Outer).sram_words, expect_outer);
+        assert_eq!(layout.pair_usage(PipePair::Loop).sram_words, expect_loop);
 
         // Chip-wide occupancy is the average of pair occupancies.
         let (outer, looped) = layout.occupancy();
         let total = layout.total_occupancy();
-        prop_assert!((total.sram_pct - (outer.sram_pct + looped.sram_pct) / 2.0).abs() < 1e-6);
-    }
+        assert!((total.sram_pct - (outer.sram_pct + looped.sram_pct) / 2.0).abs() < 1e-6);
+    });
+}
 
-    /// The unfolded layout costs exactly the sum of full table costs per
-    /// pipe, regardless of assigned steps.
-    #[test]
-    fn unfolded_ignores_steps(specs in prop::collection::vec((arb_spec(), arb_step()), 1..6)) {
+/// The unfolded layout costs exactly the sum of full table costs per
+/// pipe, regardless of assigned steps.
+#[test]
+fn unfolded_ignores_steps() {
+    check::run("unfolded_ignores_steps", 256, |rng| {
+        let specs = check::vec_of(rng, 1..6, |r| (arb_spec(r), arb_step(r)));
         let cfg = TofinoConfig::tofino_64t();
         let mut layout = Layout::new(cfg.clone(), false);
         let mut expect = 0usize;
@@ -127,21 +151,28 @@ proptest! {
             expect += spec.cost(&cfg).sram_words;
             layout.push(PlacedTable::new(spec, step));
         }
-        prop_assert_eq!(layout.pair_usage(PipePair::Outer).sram_words, expect);
-        prop_assert_eq!(layout.pair_usage(PipePair::Loop).sram_words, expect);
-    }
+        assert_eq!(layout.pair_usage(PipePair::Outer).sram_words, expect);
+        assert_eq!(layout.pair_usage(PipePair::Loop).sram_words, expect);
+    });
+}
 
-    /// Occupancy::fits is exactly the <=100% predicate.
-    #[test]
-    fn fits_predicate(sram in 0usize..2_000_000, tcam in 0usize..300_000) {
+/// Occupancy::fits is exactly the <=100% predicate.
+#[test]
+fn fits_predicate() {
+    check::run("fits_predicate", 256, |rng| {
+        let sram = rng.gen_range(0usize..2_000_000);
+        let tcam = rng.gen_range(0usize..300_000);
         let cfg = TofinoConfig::tofino_64t();
         let occ = Occupancy::of(
-            sailfish_asic::mem::MemAmount { sram_words: sram, tcam_rows: tcam },
+            sailfish_asic::mem::MemAmount {
+                sram_words: sram,
+                tcam_rows: tcam,
+            },
             &cfg,
         );
-        prop_assert_eq!(
+        assert_eq!(
             occ.fits(),
             sram <= cfg.sram_words_per_pipe() && tcam <= cfg.tcam_rows_per_pipe()
         );
-    }
+    });
 }

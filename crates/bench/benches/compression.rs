@@ -1,24 +1,28 @@
-//! Criterion benchmarks of the memory-model machinery itself: computing
-//! the Fig 17 series and building/validating production layouts.
+//! Benchmarks of the memory-model machinery itself: computing the
+//! Fig 17 series and building/validating production layouts.
+//!
+//! Runs on the in-tree `sailfish_util::bench` harness; tune sample
+//! counts with `SAILFISH_BENCH_SAMPLES` / `SAILFISH_BENCH_TARGET_MS`
+//! and export JSON with `SAILFISH_BENCH_JSON=<path>`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sailfish_util::bench::Harness;
 
 use sailfish::compression::{estimate_alpm_stats, step_series, CALIBRATED_ROUTES};
 use sailfish::prelude::*;
 use sailfish_xgw_h::layout::production_layout;
 
-fn bench_fig17_series(c: &mut Criterion) {
+fn bench_fig17_series(h: &mut Harness) {
     let cfg = TofinoConfig::tofino_64t();
     let scenario = MemoryScenario::paper_mix();
     let alpm = estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6);
-    c.bench_function("fig17_step_series", |b| {
+    h.bench_function("fig17_step_series", |b| {
         b.iter(|| std::hint::black_box(step_series(&scenario, &cfg, &alpm)))
     });
 }
 
-fn bench_production_layout(c: &mut Criterion) {
+fn bench_production_layout(h: &mut Harness) {
     let alpm = estimate_alpm_stats(CALIBRATED_ROUTES, 24, 0.6);
-    c.bench_function("production_layout_validate", |b| {
+    h.bench_function("production_layout_validate", |b| {
         b.iter(|| {
             let layout = production_layout(
                 TofinoConfig::tofino_64t(),
@@ -32,10 +36,9 @@ fn bench_production_layout(c: &mut Criterion) {
     });
 }
 
-fn bench_region_build(c: &mut Criterion) {
+fn bench_region_build(h: &mut Harness) {
     let topology = Topology::generate(TopologyConfig::default());
-    let mut group = c.benchmark_group("region");
-    group.sample_size(10);
+    let mut group = h.group("region");
     group.bench_function("small_region_build", |b| {
         b.iter(|| {
             let region = Region::build(
@@ -57,10 +60,10 @@ fn bench_region_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig17_series,
-    bench_production_layout,
-    bench_region_build
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("compression");
+    bench_fig17_series(&mut h);
+    bench_production_layout(&mut h);
+    bench_region_build(&mut h);
+    h.finish();
+}

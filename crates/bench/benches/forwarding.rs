@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the per-packet forwarding paths
-//! (companions to Fig 18: these measure the *model's* software cost; the
-//! Tbps envelopes come from the calibrated `perf` module).
+//! Micro-benchmarks of the per-packet forwarding paths (companions to
+//! Fig 18: these measure the *model's* software cost; the Tbps envelopes
+//! come from the calibrated `perf` module).
+//!
+//! Runs on the in-tree `sailfish_util::bench` harness; tune sample
+//! counts with `SAILFISH_BENCH_SAMPLES` / `SAILFISH_BENCH_TARGET_MS`
+//! and export JSON with `SAILFISH_BENCH_JSON=<path>`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sailfish_util::bench::Harness;
 
 use sailfish::prelude::*;
 use sailfish_tables::types::NcAddr;
@@ -15,10 +19,7 @@ fn hardware_gateway() -> XgwH {
             gw.tables
                 .routes
                 .insert(
-                    VxlanRouteKey::new(
-                        vni,
-                        format!("10.{s}.0.0/16").parse::<IpPrefix>().unwrap(),
-                    ),
+                    VxlanRouteKey::new(vni, format!("10.{s}.0.0/16").parse::<IpPrefix>().unwrap()),
                     RouteTarget::Local,
                 )
                 .unwrap();
@@ -49,11 +50,11 @@ fn packets() -> Vec<GatewayPacket> {
         .collect()
 }
 
-fn bench_hw_process(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xgw_h");
+fn bench_hw_process(h: &mut Harness) {
+    let mut group = h.group("xgw_h");
     let mut gw = hardware_gateway();
     let pkts = packets();
-    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.throughput_elements(pkts.len() as u64);
     group.bench_function("process_256_packets", |b| {
         b.iter(|| {
             for (i, p) in pkts.iter().enumerate() {
@@ -64,8 +65,8 @@ fn bench_hw_process(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sw_process(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xgw_x86");
+fn bench_sw_process(h: &mut Harness) {
+    let mut group = h.group("xgw_x86");
     let mut fwd = SoftwareForwarder::default();
     for v in 0..64u32 {
         let vni = Vni::from_const(100 + v);
@@ -73,19 +74,19 @@ fn bench_sw_process(c: &mut Criterion) {
             VxlanRouteKey::new(vni, "10.0.0.0/8".parse::<IpPrefix>().unwrap()),
             RouteTarget::Local,
         );
-        for h in 0..16u8 {
+        for hh in 0..16u8 {
             fwd.tables
                 .vm_nc
                 .insert(
                     vni,
-                    format!("10.0.0.{}", 2 + h).parse().unwrap(),
+                    format!("10.0.0.{}", 2 + hh).parse().unwrap(),
                     NcAddr::new("10.200.0.1".parse().unwrap()),
                 )
                 .unwrap();
         }
     }
     let pkts = packets();
-    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.throughput_elements(pkts.len() as u64);
     group.bench_function("process_256_packets", |b| {
         b.iter(|| {
             for (i, p) in pkts.iter().enumerate() {
@@ -96,22 +97,24 @@ fn bench_sw_process(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_parse_emit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn bench_parse_emit(h: &mut Harness) {
+    let mut group = h.group("wire");
     let packet = packets()[0];
     let bytes = packet.emit().expect("emittable");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("emit", |b| b.iter(|| std::hint::black_box(packet.emit().unwrap())));
+    group.throughput_bytes(bytes.len() as u64);
+    group.bench_function("emit", |b| {
+        b.iter(|| std::hint::black_box(packet.emit().unwrap()))
+    });
     group.bench_function("parse", |b| {
         b.iter(|| std::hint::black_box(GatewayPacket::parse(&bytes).unwrap()))
     });
     group.finish();
 }
 
-fn bench_rss(c: &mut Criterion) {
+fn bench_rss(h: &mut Harness) {
     let toeplitz = sailfish_net::rss::Toeplitz::default();
     let tuples: Vec<FiveTuple> = packets().iter().map(|p| p.five_tuple()).collect();
-    c.bench_function("rss_toeplitz_256_tuples", |b| {
+    h.bench_function("rss_toeplitz_256_tuples", |b| {
         b.iter_batched(
             || tuples.clone(),
             |tuples| {
@@ -119,16 +122,15 @@ fn bench_rss(c: &mut Criterion) {
                     std::hint::black_box(toeplitz.queue_for(t, 32));
                 }
             },
-            BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hw_process,
-    bench_sw_process,
-    bench_parse_emit,
-    bench_rss
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("forwarding");
+    bench_hw_process(&mut h);
+    bench_sw_process(&mut h);
+    bench_parse_emit(&mut h);
+    bench_rss(&mut h);
+    h.finish();
+}

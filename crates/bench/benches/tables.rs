@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks of the table structures: the compressed
+//! Micro-benchmarks of the table structures: the compressed
 //! (ALPM/digest) paths versus their uncompressed references, quantifying
 //! the paper's "slightly reduced lookup efficiency" trade (§4.4).
+//!
+//! Runs on the in-tree `sailfish_util::bench` harness; tune sample
+//! counts with `SAILFISH_BENCH_SAMPLES` / `SAILFISH_BENCH_TARGET_MS`
+//! and export JSON with `SAILFISH_BENCH_JSON=<path>`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sailfish_util::bench::Harness;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
 
 use sailfish_net::Vni;
 use sailfish_tables::alpm::{AlpmConfig, AlpmTable};
@@ -32,11 +36,11 @@ fn probes() -> Vec<u128> {
         .collect()
 }
 
-fn bench_lpm_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lpm_lookup_20k_routes");
+fn bench_lpm_lookup(h: &mut Harness) {
+    let mut group = h.group("lpm_lookup_20k_routes");
     let routes = route_set();
     let probes = probes();
-    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.throughput_elements(probes.len() as u64);
 
     let mut trie = Lpm128::new();
     for (k, v) in &routes {
@@ -64,10 +68,9 @@ fn bench_lpm_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_alpm_insert(c: &mut Criterion) {
+fn bench_alpm_insert(h: &mut Harness) {
     let routes = route_set();
-    let mut group = c.benchmark_group("alpm");
-    group.sample_size(10);
+    let mut group = h.group("alpm");
     group.bench_function("bulk_insert_20k", |b| {
         b.iter(|| {
             let mut alpm = AlpmTable::new(AlpmConfig::default());
@@ -80,8 +83,8 @@ fn bench_alpm_insert(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_digest_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm_nc_lookup_100k");
+fn bench_digest_lookup(h: &mut Harness) {
+    let mut group = h.group("vm_nc_lookup_100k");
     let mut table = DigestExactTable::new();
     let keys: Vec<VmKey> = (0..100_000u32)
         .map(|i| {
@@ -96,7 +99,7 @@ fn bench_digest_lookup(c: &mut Criterion) {
     for (i, k) in keys.iter().enumerate() {
         table.insert(*k, i).unwrap();
     }
-    group.throughput(Throughput::Elements(1024));
+    group.throughput_elements(1024);
     group.bench_function("digest_compressed", |b| {
         b.iter(|| {
             for k in keys.iter().step_by(97).take(1024) {
@@ -107,10 +110,10 @@ fn bench_digest_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_lpm_lookup,
-    bench_alpm_insert,
-    bench_digest_lookup
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("tables");
+    bench_lpm_lookup(&mut h);
+    bench_alpm_insert(&mut h);
+    bench_digest_lookup(&mut h);
+    h.finish();
+}

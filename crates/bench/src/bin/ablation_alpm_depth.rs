@@ -68,7 +68,14 @@ fn main() {
     }
     print_table(
         "ALPM first-level depth ablation",
-        &["Bucket cap", "TCAM entries", "SRAM slots", "Fill", "scan avg/max", "ns/lookup (sw)"],
+        &[
+            "Bucket cap",
+            "TCAM entries",
+            "SRAM slots",
+            "Fill",
+            "scan avg/max",
+            "ns/lookup (sw)",
+        ],
         &rows,
     );
 
@@ -91,7 +98,10 @@ fn main() {
     rec.compare(
         "...at the cost of lookup efficiency (in-bucket scan work)",
         "slightly reduced lookup efficiency (§4.4)",
-        format!("{:.1} -> {:.1} avg entries scanned per probe", first.2, last.2),
+        format!(
+            "{:.1} -> {:.1} avg entries scanned per probe",
+            first.2, last.2
+        ),
         scan_grows && last.2 > first.2 * 2.0,
     );
     rec.finish();

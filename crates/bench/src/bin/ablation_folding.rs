@@ -18,18 +18,10 @@ fn main() {
     let alpm = estimate_alpm_stats(scenario.route_entries, 24, 0.6);
 
     // Memory at a+b (folding+splitting) vs a hypothetical unfolded chip.
-    let folded = sailfish::compression::occupancy_at(
-        CompressionStep::FoldingSplit,
-        &scenario,
-        &cfg,
-        &alpm,
-    );
-    let unfolded = sailfish::compression::occupancy_at(
-        CompressionStep::Initial,
-        &scenario,
-        &cfg,
-        &alpm,
-    );
+    let folded =
+        sailfish::compression::occupancy_at(CompressionStep::FoldingSplit, &scenario, &cfg, &alpm);
+    let unfolded =
+        sailfish::compression::occupancy_at(CompressionStep::Initial, &scenario, &cfg, &alpm);
 
     let rows = vec![
         vec![

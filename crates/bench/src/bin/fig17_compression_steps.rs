@@ -42,7 +42,13 @@ fn main() {
     println!("c=IPv4/IPv6 pooling, d=entry compression, e=ALPM");
 
     // Paper values: (102,389) (51,194) (26,97) (18,156) (36,11).
-    let paper = [(102.0, 389.0), (51.0, 194.0), (26.0, 97.0), (18.0, 156.0), (36.0, 11.0)];
+    let paper = [
+        (102.0, 389.0),
+        (51.0, 194.0),
+        (26.0, 97.0),
+        (18.0, 156.0),
+        (36.0, 11.0),
+    ];
     let mut rec = ExperimentRecord::new("fig17", "Step-by-step table compression");
     for (r, (ps, pt)) in series.iter().zip(paper) {
         let (s, t) = (r.occupancy.sram_pct, r.occupancy.tcam_pct);

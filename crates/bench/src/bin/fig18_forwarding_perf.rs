@@ -33,7 +33,15 @@ fn main() {
         .collect();
     print_table(
         "Fig 18(a)(b): throughput and packet rate vs packet size",
-        &["Bytes", "XGW-H Tbps", "XGW-H Mpps", "x86 Tbps", "x86 Mpps", "bps ratio", "pps ratio"],
+        &[
+            "Bytes",
+            "XGW-H Tbps",
+            "XGW-H Mpps",
+            "x86 Tbps",
+            "x86 Mpps",
+            "bps ratio",
+            "pps ratio",
+        ],
         &rows,
     );
 
@@ -47,7 +55,10 @@ fn main() {
         &[
             vec!["XGW-x86".into(), format!("{:.0}", sw_lat / 1000.0)],
             vec!["XGW-H (128B)".into(), format!("{:.3}", hw_lat_128 / 1000.0)],
-            vec!["XGW-H (1024B)".into(), format!("{:.3}", hw_lat_1024 / 1000.0)],
+            vec![
+                "XGW-H (1024B)".into(),
+                format!("{:.3}", hw_lat_1024 / 1000.0),
+            ],
         ],
     );
 
@@ -93,8 +104,12 @@ fn main() {
     rec.compare(
         "XGW-x86 reaches line rate only above",
         "512B",
-        (if sw.max_pps(512) < sw.total_pps() { "between 256B and 512B" } else { "above 512B" })
-            .to_string(),
+        (if sw.max_pps(512) < sw.total_pps() {
+            "between 256B and 512B"
+        } else {
+            "above 512B"
+        })
+        .to_string(),
         sw.max_pps(512) < sw.total_pps() && (sw.max_pps(256) - sw.total_pps()).abs() < 1.0,
     );
     rec.finish();

@@ -28,7 +28,11 @@ fn main() {
         rec.compare(
             format!("{}: sudden batches occur", s.label),
             "step increases of many entries at once",
-            format!("largest step {:.0} entries ({}x median)", max, (max / median.max(1e-9)) as u64),
+            format!(
+                "largest step {:.0} entries ({}x median)",
+                max,
+                (max / median.max(1e-9)) as u64
+            ),
             max > 50.0 * median && last > first,
         );
     }

@@ -41,7 +41,10 @@ fn main() {
     }
     print_series("Fig 5 traffic rate (Tbps, scaled region)", &rate, 16);
     print_series("Fig 5 packet loss ratio", &loss, 16);
-    println!("\nworst loss {worst:.2e} ({}), best {quiet:.2e}", one_in(worst));
+    println!(
+        "\nworst loss {worst:.2e} ({}), best {quiet:.2e}",
+        one_in(worst)
+    );
 
     // The paper's region carries ~15 Tbps; ours carries 0.35 Tbps with the
     // same few heavy hitters, so the heavy-hitter excess is divided by a
@@ -72,7 +75,13 @@ fn main() {
             let day = loss[peak_idx].0;
             format!("peak at day {day:.1}")
         },
-        (5.0..7.0).contains(&loss.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0),
+        (5.0..7.0).contains(
+            &loss
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0,
+        ),
     );
     rec.finish();
 }

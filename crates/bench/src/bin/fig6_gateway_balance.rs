@@ -54,8 +54,12 @@ fn main() {
     let avg: f64 = means.iter().sum::<f64>() / nodes as f64;
     let max = means.iter().copied().fold(0.0f64, f64::max);
     let min = means.iter().copied().fold(f64::INFINITY, f64::min);
-    println!("\nweek-long mean utilization: avg {:.0}%, min {:.0}%, max {:.0}%",
-        avg * 100.0, min * 100.0, max * 100.0);
+    println!(
+        "\nweek-long mean utilization: avg {:.0}%, min {:.0}%, max {:.0}%",
+        avg * 100.0,
+        min * 100.0,
+        max * 100.0
+    );
 
     let mut rec = ExperimentRecord::new("fig6", "Load is balanced across gateways");
     rec.compare(

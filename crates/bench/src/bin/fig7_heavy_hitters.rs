@@ -60,7 +60,13 @@ fn main() {
     }
     print_table(
         "Fig 7: packet share on the overloaded core",
-        &["Scene", "Top-1 flow %", "Top-2 flow %", "Else %", "Flows on core"],
+        &[
+            "Scene",
+            "Top-1 flow %",
+            "Top-2 flow %",
+            "Else %",
+            "Flows on core",
+        ],
         &rows,
     );
 

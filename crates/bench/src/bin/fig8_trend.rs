@@ -45,9 +45,24 @@ fn main() {
     println!("\n2010→2020 growth: single-core {single_x:.1}x, multi-core {multi_x:.1}x, port speed {port_x:.0}x");
 
     let mut rec = ExperimentRecord::new("fig8", "CPU vs port-speed growth");
-    rec.compare("port speed growth", "40x", format!("{port_x:.0}x"), (port_x - 40.0).abs() < 1.0);
-    rec.compare("multi-core growth", "4x", format!("{multi_x:.1}x"), (3.0..5.5).contains(&multi_x));
-    rec.compare("single-core growth", "2.5x", format!("{single_x:.1}x"), (2.0..3.0).contains(&single_x));
+    rec.compare(
+        "port speed growth",
+        "40x",
+        format!("{port_x:.0}x"),
+        (port_x - 40.0).abs() < 1.0,
+    );
+    rec.compare(
+        "multi-core growth",
+        "4x",
+        format!("{multi_x:.1}x"),
+        (3.0..5.5).contains(&multi_x),
+    );
+    rec.compare(
+        "single-core growth",
+        "2.5x",
+        format!("{single_x:.1}x"),
+        (2.0..3.0).contains(&single_x),
+    );
     rec.compare(
         "port speed outgrows single-core CPU",
         "by ~16x",

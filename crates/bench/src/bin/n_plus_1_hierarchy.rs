@@ -24,7 +24,13 @@ fn main() {
     }
     print_table(
         "N+1 hierarchical clusters (25% active entries, Zipf 1.5 activity)",
-        &["Config", "Hit ratio", "Performance", "Node cost", "Perf/cost"],
+        &[
+            "Config",
+            "Hit ratio",
+            "Performance",
+            "Node cost",
+            "Perf/cost",
+        ],
         &rows,
     );
 

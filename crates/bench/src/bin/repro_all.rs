@@ -58,7 +58,7 @@ fn main() {
         let Ok(text) = std::fs::read_to_string(entry.path()) else {
             continue;
         };
-        let Ok(rec) = serde_json::from_str::<ExperimentRecord>(&text) else {
+        let Ok(rec) = ExperimentRecord::from_json_str(&text) else {
             continue;
         };
         let ok = rec.comparisons.iter().filter(|c| c.holds).count();

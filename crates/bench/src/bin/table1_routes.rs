@@ -44,7 +44,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut rec = ExperimentRecord::new("table1", "Traffic routes across the gateway");
-    let mut run = |route: &str, service: &str, vni: Vni, src_ip: core::net::IpAddr, dst: core::net::IpAddr, want: &str| {
+    let mut run = |route: &str,
+                   service: &str,
+                   vni: Vni,
+                   src_ip: core::net::IpAddr,
+                   dst: core::net::IpAddr,
+                   want: &str| {
         let flow = sailfish_sim::workload::Flow {
             tuple: FiveTuple::new(src_ip, dst, IpProtocol::Tcp, 40000, 443),
             vni,
@@ -56,7 +61,9 @@ fn main() {
         let packet = GatewayPacketBuilder::new(vni, src_ip, dst)
             .transport(IpProtocol::Tcp, 40000, 443)
             .build();
-        let (_, decision) = region.hw[cluster].process(&packet, 0).expect("devices online");
+        let (_, decision) = region.hw[cluster]
+            .process(&packet, 0)
+            .expect("devices online");
         let got = match &decision {
             HwDecision::ToNc { .. } => "forward to NC".to_string(),
             HwDecision::ToRegion { region, .. } => format!("cross-region ({region})"),

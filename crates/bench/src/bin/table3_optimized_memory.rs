@@ -49,10 +49,18 @@ fn main() {
 
     // Reduction claims per IP scenario.
     let mut rec = ExperimentRecord::new("table3", "Occupancy after optimizations");
-    rec.compare("total SRAM %", "36", format!("{:.0}", total.sram_pct),
-        (total.sram_pct - 36.0).abs() < 6.0);
-    rec.compare("total TCAM %", "11", format!("{:.0}", total.tcam_pct),
-        (total.tcam_pct - 11.0).abs() < 6.0);
+    rec.compare(
+        "total SRAM %",
+        "36",
+        format!("{:.0}", total.sram_pct),
+        (total.sram_pct - 36.0).abs() < 6.0,
+    );
+    rec.compare(
+        "total TCAM %",
+        "11",
+        format!("{:.0}", total.tcam_pct),
+        (total.tcam_pct - 11.0).abs() < 6.0,
+    );
 
     for (name, scenario, sram_red, tcam_red) in [
         ("IPv4", MemoryScenario::all_v4(), 38.0, 96.0),
@@ -67,10 +75,18 @@ fn main() {
             "{name}: SRAM {:.0}% -> {:.0}% (-{sram:.0}%), TCAM {:.0}% -> {:.0}% (-{tcam:.0}%)",
             initial.sram_pct, fin.sram_pct, initial.tcam_pct, fin.tcam_pct
         );
-        rec.compare(format!("{name} SRAM reduction %"), format!("{sram_red:.0}"),
-            format!("{sram:.0}"), (sram - sram_red).abs() < 8.0);
-        rec.compare(format!("{name} TCAM reduction %"), format!("{tcam_red:.0}"),
-            format!("{tcam:.0}"), (tcam - tcam_red).abs() < 3.0);
+        rec.compare(
+            format!("{name} SRAM reduction %"),
+            format!("{sram_red:.0}"),
+            format!("{sram:.0}"),
+            (sram - sram_red).abs() < 8.0,
+        );
+        rec.compare(
+            format!("{name} TCAM reduction %"),
+            format!("{tcam_red:.0}"),
+            format!("{tcam:.0}"),
+            (tcam - tcam_red).abs() < 3.0,
+        );
     }
     rec.finish();
 }

@@ -2,15 +2,17 @@
 //!
 //! Every reproduction binary appends its paper-vs-measured comparison to
 //! `experiments/<id>.json` in the workspace root, which backs
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. Records serialize through the in-tree
+//! `sailfish_util::json` writer (the workspace builds offline with no
+//! external crates), keeping the layout the existing files use.
 
 use std::fs;
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
+use sailfish_util::json::{Json, JsonError};
 
 /// One compared quantity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// What is being compared (e.g. "SRAM % after a+b").
     pub metric: String,
@@ -22,8 +24,46 @@ pub struct Comparison {
     pub holds: bool,
 }
 
+impl Comparison {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("metric".to_string(), Json::from(self.metric.clone())),
+            ("paper".to_string(), Json::from(self.paper.clone())),
+            ("measured".to_string(), Json::from(self.measured.clone())),
+            ("holds".to_string(), Json::from(self.holds)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |key: &str| {
+            v.get(key).cloned().ok_or_else(|| JsonError {
+                message: format!("comparison missing field '{key}'"),
+                offset: 0,
+            })
+        };
+        let text = |key: &str| -> Result<String, JsonError> {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| JsonError {
+                    message: format!("comparison field '{key}' is not a string"),
+                    offset: 0,
+                })
+        };
+        Ok(Comparison {
+            metric: text("metric")?,
+            paper: text("paper")?,
+            measured: text("measured")?,
+            holds: field("holds")?.as_bool().ok_or_else(|| JsonError {
+                message: "comparison field 'holds' is not a bool".to_string(),
+                offset: 0,
+            })?,
+        })
+    }
+}
+
 /// A full experiment record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment id (e.g. "fig17").
     pub id: String,
@@ -60,6 +100,47 @@ impl ExperimentRecord {
         self
     }
 
+    /// Serializes to the `experiments/*.json` layout.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("id".to_string(), Json::from(self.id.clone())),
+            ("title".to_string(), Json::from(self.title.clone())),
+            (
+                "comparisons".to_string(),
+                Json::Array(self.comparisons.iter().map(Comparison::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a record from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError {
+                    message: format!("record missing string field '{key}'"),
+                    offset: 0,
+                })
+        };
+        let comparisons = v
+            .get("comparisons")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                message: "record missing array field 'comparisons'".to_string(),
+                offset: 0,
+            })?
+            .iter()
+            .map(Comparison::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentRecord {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            comparisons,
+        })
+    }
+
     /// Directory the records land in (workspace `experiments/`).
     pub fn output_dir() -> PathBuf {
         // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
@@ -75,19 +156,17 @@ impl ExperimentRecord {
         let dir = Self::output_dir();
         let _ = fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.json", self.id));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize record: {e}"),
+        if let Err(e) = fs::write(&path, self.to_json().to_pretty()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
         println!("\n[{}] paper vs measured:", self.id);
         let mut all_hold = true;
         for c in &self.comparisons {
             let mark = if c.holds { "OK " } else { "DIVERGES" };
-            println!("  [{mark}] {:<42} paper: {:<22} measured: {}", c.metric, c.paper, c.measured);
+            println!(
+                "  [{mark}] {:<42} paper: {:<22} measured: {}",
+                c.metric, c.paper, c.measured
+            );
             all_hold &= c.holds;
         }
         println!(
@@ -109,10 +188,21 @@ mod tests {
     fn record_round_trip() {
         let mut r = ExperimentRecord::new("test", "Test record");
         r.compare("m", "1", "1.02", true);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_pretty();
+        let back = ExperimentRecord::from_json_str(&json).unwrap();
+        assert_eq!(back, r);
         assert_eq!(back.comparisons.len(), 1);
         assert_eq!(back.id, "test");
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(ExperimentRecord::from_json_str("{}").is_err());
+        assert!(ExperimentRecord::from_json_str("[1, 2]").is_err());
+        assert!(ExperimentRecord::from_json_str(
+            r#"{"id": "x", "title": "t", "comparisons": [{}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -64,12 +64,7 @@ impl HwCluster {
     }
 
     /// Installs a VM mapping on every device.
-    pub fn install_vm(
-        &mut self,
-        vni: Vni,
-        ip: core::net::IpAddr,
-        nc: NcAddr,
-    ) -> TableResult<()> {
+    pub fn install_vm(&mut self, vni: Vni, ip: core::net::IpAddr, nc: NcAddr) -> TableResult<()> {
         for d in &mut self.devices {
             d.tables.add_vm(vni, ip, nc)?;
         }

@@ -18,8 +18,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
 
 use sailfish_net::Vni;
 use sailfish_sim::metrics::Series;
@@ -76,7 +76,10 @@ impl core::fmt::Display for PlanError {
                 write!(f, "{vni} exceeds single-cluster capacity")
             }
             PlanError::NotEnoughClusters { needed, available } => {
-                write!(f, "plan needs {needed} clusters, only {available} available")
+                write!(
+                    f,
+                    "plan needs {needed} clusters, only {available} available"
+                )
             }
         }
     }
@@ -260,11 +263,7 @@ impl Controller {
 
     /// Periodic consistency check: compares recorded intent against every
     /// device's actual per-VNI route counts.
-    pub fn check_consistency(
-        &self,
-        plan: &SplitPlan,
-        hw: &[HwCluster],
-    ) -> Vec<Inconsistency> {
+    pub fn check_consistency(&self, plan: &SplitPlan, hw: &[HwCluster]) -> Vec<Inconsistency> {
         let mut findings = Vec::new();
         for (vni, expected) in &self.intent {
             let cluster = plan.assignments[vni];
@@ -401,8 +400,7 @@ mod tests {
             assert!(last > first, "{}: entries must grow", s.label);
             // There must be at least one visible jump: a step larger than
             // 20x the median step.
-            let mut steps: Vec<f64> =
-                s.points.windows(2).map(|w| w[1].1 - w[0].1).collect();
+            let mut steps: Vec<f64> = s.points.windows(2).map(|w| w[1].1 - w[0].1).collect();
             steps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let median = steps[steps.len() / 2];
             let max = *steps.last().unwrap();

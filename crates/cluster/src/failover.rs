@@ -190,7 +190,10 @@ mod tests {
         let (victim, _) = before.device_util[0]
             .iter()
             .enumerate()
-            .fold((0, 0.0), |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc });
+            .fold(
+                (0, 0.0),
+                |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc },
+            );
         let outcome = fail_device(&mut region, 0, victim);
         assert_eq!(outcome, RecoveryOutcome::NodeOffline { remaining: 2 });
         let after = region.offer(&flows, 1.0);
@@ -229,7 +232,6 @@ mod tests {
         assert_eq!(after.unrouted_pps, 0.0);
     }
 
-
     #[test]
     fn port_isolation_reduces_capacity_and_restores() {
         let (flows, mut region) = build();
@@ -238,11 +240,16 @@ mod tests {
         let (victim, _) = before.device_util[0]
             .iter()
             .enumerate()
-            .fold((0, 0.0), |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc });
+            .fold(
+                (0, 0.0),
+                |acc, (i, u)| if *u > acc.1 { (i, *u) } else { acc },
+            );
         let outcome = isolate_ports(&mut region, 0, victim, 0.5);
         assert_eq!(
             outcome,
-            RecoveryOutcome::PortsIsolated { remaining_capacity: 0.5 }
+            RecoveryOutcome::PortsIsolated {
+                remaining_capacity: 0.5
+            }
         );
         let degraded = region.offer(&flows, 1.0);
         // Same offered load, roughly doubled utilization on the victim.

@@ -271,7 +271,13 @@ impl Region {
         )?;
         let mut directory = VniDirectory::new();
         let mut controller = Controller::new();
-        controller.install(topology, &plan, &mut hw[..clusters], &mut sw, &mut directory)?;
+        controller.install(
+            topology,
+            &plan,
+            &mut hw[..clusters],
+            &mut sw,
+            &mut directory,
+        )?;
         // Backups mirror their primaries ("hot standby with the same
         // configuration", §6.1).
         if config.with_backup {
@@ -317,7 +323,11 @@ impl Region {
             return FlowPath::Unrouted;
         };
         let packet = GatewayPacketBuilder::new(flow.vni, flow.tuple.src_ip, flow.tuple.dst_ip)
-            .transport(flow.tuple.protocol, flow.tuple.src_port, flow.tuple.dst_port)
+            .transport(
+                flow.tuple.protocol,
+                flow.tuple.src_port,
+                flow.tuple.dst_port,
+            )
             .build();
         match self.hw[cluster].devices[device].classify(&packet) {
             HwDecision::ToNc { .. } | HwDecision::ToRegion { .. } | HwDecision::ToIdc { .. } => {
@@ -590,15 +600,21 @@ mod tests {
     #[test]
     fn consistency_check_is_clean_then_detects_corruption() {
         let (_t, mut region) = small_region();
-        let findings = region.controller.check_consistency(&region.plan, &region.hw);
+        let findings = region
+            .controller
+            .check_consistency(&region.plan, &region.hw);
         assert!(findings.is_empty(), "{findings:?}");
         // Simulate memory corruption/loss on one device by swapping in a
         // fresh (empty) gateway; the checker must localize the fault.
         let (_, &cluster) = region.plan.assignments.iter().next().unwrap();
         region.hw[cluster].devices[1] = sailfish_xgw_h::XgwH::with_defaults();
-        let findings = region.controller.check_consistency(&region.plan, &region.hw);
+        let findings = region
+            .controller
+            .check_consistency(&region.plan, &region.hw);
         assert!(!findings.is_empty());
-        assert!(findings.iter().all(|f| f.cluster == cluster && f.device == 1));
+        assert!(findings
+            .iter()
+            .all(|f| f.cluster == cluster && f.device == 1));
         assert!(findings.iter().all(|f| f.actual == 0 && f.expected > 0));
     }
 
@@ -635,10 +651,7 @@ mod tests {
         assert!(hw_residual_loss_ratio(1.0) >= 0.9e-10 * 0.3);
         assert!(hw_residual_loss_ratio(0.9) > hw_residual_loss_ratio(0.2));
         // Clamped outside [0,1].
-        assert_eq!(
-            hw_residual_loss_ratio(2.0),
-            hw_residual_loss_ratio(1.0)
-        );
+        assert_eq!(hw_residual_loss_ratio(2.0), hw_residual_loss_ratio(1.0));
     }
 
     #[test]

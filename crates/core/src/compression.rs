@@ -197,15 +197,29 @@ pub fn layout_at(
         let (v4, v6) = scenario.split(scenario.route_entries);
         if v4 > 0 {
             place(
-                TableSpec::new("vxlan-routing-v4", MatchKind::Lpm, 24 + 32, 32, v4, Storage::Tcam)
-                    .expect("static spec"),
+                TableSpec::new(
+                    "vxlan-routing-v4",
+                    MatchKind::Lpm,
+                    24 + 32,
+                    32,
+                    v4,
+                    Storage::Tcam,
+                )
+                .expect("static spec"),
                 FoldStep::EgressLoop,
             );
         }
         if v6 > 0 {
             place(
-                TableSpec::new("vxlan-routing-v6", MatchKind::Lpm, 24 + 128, 32, v6, Storage::Tcam)
-                    .expect("static spec"),
+                TableSpec::new(
+                    "vxlan-routing-v6",
+                    MatchKind::Lpm,
+                    24 + 128,
+                    32,
+                    v6,
+                    Storage::Tcam,
+                )
+                .expect("static spec"),
                 FoldStep::EgressLoop,
             );
         }
@@ -241,15 +255,29 @@ pub fn layout_at(
         let (v4, v6) = scenario.split(scenario.vm_entries);
         if v4 > 0 {
             place(
-                TableSpec::new("vm-nc-v4", MatchKind::Exact, 24 + 32, 32, v4, Storage::SramHash)
-                    .expect("static spec"),
+                TableSpec::new(
+                    "vm-nc-v4",
+                    MatchKind::Exact,
+                    24 + 32,
+                    32,
+                    v4,
+                    Storage::SramHash,
+                )
+                .expect("static spec"),
                 FoldStep::IngressLoop,
             );
         }
         if v6 > 0 {
             place(
-                TableSpec::new("vm-nc-v6", MatchKind::Exact, 24 + 128, 32, v6, Storage::SramHash)
-                    .expect("static spec"),
+                TableSpec::new(
+                    "vm-nc-v6",
+                    MatchKind::Exact,
+                    24 + 128,
+                    32,
+                    v6,
+                    Storage::SramHash,
+                )
+                .expect("static spec"),
                 FoldStep::IngressLoop,
             );
         }
@@ -369,8 +397,18 @@ mod tests {
     /// ratio of IPv4/IPv6" once pooling is in place.
     #[test]
     fn pooled_occupancy_is_mix_invariant() {
-        let a = occupancy_at(CompressionStep::All, &MemoryScenario::all_v4(), &cfg(), &alpm());
-        let b = occupancy_at(CompressionStep::All, &MemoryScenario::all_v6(), &cfg(), &alpm());
+        let a = occupancy_at(
+            CompressionStep::All,
+            &MemoryScenario::all_v4(),
+            &cfg(),
+            &alpm(),
+        );
+        let b = occupancy_at(
+            CompressionStep::All,
+            &MemoryScenario::all_v6(),
+            &cfg(),
+            &alpm(),
+        );
         assert!((a.sram_pct - b.sram_pct).abs() < 0.5, "{a} vs {b}");
         assert!((a.tcam_pct - b.tcam_pct).abs() < 0.5);
     }

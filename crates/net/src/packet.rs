@@ -519,7 +519,10 @@ mod tests {
         // Change the outer UDP destination port away from 4789: offsets are
         // eth(14) + ipv4(20) + 2.
         bytes[14 + 20 + 2..14 + 20 + 4].copy_from_slice(&53u16.to_be_bytes());
-        assert_eq!(GatewayPacket::parse(&bytes).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            GatewayPacket::parse(&bytes).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]

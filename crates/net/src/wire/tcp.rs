@@ -135,16 +135,14 @@ impl<T: AsRef<[u8]>> Segment<T> {
     /// Verifies the checksum over an IPv4 pseudo-header.
     pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
         let data = self.buffer.as_ref();
-        let acc =
-            checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
+        let acc = checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
         checksum::finish(checksum::sum(acc, data)) == 0
     }
 
     /// Verifies the checksum over an IPv6 pseudo-header.
     pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
         let data = self.buffer.as_ref();
-        let acc =
-            checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
+        let acc = checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
         checksum::finish(checksum::sum(acc, data)) == 0
     }
 }
@@ -189,8 +187,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
     pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
         let data = self.buffer.as_ref();
-        let acc =
-            checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
+        let acc = checksum::pseudo_header_v4(src, dst, IpProtocol::Tcp.number(), data.len() as u16);
         let sum = checksum::finish(checksum::sum(acc, data));
         self.buffer.as_mut()[16..18].copy_from_slice(&sum.to_be_bytes());
     }
@@ -199,8 +196,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
     pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
         self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
         let data = self.buffer.as_ref();
-        let acc =
-            checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
+        let acc = checksum::pseudo_header_v6(src, dst, IpProtocol::Tcp.number(), data.len() as u32);
         let sum = checksum::finish(checksum::sum(acc, data));
         self.buffer.as_mut()[16..18].copy_from_slice(&sum.to_be_bytes());
     }
@@ -292,7 +288,7 @@ mod tests {
     #[test]
     fn options_shift_payload() {
         // 24-byte header (one option word).
-        let mut buf = vec![0u8; 24 + 3];
+        let mut buf = [0u8; 24 + 3];
         let mut s = Segment::new_unchecked(&mut buf[..]);
         s.set_src_port(1);
         s.set_dst_port(2);

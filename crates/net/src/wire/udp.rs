@@ -135,8 +135,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
     pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
         self.clear_checksum();
         let len = self.len();
-        let acc =
-            checksum::pseudo_header_v6(src, dst, IpProtocol::Udp.number(), u32::from(len));
+        let acc = checksum::pseudo_header_v6(src, dst, IpProtocol::Udp.number(), u32::from(len));
         let sum = checksum::finish(checksum::sum(acc, &self.buffer.as_ref()[..len as usize]));
         let wire = if sum == 0 { 0xffff } else { sum };
         self.buffer.as_mut()[6..8].copy_from_slice(&wire.to_be_bytes());

@@ -1,127 +1,150 @@
-//! Property-based tests for the wire layer.
+//! Property-based tests for the wire layer, on the in-tree seeded
+//! harness (`sailfish_util::check`). Each test generates many cases from
+//! a deterministic stream; failures print a replayable seed.
 
-use proptest::prelude::*;
+use sailfish_util::check;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::Rng;
 
 use sailfish_net::packet::{GatewayPacket, GatewayPacketBuilder};
 use sailfish_net::rss::Toeplitz;
 use sailfish_net::{FiveTuple, IpPrefix, IpProtocol, Vni};
 
-fn arb_v4() -> impl Strategy<Value = std::net::IpAddr> {
-    any::<u32>().prop_map(|v| std::net::IpAddr::V4(std::net::Ipv4Addr::from(v)))
+fn arb_v4(rng: &mut StdRng) -> std::net::IpAddr {
+    std::net::IpAddr::V4(std::net::Ipv4Addr::from(rng.gen::<u32>()))
 }
 
-fn arb_v6() -> impl Strategy<Value = std::net::IpAddr> {
-    any::<u128>().prop_map(|v| std::net::IpAddr::V6(std::net::Ipv6Addr::from(v)))
+fn arb_v6(rng: &mut StdRng) -> std::net::IpAddr {
+    std::net::IpAddr::V6(std::net::Ipv6Addr::from(rng.gen::<u128>()))
 }
 
-fn arb_protocol() -> impl Strategy<Value = IpProtocol> {
-    any::<u8>().prop_map(IpProtocol::from)
+fn arb_protocol(rng: &mut StdRng) -> IpProtocol {
+    IpProtocol::from(rng.gen::<u8>())
 }
 
-fn arb_packet() -> impl Strategy<Value = GatewayPacket> {
-    (
-        0u32..=Vni::MAX,
-        prop_oneof![Just(true), Just(false)],
-        any::<(u32, u32)>(),
-        any::<(u64, u64)>(),
-        arb_protocol(),
-        any::<(u16, u16)>(),
-        0usize..1200,
-    )
-        .prop_map(|(vni, v4, (s4, d4), (s6, d6), protocol, (sp, dp), payload)| {
-            let (src, dst): (std::net::IpAddr, std::net::IpAddr) = if v4 {
-                (
-                    std::net::Ipv4Addr::from(s4).into(),
-                    std::net::Ipv4Addr::from(d4).into(),
-                )
-            } else {
-                (
-                    std::net::Ipv6Addr::from(u128::from(s6) << 32).into(),
-                    std::net::Ipv6Addr::from(u128::from(d6) << 32 | 1).into(),
-                )
-            };
-            GatewayPacketBuilder::new(Vni::from_const(vni), src, dst)
-                .transport(protocol, sp, dp)
-                .payload_len(payload)
-                .build()
-        })
+fn arb_packet(rng: &mut StdRng) -> GatewayPacket {
+    let vni = rng.gen_range(0..=Vni::MAX);
+    let v4 = rng.gen::<bool>();
+    let (src, dst): (std::net::IpAddr, std::net::IpAddr) = if v4 {
+        (
+            std::net::Ipv4Addr::from(rng.gen::<u32>()).into(),
+            std::net::Ipv4Addr::from(rng.gen::<u32>()).into(),
+        )
+    } else {
+        (
+            std::net::Ipv6Addr::from(u128::from(rng.gen::<u64>()) << 32).into(),
+            std::net::Ipv6Addr::from(u128::from(rng.gen::<u64>()) << 32 | 1).into(),
+        )
+    };
+    let protocol = arb_protocol(rng);
+    let (sp, dp) = (rng.gen::<u16>(), rng.gen::<u16>());
+    let payload = rng.gen_range(0usize..1200);
+    GatewayPacketBuilder::new(Vni::from_const(vni), src, dst)
+        .transport(protocol, sp, dp)
+        .payload_len(payload)
+        .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Every packet the builder can produce round-trips losslessly
-    /// through real wire bytes.
-    #[test]
-    fn emit_parse_round_trip(packet in arb_packet()) {
+/// Every packet the builder can produce round-trips losslessly through
+/// real wire bytes.
+#[test]
+fn emit_parse_round_trip() {
+    check::run("emit_parse_round_trip", 512, |rng| {
+        let packet = arb_packet(rng);
         let bytes = packet.emit().expect("builder packets are well-formed");
-        prop_assert_eq!(bytes.len(), packet.wire_len());
+        assert_eq!(bytes.len(), packet.wire_len());
         let parsed = GatewayPacket::parse(&bytes).expect("emitted packets parse");
-        prop_assert_eq!(parsed, packet);
-    }
+        assert_eq!(parsed, packet);
+    });
+}
 
-    /// Truncating an emitted packet anywhere never panics — it returns an
-    /// error (fault-injection guarantee for the parsers).
-    #[test]
-    fn truncation_never_panics(packet in arb_packet(), cut in 0usize..2048) {
+/// Truncating an emitted packet anywhere never panics — it returns an
+/// error (fault-injection guarantee for the parsers).
+#[test]
+fn truncation_never_panics() {
+    check::run("truncation_never_panics", 512, |rng| {
+        let packet = arb_packet(rng);
+        let cut = rng.gen_range(0usize..2048);
         let bytes = packet.emit().expect("well-formed");
         let cut = cut.min(bytes.len().saturating_sub(1));
-        prop_assert!(GatewayPacket::parse(&bytes[..cut]).is_err());
-    }
+        assert!(GatewayPacket::parse(&bytes[..cut]).is_err());
+    });
+}
 
-    /// Flipping any single byte never panics the parser; it either fails
-    /// or yields some packet (corrupted fields are data, not UB).
-    #[test]
-    fn corruption_never_panics(packet in arb_packet(), idx in any::<usize>(), x in 1u8..=255) {
+/// Flipping any single byte never panics the parser; it either fails or
+/// yields some packet (corrupted fields are data, not UB).
+#[test]
+fn corruption_never_panics() {
+    check::run("corruption_never_panics", 512, |rng| {
+        let packet = arb_packet(rng);
         let mut bytes = packet.emit().expect("well-formed");
-        let idx = idx % bytes.len();
+        let idx = rng.gen::<usize>() % bytes.len();
+        let x = rng.gen_range(1u8..=255);
         bytes[idx] ^= x;
         let _ = GatewayPacket::parse(&bytes);
-    }
+    });
+}
 
-    /// Arbitrary byte soup never panics the parser (pure fuzz).
-    #[test]
-    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+/// Arbitrary byte soup never panics the parser (pure fuzz).
+#[test]
+fn random_bytes_never_panic() {
+    check::run("random_bytes_never_panic", 512, |rng| {
+        let bytes = check::vec_of(rng, 0..300, |r| r.gen::<u8>());
         let _ = GatewayPacket::parse(&bytes);
-    }
+    });
+}
 
-    /// The RSS hash is a pure function of the tuple and spreads flows.
-    #[test]
-    fn rss_stable(src in arb_v4(), dst in arb_v4(), sp in any::<u16>(), dp in any::<u16>()) {
+/// The RSS hash is a pure function of the tuple and spreads flows.
+#[test]
+fn rss_stable() {
+    check::run("rss_stable", 512, |rng| {
+        let (src, dst) = (arb_v4(rng), arb_v4(rng));
+        let (sp, dp) = (rng.gen::<u16>(), rng.gen::<u16>());
         let t = FiveTuple::new(src, dst, IpProtocol::Tcp, sp, dp);
         let h = Toeplitz::default();
-        prop_assert_eq!(h.hash_tuple(&t), h.hash_tuple(&t));
+        assert_eq!(h.hash_tuple(&t), h.hash_tuple(&t));
         for queues in [1usize, 2, 32] {
-            prop_assert!(h.queue_for(&t, queues) < queues);
+            assert!(h.queue_for(&t, queues) < queues);
         }
-    }
+    });
+}
 
-    /// v6 tuples hash deterministically too.
-    #[test]
-    fn rss_v6_stable(src in arb_v6(), dst in arb_v6()) {
+/// v6 tuples hash deterministically too.
+#[test]
+fn rss_v6_stable() {
+    check::run("rss_v6_stable", 512, |rng| {
+        let (src, dst) = (arb_v6(rng), arb_v6(rng));
         let t = FiveTuple::new(src, dst, IpProtocol::Udp, 1, 2);
         let h = Toeplitz::default();
-        prop_assert_eq!(h.hash_tuple(&t), h.hash_tuple(&t));
-    }
+        assert_eq!(h.hash_tuple(&t), h.hash_tuple(&t));
+    });
+}
 
-    /// Prefix parsing/display round-trips and containment implies cover.
-    #[test]
-    fn prefix_round_trip(addr in arb_v4(), len in 0u8..=32) {
+/// Prefix parsing/display round-trips and containment implies cover.
+#[test]
+fn prefix_round_trip() {
+    check::run("prefix_round_trip", 512, |rng| {
+        let addr = arb_v4(rng);
+        let len = rng.gen_range(0u8..=32);
         let p = IpPrefix::new(addr, len).expect("len bounded");
         let shown = p.to_string();
         let back: IpPrefix = shown.parse().expect("display parses");
-        prop_assert_eq!(back, p);
+        assert_eq!(back, p);
         // The (masked) network address is always contained.
-        prop_assert!(p.contains(p.addr()));
-    }
+        assert!(p.contains(p.addr()));
+    });
+}
 
-    /// Prefix containment is monotone in length: if a /n prefix of an
-    /// address contains it, so does every shorter prefix of it.
-    #[test]
-    fn prefix_monotone(addr in arb_v4(), len in 1u8..=32) {
+/// Prefix containment is monotone in length: if a /n prefix of an
+/// address contains it, so does every shorter prefix of it.
+#[test]
+fn prefix_monotone() {
+    check::run("prefix_monotone", 512, |rng| {
+        let addr = arb_v4(rng);
+        let len = rng.gen_range(1u8..=32);
         let long = IpPrefix::new(addr, len).expect("bounded");
         let short = IpPrefix::new(addr, len - 1).expect("bounded");
-        prop_assert!(long.contains(addr));
-        prop_assert!(short.contains(addr));
-    }
+        assert!(long.contains(addr));
+        assert!(short.contains(addr));
+    });
 }

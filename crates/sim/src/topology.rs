@@ -10,8 +10,8 @@
 
 use core::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
 
 use sailfish_net::{IpPrefix, Vni};
 use sailfish_tables::types::{IdcId, NcAddr, RegionId, RouteTarget, VxlanRouteKey};
@@ -173,7 +173,8 @@ impl Topology {
             let vm_start = vms.len();
             for k in 0..vm_count {
                 let (v6, s) = subnet_prefixes[k / VMS_PER_SUBNET % subnets];
-                let host = 2 + (k % VMS_PER_SUBNET) as u32
+                let host = 2
+                    + (k % VMS_PER_SUBNET) as u32
                     + (k / (VMS_PER_SUBNET * subnets) * 1000) as u32;
                 let ip = vm_address(v6, s, host);
                 let nc_idx = rng.gen_range(0..config.ncs);
@@ -363,8 +364,7 @@ mod tests {
         let t = Topology::generate(TopologyConfig::default());
         for vpc in &t.vpcs {
             let vms = t.vms_of(vpc);
-            let unique: std::collections::HashSet<IpAddr> =
-                vms.iter().map(|v| v.ip).collect();
+            let unique: std::collections::HashSet<IpAddr> = vms.iter().map(|v| v.ip).collect();
             assert_eq!(unique.len(), vms.len(), "duplicates in {}", vpc.vni);
         }
     }
@@ -437,10 +437,7 @@ mod tests {
         let t = Topology::generate(TopologyConfig::region_scale());
         // DESIGN.md §3: ≈229k routes, ≈459k VMs (±10%).
         let routes = t.routes.len() as f64;
-        assert!(
-            (206_000.0..252_000.0).contains(&routes),
-            "routes {routes}"
-        );
+        assert!((206_000.0..252_000.0).contains(&routes), "routes {routes}");
         let vms = t.vms.len() as f64;
         assert!((430_000.0..490_000.0).contains(&vms), "vms {vms}");
     }

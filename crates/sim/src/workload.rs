@@ -7,8 +7,8 @@
 //!   can even reach tens of Gbps" (§2.3),
 //! - the diurnal + shopping-festival load profile of Figs 4–6 and 19.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
 
 use sailfish_net::{FiveTuple, IpProtocol, Vni};
 
@@ -328,7 +328,11 @@ mod tests {
         rates.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let total: f64 = rates.iter().sum();
         let top5pct: f64 = rates.iter().take(flows.len() / 20).sum();
-        assert!(top5pct / total > 0.85, "top 5% carry {:.2}", top5pct / total);
+        assert!(
+            top5pct / total > 0.85,
+            "top 5% carry {:.2}",
+            top5pct / total
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Zipf law with exponent ≈1.5 reproduces that ratio at region scale; the
 //! exponent is a config knob everywhere it is used.
 
-use rand::Rng;
+use sailfish_util::rand::Rng;
 
 /// Normalized Zipf weights: `w[i] ∝ (i+1)^-s`, summing to 1.
 pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
@@ -69,8 +69,8 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sailfish_util::rand::rngs::StdRng;
+    use sailfish_util::rand::SeedableRng;
 
     #[test]
     fn weights_normalized_and_decreasing() {

@@ -126,9 +126,7 @@ impl AclTable {
                 return Err(Error::CapacityExceeded);
             }
         }
-        let idx = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let idx = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(idx, rule);
         Ok(())
     }
@@ -172,9 +170,15 @@ mod tests {
     #[test]
     fn default_applies_when_no_rule_matches() {
         let acl = AclTable::new(AclAction::Permit, None);
-        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Permit);
+        assert_eq!(
+            acl.evaluate(Vni::from_const(1), &tuple(80)),
+            AclAction::Permit
+        );
         let acl = AclTable::new(AclAction::Deny, None);
-        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Deny);
+        assert_eq!(
+            acl.evaluate(Vni::from_const(1), &tuple(80)),
+            AclAction::Deny
+        );
     }
 
     #[test]
@@ -204,8 +208,14 @@ mod tests {
             action: AclAction::Permit,
         })
         .unwrap();
-        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(443)), AclAction::Permit);
-        assert_eq!(acl.evaluate(Vni::from_const(1), &tuple(80)), AclAction::Deny);
+        assert_eq!(
+            acl.evaluate(Vni::from_const(1), &tuple(443)),
+            AclAction::Permit
+        );
+        assert_eq!(
+            acl.evaluate(Vni::from_const(1), &tuple(80)),
+            AclAction::Deny
+        );
     }
 
     #[test]
@@ -222,8 +232,14 @@ mod tests {
             action: AclAction::Deny,
         })
         .unwrap();
-        assert_eq!(acl.evaluate(Vni::from_const(7), &tuple(80)), AclAction::Deny);
-        assert_eq!(acl.evaluate(Vni::from_const(8), &tuple(80)), AclAction::Permit);
+        assert_eq!(
+            acl.evaluate(Vni::from_const(7), &tuple(80)),
+            AclAction::Deny
+        );
+        assert_eq!(
+            acl.evaluate(Vni::from_const(8), &tuple(80)),
+            AclAction::Permit
+        );
     }
 
     #[test]
@@ -249,7 +265,10 @@ mod tests {
         let mut acl = AclTable::new(AclAction::Permit, Some(1));
         let rule = AclRule::permit_all(1);
         acl.insert(rule.clone()).unwrap();
-        assert_eq!(acl.insert(AclRule::permit_all(2)), Err(Error::CapacityExceeded));
+        assert_eq!(
+            acl.insert(AclRule::permit_all(2)),
+            Err(Error::CapacityExceeded)
+        );
         acl.remove(&rule).unwrap();
         assert_eq!(acl.remove(&rule), Err(Error::NotFound));
         assert!(acl.is_empty());

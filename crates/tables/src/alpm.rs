@@ -512,8 +512,8 @@ mod tests {
 
     #[test]
     fn randomized_equivalence_with_reference() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use sailfish_util::rand::rngs::StdRng;
+        use sailfish_util::rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xa1b2);
         let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: 3 });
         let mut keys: Vec<Key128> = Vec::new();

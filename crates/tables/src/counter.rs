@@ -76,9 +76,21 @@ mod tests {
         c.count(0, 100);
         c.count(0, 50);
         c.count(3, 25);
-        assert_eq!(c.get(0), Counter { packets: 2, bytes: 150 });
+        assert_eq!(
+            c.get(0),
+            Counter {
+                packets: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(c.get(1), Counter::default());
-        assert_eq!(c.total(), Counter { packets: 3, bytes: 175 });
+        assert_eq!(
+            c.total(),
+            Counter {
+                packets: 3,
+                bytes: 175
+            }
+        );
     }
 
     #[test]

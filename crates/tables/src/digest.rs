@@ -230,10 +230,7 @@ mod tests {
         let k6 = v6key(7, 0x1234_5678_9abc_def0);
         let (vni, addr) = k6.canonical_bits();
         let d = digest32(vni, addr);
-        let v4 = VmKey::new(
-            Vni::from_const(7),
-            IpAddr::V4(core::net::Ipv4Addr::from(d)),
-        );
+        let v4 = VmKey::new(Vni::from_const(7), IpAddr::V4(core::net::Ipv4Addr::from(d)));
         t.insert(k6, "six").unwrap();
         t.insert(v4, "four").unwrap();
         assert_eq!(t.get(&k6), Some(&"six"));

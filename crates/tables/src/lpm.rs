@@ -186,12 +186,7 @@ impl<T> Lpm128<T> {
                 None => break,
             }
         }
-        best.map(|(len, data)| {
-            (
-                Key128::new(addr, len).expect("len bounded by 128"),
-                data,
-            )
-        })
+        best.map(|(len, data)| (Key128::new(addr, len).expect("len bounded by 128"), data))
     }
 
     /// Iterates over all `(key, value)` pairs in lexicographic order.
@@ -384,8 +379,8 @@ mod tests {
     // Differential test against a naive scan.
     #[test]
     fn matches_naive_scan_on_random_input() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use sailfish_util::rand::rngs::StdRng;
+        use sailfish_util::rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0x5a11_f154);
         let mut t = Lpm128::new();
         let mut entries: Vec<(Key128, u32)> = Vec::new();

@@ -24,9 +24,7 @@ use crate::lpm::{Key128, Lpm128};
 /// plane (IPv4 prefixes are MSB-aligned with their native length).
 pub fn plane_key(prefix: &IpPrefix) -> Key128 {
     match prefix {
-        IpPrefix::V4(p) => {
-            Key128::new(u128::from(p.bits()) << 96, p.len()).expect("v4 len <= 32")
-        }
+        IpPrefix::V4(p) => Key128::new(u128::from(p.bits()) << 96, p.len()).expect("v4 len <= 32"),
         IpPrefix::V6(p) => Key128::new(p.bits(), p.len()).expect("v6 len <= 128"),
     }
 }
@@ -270,8 +268,8 @@ mod tests {
 
     #[test]
     fn pooled_alpm_matches_map() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use sailfish_util::rand::rngs::StdRng;
+        use sailfish_util::rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(77);
         let mut map = PooledPrefixMap::new();
         let mut alpm = PooledAlpm::new(AlpmConfig { bucket_capacity: 4 });

@@ -89,7 +89,10 @@ impl SnatTable {
             !config.public_ips.is_empty(),
             "SNAT needs at least one public IP"
         );
-        assert!(config.port_range.0 <= config.port_range.1, "empty port range");
+        assert!(
+            config.port_range.0 <= config.port_range.1,
+            "empty port range"
+        );
         let mut free = Vec::new();
         // LIFO order: reverse so the first allocation is (ip 0, low port).
         for (idx, _) in config.public_ips.iter().enumerate().rev() {

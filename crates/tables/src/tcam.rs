@@ -131,7 +131,10 @@ impl<T> Tcam<T> {
     pub fn shadowed(&self) -> Vec<usize> {
         let mut out = Vec::new();
         for (i, (entry, _)) in self.entries.iter().enumerate() {
-            if self.entries[..i].iter().any(|(above, _)| above.covers(entry)) {
+            if self.entries[..i]
+                .iter()
+                .any(|(above, _)| above.covers(entry))
+            {
                 out.push(i);
             }
         }

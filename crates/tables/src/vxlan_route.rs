@@ -187,14 +187,8 @@ mod tests {
     #[test]
     fn routing_loop_detected() {
         let mut t = VxlanRoutingTable::new();
-        t.insert(
-            key(1, "10.0.0.0/8"),
-            RouteTarget::Peer(Vni::from_const(2)),
-        );
-        t.insert(
-            key(2, "10.0.0.0/8"),
-            RouteTarget::Peer(Vni::from_const(1)),
-        );
+        t.insert(key(1, "10.0.0.0/8"), RouteTarget::Peer(Vni::from_const(2)));
+        t.insert(key(2, "10.0.0.0/8"), RouteTarget::Peer(Vni::from_const(1)));
         assert_eq!(
             t.resolve(Vni::from_const(1), "10.1.1.1".parse().unwrap()),
             Err(Error::RoutingLoop)

@@ -1,28 +1,32 @@
-//! Property-based tests for the core table structures.
+//! Property-based tests for the core table structures, on the in-tree
+//! seeded harness (`sailfish_util::check`).
 //!
 //! Strategy: every compressed/hardware-shaped structure must be
 //! observationally equivalent to a trivially-correct reference model under
 //! arbitrary interleavings of inserts, removes and lookups.
 
-use proptest::prelude::*;
+use sailfish_util::check;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::Rng;
 
+use sailfish_net::Vni;
 use sailfish_tables::alpm::{AlpmConfig, AlpmTable};
 use sailfish_tables::digest::DigestExactTable;
 use sailfish_tables::lpm::{Key128, Lpm128};
 use sailfish_tables::tcam::{Tcam, TcamEntry};
 use sailfish_tables::types::VmKey;
-use sailfish_net::Vni;
 
-/// Small key space so prefixes overlap aggressively.
-fn arb_key() -> impl Strategy<Value = Key128> {
-    (0u128..16, 0u8..=12).prop_map(|(v, len)| {
-        // Spread the 4 value bits across the top 12 bits.
-        Key128::new(v << 116, len).unwrap()
-    })
+/// Small key space so prefixes overlap aggressively. Spreads 4 value
+/// bits across the top 12 bits.
+fn arb_key(rng: &mut StdRng) -> Key128 {
+    let v = rng.gen_range(0u128..16);
+    let len = rng.gen_range(0u8..=12);
+    Key128::new(v << 116, len).unwrap()
 }
 
-fn arb_addr() -> impl Strategy<Value = u128> {
-    (0u128..16, any::<u64>()).prop_map(|(hi, lo)| hi << 116 | u128::from(lo))
+fn arb_addr(rng: &mut StdRng) -> u128 {
+    let hi = rng.gen_range(0u128..16);
+    hi << 116 | u128::from(rng.gen::<u64>())
 }
 
 #[derive(Debug, Clone)]
@@ -32,20 +36,19 @@ enum Op {
     Lookup(u128),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_key(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        arb_key().prop_map(Op::Remove),
-        arb_addr().prop_map(Op::Lookup),
-    ]
+fn arb_op(rng: &mut StdRng) -> Op {
+    match check::one_of(rng, 3) {
+        0 => Op::Insert(arb_key(rng), rng.gen::<u32>()),
+        1 => Op::Remove(arb_key(rng)),
+        _ => Op::Lookup(arb_addr(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The trie agrees with a naive scan under arbitrary operations.
-    #[test]
-    fn lpm_matches_naive(ops in prop::collection::vec(arb_op(), 1..120)) {
+/// The trie agrees with a naive scan under arbitrary operations.
+#[test]
+fn lpm_matches_naive() {
+    check::run("lpm_matches_naive", 256, |rng| {
+        let ops = check::vec_of(rng, 1..120, arb_op);
         let mut trie = Lpm128::new();
         let mut naive: Vec<(Key128, u32)> = Vec::new();
         for op in ops {
@@ -53,13 +56,13 @@ proptest! {
                 Op::Insert(k, v) => {
                     let old = trie.insert(k, v);
                     let pos = naive.iter().position(|(nk, _)| *nk == k);
-                    prop_assert_eq!(old, pos.map(|i| naive.remove(i).1));
+                    assert_eq!(old, pos.map(|i| naive.remove(i).1));
                     naive.push((k, v));
                 }
                 Op::Remove(k) => {
                     let old = trie.remove(k);
                     let pos = naive.iter().position(|(nk, _)| *nk == k);
-                    prop_assert_eq!(old, pos.map(|i| naive.remove(i).1));
+                    assert_eq!(old, pos.map(|i| naive.remove(i).1));
                 }
                 Op::Lookup(addr) => {
                     let got = trie.lookup(addr).map(|(k, v)| (k.len, *v));
@@ -68,50 +71,58 @@ proptest! {
                         .filter(|(k, _)| k.contains(addr))
                         .max_by_key(|(k, _)| k.len)
                         .map(|(k, v)| (k.len, *v));
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
-            prop_assert_eq!(trie.len(), naive.len());
+            assert_eq!(trie.len(), naive.len());
         }
-    }
+    });
+}
 
-    /// ALPM's compressed path agrees with its own authoritative trie and
-    /// keeps its structural invariants, for every bucket capacity.
-    #[test]
-    fn alpm_equivalent_and_sound(
-        cap in 1usize..6,
-        ops in prop::collection::vec(arb_op(), 1..100),
-        probes in prop::collection::vec(arb_addr(), 20),
-    ) {
-        let mut t = AlpmTable::new(AlpmConfig { bucket_capacity: cap });
+/// ALPM's compressed path agrees with its own authoritative trie and
+/// keeps its structural invariants, for every bucket capacity.
+#[test]
+fn alpm_equivalent_and_sound() {
+    check::run("alpm_equivalent_and_sound", 256, |rng| {
+        let cap = rng.gen_range(1usize..6);
+        let ops = check::vec_of(rng, 1..100, arb_op);
+        let probes: Vec<u128> = (0..20).map(|_| arb_addr(rng)).collect();
+        let mut t = AlpmTable::new(AlpmConfig {
+            bucket_capacity: cap,
+        });
         for op in ops {
             match op {
-                Op::Insert(k, v) => { t.insert(k, v).unwrap(); }
-                Op::Remove(k) => { t.remove(k); }
+                Op::Insert(k, v) => {
+                    t.insert(k, v).unwrap();
+                }
+                Op::Remove(k) => {
+                    t.remove(k);
+                }
                 Op::Lookup(addr) => {
                     let got = t.lookup(addr).map(|(k, v)| (k.len, *v));
                     let want = t.lookup_reference(addr).map(|(k, v)| (k.len, *v));
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
-        prop_assert!(t.audit().is_ok(), "{:?}", t.audit());
+        assert!(t.audit().is_ok(), "{:?}", t.audit());
         for addr in probes {
             let got = t.lookup(addr).map(|(k, v)| (k.len, *v));
             let want = t.lookup_reference(addr).map(|(k, v)| (k.len, *v));
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
         // Compression bound: first-level TCAM entries never exceed total
         // routes (each partition holds >= 1 entry).
-        prop_assert!(t.stats().tcam_entries <= t.len().max(1));
-    }
+        assert!(t.stats().tcam_entries <= t.len().max(1));
+    });
+}
 
-    /// The TCAM in LPM configuration agrees with the trie.
-    #[test]
-    fn tcam_lpm_matches_trie(
-        keys in prop::collection::vec((arb_key(), any::<u32>()), 1..60),
-        probes in prop::collection::vec(arb_addr(), 30),
-    ) {
+/// The TCAM in LPM configuration agrees with the trie.
+#[test]
+fn tcam_lpm_matches_trie() {
+    check::run("tcam_lpm_matches_trie", 256, |rng| {
+        let keys = check::vec_of(rng, 1..60, |r| (arb_key(r), r.gen::<u32>()));
+        let probes: Vec<u128> = (0..30).map(|_| arb_addr(rng)).collect();
         let mut tcam = Tcam::new(None);
         let mut trie = Lpm128::new();
         for (k, v) in keys {
@@ -119,21 +130,29 @@ proptest! {
             // identical entry sets.
             if trie.get_exact(k).is_none() {
                 trie.insert(k, v);
-                tcam.insert(TcamEntry::from_prefix(k.value, k.len).unwrap(), v).unwrap();
+                tcam.insert(TcamEntry::from_prefix(k.value, k.len).unwrap(), v)
+                    .unwrap();
             }
         }
         for addr in probes {
             let got = tcam.lookup(addr).map(|(e, v)| (e.priority, *v));
             let want = trie.lookup(addr).map(|(k, v)| (u32::from(k.len), *v));
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
-    }
+    });
+}
 
-    /// The digest table behaves exactly like a hash map on VmKeys.
-    #[test]
-    fn digest_table_matches_hashmap(
-        keys in prop::collection::vec((0u32..64, 0u128..1024, any::<bool>()), 1..200),
-    ) {
+/// The digest table behaves exactly like a hash map on VmKeys.
+#[test]
+fn digest_table_matches_hashmap() {
+    check::run("digest_table_matches_hashmap", 256, |rng| {
+        let keys = check::vec_of(rng, 1..200, |r| {
+            (
+                r.gen_range(0u32..64),
+                r.gen_range(0u128..1024),
+                r.gen::<bool>(),
+            )
+        });
         let mut digest = DigestExactTable::new();
         let mut seen = std::collections::HashSet::new();
         for (i, (vni, addr, v6)) in keys.iter().enumerate() {
@@ -146,7 +165,7 @@ proptest! {
             let inserted = digest.insert(key, i).is_ok();
             // Digest table rejects duplicates; membership must agree with
             // a plain set.
-            prop_assert_eq!(inserted, seen.insert(key));
+            assert_eq!(inserted, seen.insert(key));
         }
         // Lookups agree with first-insert-wins semantics.
         let mut first_wins = std::collections::HashMap::new();
@@ -160,8 +179,8 @@ proptest! {
             first_wins.entry(key).or_insert(i);
         }
         for (key, want) in &first_wins {
-            prop_assert_eq!(digest.get(key), Some(want));
+            assert_eq!(digest.get(key), Some(want));
         }
-        prop_assert_eq!(digest.len(), first_wins.len());
-    }
+        assert_eq!(digest.len(), first_wins.len());
+    });
 }

@@ -1,0 +1,468 @@
+//! A lightweight benchmark harness: warmup, timed samples, median/p99
+//! ns-per-op, and a JSON report written with the in-tree writer.
+//!
+//! The API is shaped like the slice of criterion this workspace used —
+//! groups, `bench_function`, `iter`/`iter_batched`, element/byte
+//! throughput — so benches read the same, but everything runs in-tree
+//! with zero dependencies and is tunable for CI smoke runs:
+//!
+//! * `SAILFISH_BENCH_SAMPLES` — timed samples per benchmark (default 20)
+//! * `SAILFISH_BENCH_TARGET_MS` — target wall time per sample (default 5)
+//! * `SAILFISH_BENCH_JSON` — if set, write the report to this path
+//!
+//! ```no_run
+//! use sailfish_util::bench::Harness;
+//!
+//! let mut h = Harness::from_env("tables");
+//! let mut g = h.group("lpm_lookup");
+//! g.throughput_elements(1024);
+//! g.bench_function("trie", |b| b.iter(|| 2 + 2));
+//! g.finish();
+//! h.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// What one iteration of a benchmark processes, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// `n` logical elements per iteration.
+    Elements(u64),
+    /// `n` bytes per iteration.
+    Bytes(u64),
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per operation.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Group name (empty for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Samples actually timed.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median ns/op across samples.
+    pub median_ns: f64,
+    /// 99th-percentile ns/op across samples (nearest-rank).
+    pub p99_ns: f64,
+    /// Fastest sample's ns/op.
+    pub min_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Stats {
+    fn full_name(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+
+    /// Element- or byte-rate derived from the median, if declared.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let per_iter = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        (self.median_ns > 0.0).then(|| per_iter * 1e9 / self.median_ns)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::from(self.full_name())),
+            ("samples".to_string(), Json::from(self.samples)),
+            (
+                "iters_per_sample".to_string(),
+                Json::from(self.iters_per_sample),
+            ),
+            ("median_ns".to_string(), Json::Num(self.median_ns)),
+            ("p99_ns".to_string(), Json::Num(self.p99_ns)),
+            ("min_ns".to_string(), Json::Num(self.min_ns)),
+        ];
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                fields.push(("elements_per_iter".to_string(), Json::from(n)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                fields.push(("bytes_per_iter".to_string(), Json::from(n)));
+            }
+            None => {}
+        }
+        if let Some(rate) = self.rate_per_sec() {
+            fields.push(("rate_per_sec".to_string(), Json::Num(rate)));
+        }
+        Json::Object(fields)
+    }
+}
+
+/// Tuning knobs, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Target wall time per sample; iteration count is calibrated to it.
+    pub target_sample_time: Duration,
+    /// Warmup time before calibration.
+    pub warmup: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            samples: 20,
+            target_sample_time: Duration::from_millis(5),
+            warmup: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Config {
+    /// Reads `SAILFISH_BENCH_SAMPLES` / `SAILFISH_BENCH_TARGET_MS`,
+    /// falling back to defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(s) = env_u64("SAILFISH_BENCH_SAMPLES") {
+            cfg.samples = (s as usize).max(1);
+        }
+        if let Some(ms) = env_u64("SAILFISH_BENCH_TARGET_MS") {
+            cfg.target_sample_time = Duration::from_millis(ms.max(1));
+            cfg.warmup = Duration::from_millis(ms.max(1));
+        }
+        cfg
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Collects benchmarks, prints a summary table, optionally writes JSON.
+pub struct Harness {
+    suite: String,
+    config: Config,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite, tuned from the environment.
+    pub fn from_env(suite: &str) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            config: Config::from_env(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Creates a harness with explicit configuration.
+    pub fn with_config(suite: &str, config: Config) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(String::new(), name.to_string(), None, f);
+    }
+
+    fn run_one<F>(&mut self, group: String, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: self.config.clone(),
+            stats: None,
+        };
+        f(&mut b);
+        let Some((samples_ns, iters)) = b.stats else {
+            eprintln!("warning: benchmark {name} never called iter(); skipped");
+            return;
+        };
+        let mut per_op: Vec<f64> = samples_ns
+            .iter()
+            .map(|ns| *ns as f64 / iters as f64)
+            .collect();
+        per_op.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let stats = Stats {
+            group,
+            name,
+            samples: per_op.len(),
+            iters_per_sample: iters,
+            median_ns: percentile(&per_op, 50.0),
+            p99_ns: percentile(&per_op, 99.0),
+            min_ns: per_op[0],
+            throughput,
+        };
+        let rate = stats
+            .rate_per_sec()
+            .map(|r| format!("  ({})", human_rate(r, stats.throughput)))
+            .unwrap_or_default();
+        println!(
+            "{:<48} median {:>12}  p99 {:>12}{rate}",
+            stats.full_name(),
+            human_ns(stats.median_ns),
+            human_ns(stats.p99_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// All collected results so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Prints the closing line and honours `SAILFISH_BENCH_JSON`.
+    pub fn finish(self) {
+        println!(
+            "\n{}: {} benchmarks, {} samples each",
+            self.suite,
+            self.results.len(),
+            self.config.samples
+        );
+        if let Ok(path) = std::env::var("SAILFISH_BENCH_JSON") {
+            let report = Json::Object(vec![
+                ("suite".to_string(), Json::from(self.suite.clone())),
+                (
+                    "benchmarks".to_string(),
+                    Json::Array(self.results.iter().map(Stats::to_json).collect()),
+                ),
+            ]);
+            match std::fs::write(&path, report.to_pretty() + "\n") {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Declares how many elements one iteration processes.
+    pub fn throughput_elements(&mut self, n: u64) {
+        self.throughput = Some(Throughput::Elements(n));
+    }
+
+    /// Declares how many bytes one iteration processes.
+    pub fn throughput_bytes(&mut self, n: u64) {
+        self.throughput = Some(Throughput::Bytes(n));
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        self.harness.run_one(group, name.to_string(), throughput, f);
+    }
+
+    /// Closes the group (drop also suffices; this mirrors criterion).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; times the routine it is given.
+pub struct Bencher {
+    config: Config,
+    stats: Option<(Vec<u64>, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in calibrated batches.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warmup: run until the warmup budget elapses (at least once).
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.config.warmup {
+                break;
+            }
+        }
+        // Calibrate iterations per sample from the observed warmup rate.
+        let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters);
+        let target = self.config.target_sample_time.as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+
+        let mut samples = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        self.stats = Some((samples, iters));
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded by timing each call individually.
+    pub fn iter_batched<S, R, Fs, Fr>(&mut self, mut setup: Fs, mut routine: Fr)
+    where
+        Fs: FnMut() -> S,
+        Fr: FnMut(S) -> R,
+    {
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let mut measured_ns: u128 = 0;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured_ns += start.elapsed().as_nanos();
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.config.warmup {
+                break;
+            }
+        }
+        let per_iter = (measured_ns / u128::from(warmup_iters)).max(1);
+        let target = self.config.target_sample_time.as_nanos();
+        let iters = (target / per_iter).clamp(1, u128::from(u32::MAX)) as u64;
+
+        let mut samples = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let mut sample_ns: u128 = 0;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                sample_ns += start.elapsed().as_nanos();
+            }
+            samples.push(sample_ns.min(u128::from(u64::MAX)) as u64);
+        }
+        self.stats = Some((samples, iters));
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(rate: f64, throughput: Option<Throughput>) -> String {
+    let unit = match throughput {
+        Some(Throughput::Bytes(_)) => "B/s",
+        _ => "elem/s",
+    };
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.0} {unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Config {
+        Config {
+            samples: 3,
+            target_sample_time: Duration::from_micros(200),
+            warmup: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut h = Harness::with_config("selftest", quick_config());
+        let mut g = h.group("g");
+        g.throughput_elements(1);
+        g.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64) + 1));
+        g.finish();
+        assert_eq!(h.results().len(), 1);
+        let s = &h.results()[0];
+        assert_eq!(s.full_name(), "g/add");
+        assert!(s.median_ns > 0.0);
+        assert!(s.p99_ns >= s.median_ns);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.rate_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut h = Harness::with_config("selftest", quick_config());
+        h.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| v.iter().map(|x| *x as u64).sum::<u64>(),
+            )
+        });
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 50.0), 2.0);
+        assert_eq!(percentile(&data, 99.0), 4.0);
+        assert_eq!(percentile(&data, 100.0), 4.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let s = Stats {
+            group: "g".into(),
+            name: "n".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            median_ns: 5.0,
+            p99_ns: 9.0,
+            min_ns: 4.0,
+            throughput: Some(Throughput::Elements(100)),
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("g/n"));
+        assert_eq!(j.get("median_ns").and_then(Json::as_f64), Some(5.0));
+        assert!(j.get("rate_per_sec").is_some());
+    }
+}

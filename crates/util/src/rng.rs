@@ -1,0 +1,417 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! Two classic generators — SplitMix64 (seed expansion, stateless jumps)
+//! and xoshiro256++ (the workhorse stream) — behind a facade that mirrors
+//! the tiny slice of the `rand` crate API this workspace uses:
+//! `seed_from_u64`, `gen`, `gen_range`, `gen_bool`, `shuffle`, `choose`.
+//! Sequences are stable across runs, platforms and Rust versions: the
+//! whole point is that every experiment in `experiments/` is replayable
+//! from its seed alone.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Minimal generator core: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits (upper half of a
+    /// 64-bit draw, which are the strongest bits of xoshiro256++).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns the next 128 uniformly distributed bits.
+    fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+}
+
+/// SplitMix64: a tiny, fast, well-distributed 64-bit generator. Used for
+/// seed expansion (as Blackman & Vigna recommend) and wherever a single
+/// cheap stateless stream is enough.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019): 256 bits of state, period
+/// 2^256 − 1, passes BigCrush. The default stream for all workloads.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Construction from a 64-bit seed (the only seeding form the workspace
+/// uses). Matches `rand::SeedableRng::seed_from_u64` in spirit.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 so similar seeds yield
+        // uncorrelated states, and the all-zero state is unreachable.
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// Types that `Rng::gen` can produce from raw bits.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u128()
+    }
+}
+
+impl Standard for i128 {
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u128() as i128
+    }
+}
+
+impl Standard for bool {
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn generate<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can sample uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[low, high)` — or `[low, high]` when `inclusive`.
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Uniform draw in `[0, span)` without modulo bias for spans that fit in
+/// 64 bits (fixed-point multiply); 128-bit spans fall back to modulo,
+/// whose bias is immeasurable at the span sizes this workspace uses.
+fn draw_below<G: RngCore + ?Sized>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u128::from(u64::MAX) {
+        (u128::from(rng.next_u64()) * span) >> 64
+    } else {
+        rng.next_u128() % span
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range");
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                }
+                // Width of the range as an unsigned offset; signed types
+                // map through wrapping arithmetic (two's complement).
+                let width = (high as $u).wrapping_sub(low as $u);
+                let span = (width as u128).wrapping_add(u128::from(inclusive));
+                if span == 0 || span > <$u>::MAX as u128 {
+                    // Full-width inclusive range: every bit pattern is fair.
+                    return <$t>::generate(rng);
+                }
+                let draw = draw_below(rng, span) as $u;
+                (low as $u).wrapping_add(draw) as $t
+            }
+        }
+    )*}
+}
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, u128 => u128,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128
+);
+
+impl SampleUniform for f64 {
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = f64::generate(rng);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = f32::generate(rng);
+        low + unit * (high - low)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+/// The user-facing generator surface, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Draws one uniformly distributed value of the inferred type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+
+    /// Draws uniformly from `low..high` or `low..=high`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks one element uniformly, or `None` from an empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+
+    /// Samples `k` indices from `0..n` without replacement (partial
+    /// Fisher–Yates over an index vector; `k` is clamped to `n`).
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let k = k.min(n);
+        for i in 0..k {
+            let j = self.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // First three outputs for seed 0, from the public-domain
+        // reference implementation (Vigna, splitmix64.c).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(sm.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(sm.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u8 = rng.gen_range(0..=24);
+            assert!(w <= 24);
+            let f = rng.gen_range(0.6..1.1);
+            assert!((0.6..1.1).contains(&f));
+            let x = rng.gen_range(0..1u128 << 90);
+            assert!(x < 1u128 << 90);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_span() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_and_sample_indices() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        assert!(rng.choose::<u8>(&[]).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+        let s = rng.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4, "no repeats: {s:?}");
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_panic() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: u8 = rng.gen_range(0..=u8::MAX);
+    }
+}

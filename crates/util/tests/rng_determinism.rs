@@ -1,0 +1,99 @@
+//! Determinism guarantees of the in-tree PRNG: identical seeds must
+//! produce identical sequences across independent runs — the property
+//! every experiment record and seed test in this workspace leans on.
+
+use sailfish_util::rand::rngs::{SplitMix64, StdRng};
+use sailfish_util::rand::{Rng, RngCore, SeedableRng};
+
+/// Draws a mixed-type sequence exercising the whole generator surface.
+fn mixed_sequence(seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        out.push(format!("u64:{}", rng.gen::<u64>()));
+        out.push(format!("u128:{}", rng.gen::<u128>()));
+        out.push(format!("range:{}", rng.gen_range(0..1_000_000usize)));
+        out.push(format!("incl:{}", rng.gen_range(0..=24u8)));
+        out.push(format!("f64:{:.17}", rng.gen::<f64>()));
+        out.push(format!("frange:{:.17}", rng.gen_range(0.6..1.1)));
+        out.push(format!("bool:{}", rng.gen_bool(0.3)));
+        let mut v: Vec<u32> = (0..16).collect();
+        rng.shuffle(&mut v);
+        out.push(format!("shuffle:{v:?}"));
+        out.push(format!("sample:{:?}", rng.sample_indices(10, 3)));
+    }
+    out
+}
+
+/// Two generators with the same seed produce identical sequences across
+/// two independent runs, for several seeds.
+#[test]
+fn identical_seeds_give_identical_sequences() {
+    for seed in [0u64, 1, 42, 0x5a11_f154, u64::MAX] {
+        assert_eq!(
+            mixed_sequence(seed),
+            mixed_sequence(seed),
+            "seed {seed} diverged between runs"
+        );
+    }
+}
+
+/// Different seeds give different streams (no seed aliasing across the
+/// values the workspace actually uses).
+#[test]
+fn distinct_seeds_give_distinct_sequences() {
+    let seeds = [0u64, 1, 2, 7, 42, 77, 1234, 0xa1b2, 0xc3d4, 0x5a11_f154];
+    let streams: Vec<Vec<String>> = seeds.iter().map(|s| mixed_sequence(*s)).collect();
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            assert_ne!(
+                streams[i], streams[j],
+                "seeds {} and {} alias",
+                seeds[i], seeds[j]
+            );
+        }
+    }
+}
+
+/// The raw u64 streams are pinned to golden values: any change to the
+/// generator algorithm or seeding path is a breaking change for every
+/// recorded experiment, and must show up here first.
+#[test]
+fn stream_is_pinned_to_golden_values() {
+    let mut sm = SplitMix64::seed_from_u64(0);
+    let sm_first: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+    assert_eq!(
+        sm_first,
+        vec![0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f],
+        "SplitMix64 stream changed"
+    );
+
+    // xoshiro256++ seeded through SplitMix64, matching the widely used
+    // rand_xoshiro `seed_from_u64` construction, so sequences recorded
+    // in experiments are reproducible by third parties too.
+    let mut xo = StdRng::seed_from_u64(0);
+    let xo_first: Vec<u64> = (0..4).map(|_| xo.next_u64()).collect();
+    assert_eq!(
+        xo_first,
+        vec![
+            0x53175d61490b23df,
+            0x61da6f3dc380d507,
+            0x5c0fdf91ec9a7bfc,
+            0x02eebf8c3bbe5e1a,
+        ],
+        "xoshiro256++ stream for seed 0 changed"
+    );
+
+    let mut xo = StdRng::seed_from_u64(42);
+    let xo42: Vec<u64> = (0..4).map(|_| xo.next_u64()).collect();
+    assert_eq!(
+        xo42,
+        vec![
+            0xd0764d4f4476689f,
+            0x519e4174576f3791,
+            0xfbe07cfb0c24ed8c,
+            0xb37d9f600cd835b8,
+        ],
+        "xoshiro256++ stream for seed 42 changed"
+    );
+}

@@ -116,40 +116,89 @@ pub fn service_tables() -> Vec<PlacedTable> {
     // Ingress Pipe 0/2: tunnel/vport classification, per-tenant ACL,
     // meters, counters, LB scratch sessions.
     push(
-        TableSpec::new("vport-classify", MatchKind::Exact, 56, 32, 200_000, Storage::SramHash)
-            .expect("static spec"),
+        TableSpec::new(
+            "vport-classify",
+            MatchKind::Exact,
+            56,
+            32,
+            200_000,
+            Storage::SramHash,
+        )
+        .expect("static spec"),
         FoldStep::IngressOuter,
     );
     push(
-        TableSpec::new("tenant-acl", MatchKind::Ternary, 128, 8, 20_000, Storage::Tcam)
-            .expect("static spec"),
+        TableSpec::new(
+            "tenant-acl",
+            MatchKind::Ternary,
+            128,
+            8,
+            20_000,
+            Storage::Tcam,
+        )
+        .expect("static spec"),
         FoldStep::IngressOuter,
     );
     push(
-        TableSpec::new("sla-meters", MatchKind::Exact, 24, 104, 100_000, Storage::SramDirect)
-            .expect("static spec"),
+        TableSpec::new(
+            "sla-meters",
+            MatchKind::Exact,
+            24,
+            104,
+            100_000,
+            Storage::SramDirect,
+        )
+        .expect("static spec"),
         FoldStep::IngressOuter,
     );
     push(
-        TableSpec::new("service-counters", MatchKind::Exact, 24, 104, 40_000, Storage::SramDirect)
-            .expect("static spec"),
+        TableSpec::new(
+            "service-counters",
+            MatchKind::Exact,
+            24,
+            104,
+            40_000,
+            Storage::SramDirect,
+        )
+        .expect("static spec"),
         FoldStep::IngressOuter,
     );
     push(
-        TableSpec::new("lb-scratch", MatchKind::Exact, 56, 64, 80_000, Storage::SramHash)
-            .expect("static spec"),
+        TableSpec::new(
+            "lb-scratch",
+            MatchKind::Exact,
+            56,
+            64,
+            80_000,
+            Storage::SramHash,
+        )
+        .expect("static spec"),
         FoldStep::IngressOuter,
     );
 
     // Loop pipes: cross-region tunnel state and QoS marking.
     push(
-        TableSpec::new("xregion-tunnels", MatchKind::Exact, 56, 64, 80_000, Storage::SramHash)
-            .expect("static spec"),
+        TableSpec::new(
+            "xregion-tunnels",
+            MatchKind::Exact,
+            56,
+            64,
+            80_000,
+            Storage::SramHash,
+        )
+        .expect("static spec"),
         FoldStep::IngressLoop,
     );
     push(
-        TableSpec::new("qos-marking", MatchKind::Exact, 56, 16, 30_000, Storage::SramHash)
-            .expect("static spec"),
+        TableSpec::new(
+            "qos-marking",
+            MatchKind::Exact,
+            56,
+            16,
+            30_000,
+            Storage::SramHash,
+        )
+        .expect("static spec"),
         FoldStep::IngressLoop,
     );
 

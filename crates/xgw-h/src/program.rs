@@ -215,9 +215,7 @@ impl XgwH {
         }
         let resolution = match self.tables.routes.resolve(packet.vni, packet.inner.dst_ip) {
             Ok(r) => r,
-            Err(TableError::RoutingLoop) => {
-                return HwDecision::Drop(HwDropReason::RoutingLoop)
-            }
+            Err(TableError::RoutingLoop) => return HwDecision::Drop(HwDropReason::RoutingLoop),
             Err(_) => {
                 return HwDecision::PuntToX86 {
                     packet: *packet,
@@ -342,8 +340,12 @@ mod tests {
     }
 
     fn packet(v: u32, dst: &str) -> GatewayPacket {
-        GatewayPacketBuilder::new(vni(v), "192.168.10.2".parse().unwrap(), dst.parse().unwrap())
-            .build()
+        GatewayPacketBuilder::new(
+            vni(v),
+            "192.168.10.2".parse().unwrap(),
+            dst.parse().unwrap(),
+        )
+        .build()
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl HwRoutingTable {
     }
 
     /// Installs a route.
-    pub fn insert(&mut self, key: VxlanRouteKey, target: RouteTarget) -> Result<Option<RouteTarget>> {
+    pub fn insert(
+        &mut self,
+        key: VxlanRouteKey,
+        target: RouteTarget,
+    ) -> Result<Option<RouteTarget>> {
         self.per_vni
             .entry(key.vni)
             .or_insert_with(|| PooledAlpm::new(self.alpm_config))
@@ -172,7 +176,14 @@ impl HwRoutingTable {
             let half = len / 2;
             let split = counts.partition_point(|(v, _)| *v < lo + half);
             carve(table, &counts[..split], lo, half, bucket, stats);
-            carve(table, &counts[split..], lo + half, len - half, bucket, stats);
+            carve(
+                table,
+                &counts[split..],
+                lo + half,
+                len - half,
+                bucket,
+                stats,
+            );
         }
         carve(self, &counts, 0, 1 << 24, bucket, &mut stats);
         stats.avg_fill = if stats.allocated_slots == 0 {
@@ -280,16 +291,17 @@ mod tests {
     #[test]
     fn resolve_through_compressed_path() {
         let mut t = HwRoutingTable::new(AlpmConfig { bucket_capacity: 2 });
-        t.insert(key(1, "192.168.0.0/16"), RouteTarget::Peer(Vni::from_const(2)))
+        t.insert(
+            key(1, "192.168.0.0/16"),
+            RouteTarget::Peer(Vni::from_const(2)),
+        )
+        .unwrap();
+        t.insert(key(2, "192.168.0.0/16"), RouteTarget::Local)
             .unwrap();
-        t.insert(key(2, "192.168.0.0/16"), RouteTarget::Local).unwrap();
         // Enough routes to force partition splits and re-carving in VNI 1.
         for i in 0..32u8 {
-            t.insert(
-                key(1, &format!("10.{i}.0.0/16")),
-                RouteTarget::Local,
-            )
-            .unwrap();
+            t.insert(key(1, &format!("10.{i}.0.0/16")), RouteTarget::Local)
+                .unwrap();
         }
         t.audit().unwrap();
         let r = t
@@ -329,7 +341,9 @@ mod tests {
 
     #[test]
     fn grouped_stats_share_partitions_across_small_vpcs() {
-        let mut t = HwRoutingTable::new(AlpmConfig { bucket_capacity: 16 });
+        let mut t = HwRoutingTable::new(AlpmConfig {
+            bucket_capacity: 16,
+        });
         // 64 tiny VPCs with 2 routes each.
         for v in 0..64u32 {
             t.insert(key(v, "10.0.0.0/24"), RouteTarget::Local).unwrap();
@@ -365,6 +379,8 @@ mod tests {
     fn per_vni_isolation() {
         let mut t = HwRoutingTable::default();
         t.insert(key(1, "10.0.0.0/8"), RouteTarget::Local).unwrap();
-        assert!(t.lookup(Vni::from_const(2), "10.1.1.1".parse().unwrap()).is_none());
+        assert!(t
+            .lookup(Vni::from_const(2), "10.1.1.1".parse().unwrap())
+            .is_none());
     }
 }

@@ -144,12 +144,10 @@ impl SoftwareForwarder {
                 idc,
                 vni: resolution.final_vni,
             },
-            RouteTarget::InternetSnat => {
-                match self.tables.snat.translate_outbound(tuple, now_ns) {
-                    Ok(binding) => Decision::ToInternet { binding },
-                    Err(_) => Decision::Drop(DropReason::SnatExhausted),
-                }
-            }
+            RouteTarget::InternetSnat => match self.tables.snat.translate_outbound(tuple, now_ns) {
+                Ok(binding) => Decision::ToInternet { binding },
+                Err(_) => Decision::Drop(DropReason::SnatExhausted),
+            },
             RouteTarget::Peer(_) => unreachable!("resolve() never returns Peer"),
         }
     }
@@ -174,16 +172,18 @@ mod tests {
     /// Builds the Fig 2 scenario plus an Internet route and an IDC route.
     fn forwarder() -> SoftwareForwarder {
         let mut tables = SoftwareTables::default();
-        tables
-            .routes
-            .insert(VxlanRouteKey::new(vni(100), prefix("192.168.10.0/24")), RouteTarget::Local);
+        tables.routes.insert(
+            VxlanRouteKey::new(vni(100), prefix("192.168.10.0/24")),
+            RouteTarget::Local,
+        );
         tables.routes.insert(
             VxlanRouteKey::new(vni(100), prefix("192.168.30.0/24")),
             RouteTarget::Peer(vni(200)),
         );
-        tables
-            .routes
-            .insert(VxlanRouteKey::new(vni(200), prefix("192.168.30.0/24")), RouteTarget::Local);
+        tables.routes.insert(
+            VxlanRouteKey::new(vni(200), prefix("192.168.30.0/24")),
+            RouteTarget::Local,
+        );
         tables.routes.insert(
             VxlanRouteKey::new(vni(100), prefix("0.0.0.0/0")),
             RouteTarget::InternetSnat,
@@ -198,18 +198,30 @@ mod tests {
         );
         tables
             .vm_nc
-            .insert(vni(100), "192.168.10.3".parse().unwrap(), NcAddr::new("10.1.1.12".parse().unwrap()))
+            .insert(
+                vni(100),
+                "192.168.10.3".parse().unwrap(),
+                NcAddr::new("10.1.1.12".parse().unwrap()),
+            )
             .unwrap();
         tables
             .vm_nc
-            .insert(vni(200), "192.168.30.5".parse().unwrap(), NcAddr::new("10.1.1.15".parse().unwrap()))
+            .insert(
+                vni(200),
+                "192.168.30.5".parse().unwrap(),
+                NcAddr::new("10.1.1.15".parse().unwrap()),
+            )
             .unwrap();
         SoftwareForwarder::new(tables)
     }
 
     fn packet(dst: &str) -> GatewayPacket {
-        GatewayPacketBuilder::new(vni(100), "192.168.10.2".parse().unwrap(), dst.parse().unwrap())
-            .build()
+        GatewayPacketBuilder::new(
+            vni(100),
+            "192.168.10.2".parse().unwrap(),
+            dst.parse().unwrap(),
+        )
+        .build()
     }
 
     #[test]
@@ -258,11 +270,17 @@ mod tests {
         let mut f = forwarder();
         assert_eq!(
             f.process(&packet("172.16.5.5"), 0),
-            Decision::ToIdc { idc: IdcId(3), vni: vni(100) }
+            Decision::ToIdc {
+                idc: IdcId(3),
+                vni: vni(100)
+            }
         );
         assert_eq!(
             f.process(&packet("192.169.1.1"), 0),
-            Decision::ToRegion { region: RegionId(2), vni: vni(100) }
+            Decision::ToRegion {
+                region: RegionId(2),
+                vni: vni(100)
+            }
         );
     }
 

@@ -1,8 +1,11 @@
 //! Property-based tests of the stateful SNAT table: bindings are a
 //! bijection, never collide, and the pool is conserved through arbitrary
-//! allocate/refresh/expire interleavings.
+//! allocate/refresh/expire interleavings. Runs on the in-tree seeded
+//! harness (`sailfish_util::check`).
 
-use proptest::prelude::*;
+use sailfish_util::check;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::Rng;
 
 use sailfish_net::{FiveTuple, IpProtocol};
 use sailfish_tables::snat::{SnatConfig, SnatTable};
@@ -28,21 +31,23 @@ enum Op {
     Expire(u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..200).prop_map(Op::Outbound),
-        (0u32..200).prop_map(Op::Inbound),
-        (0u64..10_000).prop_map(Op::Expire),
-    ]
+fn arb_op(rng: &mut StdRng) -> Op {
+    match check::one_of(rng, 3) {
+        0 => Op::Outbound(rng.gen_range(0u32..200)),
+        1 => Op::Inbound(rng.gen_range(0u32..200)),
+        _ => Op::Expire(rng.gen_range(0u64..10_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bindings_are_bijective_under_churn(ops in prop::collection::vec(arb_op(), 1..300)) {
+#[test]
+fn bindings_are_bijective_under_churn() {
+    check::run("bindings_are_bijective_under_churn", 128, |rng| {
+        let ops = check::vec_of(rng, 1..300, arb_op);
         let mut table = SnatTable::new(SnatConfig {
-            public_ips: vec!["203.0.113.1".parse().unwrap(), "203.0.113.2".parse().unwrap()],
+            public_ips: vec![
+                "203.0.113.1".parse().unwrap(),
+                "203.0.113.2".parse().unwrap(),
+            ],
             port_range: (1024, 1151), // 128 ports per IP = 256 bindings
             session_ttl_ns: 2_000,
             capacity: None,
@@ -61,7 +66,7 @@ proptest! {
                             if let Some(prev) = live.get(&t) {
                                 // Refreshing an existing session keeps its
                                 // binding.
-                                prop_assert_eq!(*prev, (b.public_ip, b.public_port));
+                                assert_eq!(*prev, (b.public_ip, b.public_port));
                             }
                             live.insert(t, (b.public_ip, b.public_port));
                         }
@@ -69,7 +74,7 @@ proptest! {
                             // Exhaustion only when the pool really is full
                             // (the table may hold sessions our model
                             // conservatively forgot at the last expire).
-                            prop_assert!(table.len() >= 256);
+                            assert!(table.len() >= 256);
                         }
                     }
                 }
@@ -82,7 +87,7 @@ proptest! {
                             t.protocol,
                             now,
                         );
-                        prop_assert_eq!(back, Some(t));
+                        assert_eq!(back, Some(t));
                     }
                 }
                 Op::Expire(at) => {
@@ -98,15 +103,19 @@ proptest! {
             // Bijection: no two live sessions share a binding.
             let mut seen = std::collections::HashSet::new();
             for b in live.values() {
-                prop_assert!(seen.insert(*b), "binding reused while live: {b:?}");
+                assert!(seen.insert(*b), "binding reused while live: {b:?}");
             }
-            prop_assert_eq!(table.len() >= live.len(), true);
+            assert!(table.len() >= live.len());
         }
-    }
+    });
+}
 
-    /// allocated_total - expired_total == live sessions, always.
-    #[test]
-    fn pool_conservation(seeds in prop::collection::vec(0u32..500, 1..200), ttl in 1u64..100) {
+/// allocated_total - expired_total == live sessions, always.
+#[test]
+fn pool_conservation() {
+    check::run("pool_conservation", 128, |rng| {
+        let seeds = check::vec_of(rng, 1..200, |r| r.gen_range(0u32..500));
+        let ttl = rng.gen_range(1u64..100);
         let mut table = SnatTable::new(SnatConfig {
             session_ttl_ns: ttl,
             ..SnatConfig::default()
@@ -120,7 +129,7 @@ proptest! {
             }
         }
         table.expire(now + ttl + 1);
-        prop_assert_eq!(table.len(), 0, "everything expires eventually");
-        prop_assert_eq!(table.allocated_total() - table.expired_total(), 0);
-    }
+        assert_eq!(table.len(), 0, "everything expires eventually");
+        assert_eq!(table.allocated_total() - table.expired_total(), 0);
+    });
 }

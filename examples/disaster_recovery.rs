@@ -57,12 +57,17 @@ fn main() {
     offer(&mut region, "device restored");
 
     println!("\n== cluster-level failure ==");
-    let consistency = region.controller.check_consistency(&region.plan, &region.hw);
+    let consistency = region
+        .controller
+        .check_consistency(&region.plan, &region.hw);
     println!("pre-failover consistency findings: {}", consistency.len());
     let out = failover::fail_cluster(&mut region, 0);
     println!("cluster 0 failed, rolled to backup: {out:?}");
     let failed_over = offer(&mut region, "traffic on hot-standby backup");
-    assert_eq!(failed_over.unrouted_pps, 0.0, "backup carries identical tables");
+    assert_eq!(
+        failed_over.unrouted_pps, 0.0,
+        "backup carries identical tables"
+    );
     // The failed primary serves nothing.
     assert_eq!(failed_over.device_util[0].iter().sum::<f64>(), 0.0);
 

@@ -63,11 +63,20 @@ fn main() {
         "192.168.10.3".parse().unwrap(),
     )
     .build();
-    println!("case 1: {} -> {} in {vpc_a}", packet.inner.src_ip, packet.inner.dst_ip);
+    println!(
+        "case 1: {} -> {} in {vpc_a}",
+        packet.inner.src_ip, packet.inner.dst_ip
+    );
     match gw.process(&packet, 0) {
         HwDecision::ToNc { packet, nc } => {
-            println!("  forwarded to {nc}; outer dst rewritten to {}", packet.outer.dst_ip);
-            assert_eq!(packet.outer.dst_ip, "10.1.1.12".parse::<std::net::IpAddr>().unwrap());
+            println!(
+                "  forwarded to {nc}; outer dst rewritten to {}",
+                packet.outer.dst_ip
+            );
+            assert_eq!(
+                packet.outer.dst_ip,
+                "10.1.1.12".parse::<std::net::IpAddr>().unwrap()
+            );
         }
         other => panic!("unexpected decision: {other:?}"),
     }
@@ -79,7 +88,10 @@ fn main() {
         "192.168.30.5".parse().unwrap(),
     )
     .build();
-    println!("case 2: {} -> {} (peer chain)", packet.inner.src_ip, packet.inner.dst_ip);
+    println!(
+        "case 2: {} -> {} (peer chain)",
+        packet.inner.src_ip, packet.inner.dst_ip
+    );
     match gw.process(&packet, 0) {
         HwDecision::ToNc { packet, nc } => {
             println!(

@@ -84,6 +84,9 @@ fn main() {
         "\nworst-case loss: x86 {worst_x86:.2e} vs sailfish {worst_sailfish:.2e} ({:.1} orders better)",
         (worst_x86 / worst_sailfish).log10()
     );
-    assert!(worst_sailfish < worst_x86 / 1e3, "Sailfish must be orders of magnitude better");
+    assert!(
+        worst_sailfish < worst_x86 / 1e3,
+        "Sailfish must be orders of magnitude better"
+    );
     println!("shopping_festival OK");
 }

@@ -25,7 +25,10 @@ fn main() {
         ("75% IPv4 / 25% IPv6", MemoryScenario::paper_mix()),
         ("100% IPv6", MemoryScenario::all_v6()),
     ] {
-        println!("\nscenario: {name} ({} routes, {} VMs)", scenario.route_entries, scenario.vm_entries);
+        println!(
+            "\nscenario: {name} ({} routes, {} VMs)",
+            scenario.route_entries, scenario.vm_entries
+        );
         let series = step_series(&scenario, &config, &alpm);
         for report in &series {
             let occ = report.occupancy;

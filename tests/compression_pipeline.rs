@@ -76,7 +76,10 @@ fn compression_makes_the_unfittable_fit() {
     let alpm = estimate_alpm_stats(scenario.route_entries, 24, 0.6);
     let initial = occupancy_at(CompressionStep::Initial, &scenario, &cfg, &alpm);
     let fin = occupancy_at(CompressionStep::All, &scenario, &cfg, &alpm);
-    assert!(!initial.fits(), "the paper's premise: naive placement fails");
+    assert!(
+        !initial.fits(),
+        "the paper's premise: naive placement fails"
+    );
     assert!(fin.fits(), "the paper's result: compressed placement fits");
 }
 

@@ -38,7 +38,11 @@ fn hardware_and_software_forwarders_agree() {
     let mut compared = 0;
     for flow in &flows {
         let packet = GatewayPacketBuilder::new(flow.vni, flow.tuple.src_ip, flow.tuple.dst_ip)
-            .transport(flow.tuple.protocol, flow.tuple.src_port, flow.tuple.dst_port)
+            .transport(
+                flow.tuple.protocol,
+                flow.tuple.src_port,
+                flow.tuple.dst_port,
+            )
             .build();
         let hw_decision = hw.classify(&packet);
         let sw_decision = sw.process(&packet, 0);
@@ -55,7 +59,10 @@ fn hardware_and_software_forwarders_agree() {
             }
             // SNAT punts in hardware, translates in software.
             (HwDecision::PuntToX86 { .. }, Decision::ToInternet { .. }) => {}
-            (h, s) => panic!("divergence for {}: hw {h:?} vs sw {s:?}", packet.five_tuple()),
+            (h, s) => panic!(
+                "divergence for {}: hw {h:?} vs sw {s:?}",
+                packet.five_tuple()
+            ),
         }
         compared += 1;
     }
@@ -90,7 +97,11 @@ fn wire_round_trip_for_generated_workloads() {
     );
     for flow in &flows {
         let packet = GatewayPacketBuilder::new(flow.vni, flow.tuple.src_ip, flow.tuple.dst_ip)
-            .transport(flow.tuple.protocol, flow.tuple.src_port, flow.tuple.dst_port)
+            .transport(
+                flow.tuple.protocol,
+                flow.tuple.src_port,
+                flow.tuple.dst_port,
+            )
             .payload_len(flow.wire_bytes.min(1400))
             .build();
         let bytes = packet.emit().expect("well-formed workload tuples");
@@ -103,13 +114,8 @@ fn wire_round_trip_for_generated_workloads() {
 /// ECMP next-hop caps propagate: an oversized cluster is rejected.
 #[test]
 fn ecmp_cap_limits_cluster_size() {
-    let err = sailfish_cluster::cluster::HwCluster::new(
-        0,
-        17,
-        16,
-        AlpmConfig::default(),
-        10_000_000_000,
-    );
+    let err =
+        sailfish_cluster::cluster::HwCluster::new(0, 17, 16, AlpmConfig::default(), 10_000_000_000);
     assert!(err.is_err(), "17 devices behind a 16-way ECMP must fail");
     assert!(sailfish_cluster::cluster::HwCluster::new(
         0,

@@ -84,7 +84,9 @@ fn consistency_checker_localizes_faults_after_failover() {
     // Note: backups are outside the plan's primary indices; simulate a
     // primary fault too.
     region.hw[0].devices[2] = XgwH::with_defaults();
-    let findings = region.controller.check_consistency(&region.plan, &region.hw);
+    let findings = region
+        .controller
+        .check_consistency(&region.plan, &region.hw);
     assert!(!findings.is_empty());
     assert!(findings.iter().all(|f| f.cluster == 0 && f.device == 2));
 }

@@ -23,12 +23,19 @@ fn region() -> (Topology, Region) {
     (topology, region)
 }
 
-fn process(region: &mut Region, vni: Vni, src: std::net::IpAddr, dst: std::net::IpAddr) -> HwDecision {
+fn process(
+    region: &mut Region,
+    vni: Vni,
+    src: std::net::IpAddr,
+    dst: std::net::IpAddr,
+) -> HwDecision {
     let cluster = region.directory.cluster_for(vni).expect("vni assigned");
     let packet = GatewayPacketBuilder::new(vni, src, dst)
         .transport(IpProtocol::Tcp, 40000, 443)
         .build();
-    let (_, decision) = region.hw[cluster].process(&packet, 0).expect("devices online");
+    let (_, decision) = region.hw[cluster]
+        .process(&packet, 0)
+        .expect("devices online");
     decision
 }
 
@@ -71,7 +78,9 @@ fn vm_to_vm_across_vpcs() {
         let srcs = topology.vms_of(vpc);
         let dsts = topology.vms_of(peer);
         let reachable = dsts.len().min(sailfish_sim::topology::PEERED_SUBNETS * 250);
-        let Some(src) = srcs.iter().find(|m| m.ip.is_ipv4()) else { continue };
+        let Some(src) = srcs.iter().find(|m| m.ip.is_ipv4()) else {
+            continue;
+        };
         let Some(dst) = dsts[..reachable].iter().find(|m| m.ip.is_ipv4()) else {
             continue;
         };
@@ -118,7 +127,12 @@ fn vm_to_internet_via_snat_and_back() {
         .forwarder
         .tables
         .snat
-        .translate_inbound((binding.public_ip, binding.public_port), (dst, 443), IpProtocol::Tcp, 1)
+        .translate_inbound(
+            (binding.public_ip, binding.public_port),
+            (dst, 443),
+            IpProtocol::Tcp,
+            1,
+        )
         .unwrap();
     assert_eq!(back, punted.five_tuple());
 }
@@ -126,27 +140,49 @@ fn vm_to_internet_via_snat_and_back() {
 #[test]
 fn vm_to_idc_and_cross_region() {
     let (topology, mut region) = region();
-    let idc_vpc = topology.vpcs.iter().find(|v| v.idc.is_some()).unwrap();
-    let src = topology
-        .vms_of(idc_vpc)
+    // Pick VPCs that both have the attachment AND an IPv4 VM to send
+    // from — which VPC is first is a function of the topology seed.
+    let (idc_vpc, src) = topology
+        .vpcs
         .iter()
-        .find(|m| m.ip.is_ipv4())
+        .filter(|v| v.idc.is_some())
+        .find_map(|v| {
+            let src = topology
+                .vms_of(v)
+                .iter()
+                .find(|m| m.ip.is_ipv4())
+                .copied()?;
+            Some((v, src))
+        })
         .unwrap();
-    match process(&mut region, idc_vpc.vni, src.ip, "172.16.1.1".parse().unwrap()) {
+    match process(
+        &mut region,
+        idc_vpc.vni,
+        src.ip,
+        "172.16.1.1".parse().unwrap(),
+    ) {
         HwDecision::ToIdc { idc, .. } => assert_eq!(Some(idc), idc_vpc.idc),
         other => panic!("unexpected {other:?}"),
     }
-    let xr_vpc = topology
+    let (xr_vpc, src) = topology
         .vpcs
         .iter()
-        .find(|v| v.cross_region.is_some())
+        .filter(|v| v.cross_region.is_some())
+        .find_map(|v| {
+            let src = topology
+                .vms_of(v)
+                .iter()
+                .find(|m| m.ip.is_ipv4())
+                .copied()?;
+            Some((v, src))
+        })
         .unwrap();
-    let src = topology
-        .vms_of(xr_vpc)
-        .iter()
-        .find(|m| m.ip.is_ipv4())
-        .unwrap();
-    match process(&mut region, xr_vpc.vni, src.ip, "100.64.3.3".parse().unwrap()) {
+    match process(
+        &mut region,
+        xr_vpc.vni,
+        src.ip,
+        "100.64.3.3".parse().unwrap(),
+    ) {
         HwDecision::ToRegion { region: r, .. } => assert_eq!(Some(r), xr_vpc.cross_region),
         other => panic!("unexpected {other:?}"),
     }
@@ -158,7 +194,12 @@ fn unknown_destination_punts_not_blackholes() {
     let vpc = topology.vpcs.iter().find(|v| !v.internet).unwrap();
     let src = topology.vms_of(vpc).first().unwrap();
     // A destination outside every installed route.
-    match process(&mut region, vpc.vni, src.ip, "203.0.113.200".parse().unwrap()) {
+    match process(
+        &mut region,
+        vpc.vni,
+        src.ip,
+        "203.0.113.200".parse().unwrap(),
+    ) {
         HwDecision::PuntToX86 { reason, .. } => {
             assert_eq!(reason, PuntReason::NoHwRoute, "long tail goes to software");
         }
