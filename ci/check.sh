@@ -50,7 +50,27 @@ else
     echo "==> clippy: SKIPPED (clippy not installed)"
 fi
 
-# 5. Dependency policy: no external crates anywhere in the workspace.
+# 5. Fault-injection smoke: the chaos sweep must run clean (zero
+#    invariant violations, every fault recovered) at tiny scale, twice,
+#    with byte-identical JSON output (determinism gate).
+run_step "chaos-smoke" cargo run --release --offline -q -p sailfish-bench \
+    --bin fault_injection_sweep -- --tiny
+if [ -f experiments/fault_injection.json ]; then
+    cp experiments/fault_injection.json /tmp/sailfish_fault_injection_run1.json
+    run_step "chaos-determinism" cargo run --release --offline -q -p sailfish-bench \
+        --bin fault_injection_sweep -- --tiny
+    echo
+    echo "==> chaos-determinism: comparing the two runs"
+    if cmp -s /tmp/sailfish_fault_injection_run1.json experiments/fault_injection.json; then
+        echo "==> chaos-determinism: OK (byte-identical)"
+    else
+        echo "==> chaos-determinism: FAILED (runs differ)"
+        failures=$((failures + 1))
+    fi
+    rm -f /tmp/sailfish_fault_injection_run1.json
+fi
+
+# 6. Dependency policy: no external crates anywhere in the workspace.
 echo
 echo "==> policy: no external crate references in manifests"
 if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \

@@ -24,6 +24,7 @@ const BINS: &[&str] = &[
     "fig23_update_freq",
     "rule_80_20",
     "n_plus_1_hierarchy",
+    "fault_injection_sweep",
     "ablation_alpm_depth",
     "ablation_folding",
     "ablation_cache_vs_prealloc",

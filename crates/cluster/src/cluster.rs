@@ -71,6 +71,14 @@ impl HwCluster {
         Ok(())
     }
 
+    /// Removes a VM mapping from every device (two-phase install
+    /// rollback).
+    pub fn remove_vm(&mut self, vni: Vni, ip: core::net::IpAddr) {
+        for d in &mut self.devices {
+            d.tables.vm_nc.remove(vni, ip);
+        }
+    }
+
     /// Route entries held (devices are replicas; device 0 is
     /// representative).
     pub fn route_entries(&self) -> usize {

@@ -22,8 +22,10 @@ use sailfish_util::rand::rngs::StdRng;
 use sailfish_util::rand::{Rng, SeedableRng};
 
 use sailfish_net::Vni;
+use sailfish_sim::faults::{InstallFault, VirtualClock};
 use sailfish_sim::metrics::Series;
 use sailfish_sim::topology::Topology;
+use sailfish_tables::types::{NcAddr, RouteTarget, VxlanRouteKey};
 
 use crate::cluster::{HwCluster, SwCluster};
 use crate::lb::VniDirectory;
@@ -109,6 +111,124 @@ impl SplitPlan {
     /// Number of clusters the plan uses.
     pub fn clusters_needed(&self) -> usize {
         self.per_cluster.len()
+    }
+}
+
+/// Bounded-retry policy for two-phase installs. All timing is virtual —
+/// the controller advances a [`VirtualClock`] instead of sleeping, so
+/// recovery time is measurable and runs are deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct InstallPolicy {
+    /// Attempts per cluster/device push before giving up.
+    pub max_attempts: u32,
+    /// Backoff after the `k`-th failed attempt is
+    /// `base_backoff_ns << k` (exponential, deterministic).
+    pub base_backoff_ns: u64,
+    /// Virtual cost of a push that times out.
+    pub timeout_ns: u64,
+    /// Virtual cost of applying one table entry.
+    pub push_ns_per_entry: u64,
+}
+
+impl Default for InstallPolicy {
+    fn default() -> Self {
+        InstallPolicy {
+            max_attempts: 6,
+            base_backoff_ns: 50_000_000, // 50 ms
+            timeout_ns: 200_000_000,     // 200 ms
+            push_ns_per_entry: 2_000,    // 2 µs per gRPC'd entry
+        }
+    }
+}
+
+impl InstallPolicy {
+    /// Deterministic exponential backoff after failed attempt `attempt`.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        self.base_backoff_ns.saturating_mul(1u64 << attempt.min(16))
+    }
+}
+
+/// Why a two-phase install failed for good.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstallError {
+    /// A device rejected an entry (capacity, table fault). Nothing from
+    /// the failing cluster is left behind.
+    Table {
+        /// The cluster being pushed.
+        cluster: usize,
+        /// The underlying table error.
+        error: sailfish_tables::Error,
+    },
+    /// Every attempt hit an injected/observed fault; the push was rolled
+    /// back and the cluster's VNIs stay unassigned (traffic degrades to
+    /// the XGW-x86 fallback instead of black-holing).
+    RetriesExhausted {
+        /// The cluster being pushed.
+        cluster: usize,
+        /// Attempts made.
+        attempts: u32,
+        /// The fault seen on the final attempt.
+        last_fault: InstallFault,
+    },
+}
+
+impl core::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InstallError::Table { cluster, error } => {
+                write!(f, "cluster {cluster}: table error: {error}")
+            }
+            InstallError::RetriesExhausted {
+                cluster,
+                attempts,
+                last_fault,
+            } => write!(
+                f,
+                "cluster {cluster}: install gave up after {attempts} attempts \
+                 (last fault {last_fault:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// What a (two-phase) install did: attempts, rollbacks and virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstallReport {
+    /// Clusters (or devices, for a device reinstall) committed.
+    pub committed: usize,
+    /// Total push attempts.
+    pub attempts: u32,
+    /// Attempts that failed and were retried.
+    pub retries: u32,
+    /// Entries applied and then removed by rollbacks.
+    pub rolled_back_entries: usize,
+    /// Virtual time consumed.
+    pub virtual_ns: u64,
+}
+
+/// Decides whether a push attempt faults. Called once per `(target,
+/// attempt)`; returning `None` lets the attempt through. Deterministic
+/// injectors (the chaos harness uses schedule-driven ones) keep whole
+/// runs replayable.
+pub type InstallInjector<'a> = dyn FnMut(usize, u32) -> Option<InstallFault> + 'a;
+
+/// Entries staged for one cluster: the *stage* phase of the two-phase
+/// install. Pure data — nothing touches a device until the push.
+#[derive(Debug, Clone, Default)]
+struct StagedCluster {
+    routes: Vec<(VxlanRouteKey, RouteTarget)>,
+    vms: Vec<(Vni, core::net::IpAddr, NcAddr)>,
+    /// Per-VNI route counts this push must produce (sorted by VNI).
+    route_intent: Vec<(Vni, usize)>,
+    /// Every VNI assigned to this cluster (sorted; directory commit).
+    vnis: Vec<Vni>,
+}
+
+impl StagedCluster {
+    fn entries(&self) -> usize {
+        self.routes.len() + self.vms.len()
     }
 }
 
@@ -228,9 +348,87 @@ impl Controller {
         })
     }
 
+    /// The stage phase: group every planned entry by target cluster, in
+    /// deterministic (topology) order. Pure planning — no device is
+    /// touched.
+    fn stage(topology: &Topology, plan: &SplitPlan) -> Vec<StagedCluster> {
+        let mut staged = vec![StagedCluster::default(); plan.clusters_needed()];
+        for (key, target) in &topology.routes {
+            staged[plan.assignments[&key.vni]]
+                .routes
+                .push((*key, *target));
+        }
+        for vm in &topology.vms {
+            staged[plan.assignments[&vm.vni]]
+                .vms
+                .push((vm.vni, vm.ip, vm.nc));
+        }
+        let mut vnis_per_cluster: Vec<Vec<Vni>> = vec![Vec::new(); staged.len()];
+        for (vni, cluster) in &plan.assignments {
+            vnis_per_cluster[*cluster].push(*vni);
+        }
+        for (stage, mut vnis) in staged.iter_mut().zip(vnis_per_cluster) {
+            vnis.sort();
+            stage.vnis = vnis;
+            let mut intent: HashMap<Vni, usize> = HashMap::new();
+            for (key, _) in &stage.routes {
+                *intent.entry(key.vni).or_default() += 1;
+            }
+            let mut intent: Vec<(Vni, usize)> = intent.into_iter().collect();
+            intent.sort();
+            stage.route_intent = intent;
+        }
+        staged
+    }
+
+    /// Applies a staged prefix to every device of a cluster.
+    fn apply(
+        hw: &mut HwCluster,
+        routes: &[(VxlanRouteKey, RouteTarget)],
+        vms: &[(Vni, core::net::IpAddr, NcAddr)],
+    ) -> Result<(), sailfish_tables::Error> {
+        for (key, target) in routes {
+            hw.install_route(*key, *target)?;
+        }
+        for (vni, ip, nc) in vms {
+            hw.install_vm(*vni, *ip, *nc)?;
+        }
+        Ok(())
+    }
+
+    /// Removes an applied prefix from every device of a cluster
+    /// (rollback of a partial push).
+    fn rollback(
+        hw: &mut HwCluster,
+        routes: &[(VxlanRouteKey, RouteTarget)],
+        vms: &[(Vni, core::net::IpAddr, NcAddr)],
+    ) {
+        for (key, _) in routes {
+            hw.remove_route(key);
+        }
+        for (vni, ip, _) in vms {
+            hw.remove_vm(*vni, *ip);
+        }
+    }
+
+    /// The consistency-check phase of one push: every device of the
+    /// cluster must hold exactly the staged per-VNI route counts and the
+    /// staged number of VM mappings.
+    fn verify(hw: &HwCluster, stage: &StagedCluster) -> bool {
+        hw.devices.iter().enumerate().all(|(device, dev)| {
+            dev.tables.vm_nc.len() == stage.vms.len()
+                && stage
+                    .route_intent
+                    .iter()
+                    .all(|(vni, expected)| hw.route_entries_for(device, *vni) == *expected)
+        })
+    }
+
     /// Installs a planned topology: per-VNI state to its hardware cluster,
     /// the full state to the software cluster, and the VNI directory for
     /// the load balancer. Records intent for later consistency checks.
+    ///
+    /// Fault-free convenience wrapper over [`Controller::install_with`].
     pub fn install(
         &mut self,
         topology: &Topology,
@@ -238,27 +436,240 @@ impl Controller {
         hw: &mut [HwCluster],
         sw: &mut SwCluster,
         directory: &mut VniDirectory,
-    ) -> Result<(), sailfish_tables::Error> {
+    ) -> Result<InstallReport, InstallError> {
+        let mut clock = VirtualClock::new();
+        self.install_with(
+            topology,
+            plan,
+            hw,
+            sw,
+            directory,
+            &mut clock,
+            &InstallPolicy::default(),
+            &mut |_, _| None,
+        )
+    }
+
+    /// Two-phase installation (§6.1 hardening): **stage** every entry by
+    /// cluster, push the full state to the XGW-x86 safety net first, then
+    /// per cluster push → **consistency-check** → **commit**. A push that
+    /// times out or lands partially is rolled back and retried with
+    /// deterministic exponential backoff in virtual time; only a push
+    /// whose per-device verification passes commits (intent recorded,
+    /// directory cut over). On [`InstallError::RetriesExhausted`] the
+    /// failing cluster is left clean and *unassigned*, so its traffic
+    /// degrades to the rate-limited fallback path instead of
+    /// black-holing against half-installed tables.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_with(
+        &mut self,
+        topology: &Topology,
+        plan: &SplitPlan,
+        hw: &mut [HwCluster],
+        sw: &mut SwCluster,
+        directory: &mut VniDirectory,
+        clock: &mut VirtualClock,
+        policy: &InstallPolicy,
+        injector: &mut InstallInjector<'_>,
+    ) -> Result<InstallReport, InstallError> {
         assert!(
             hw.len() >= plan.clusters_needed(),
             "install requires {} clusters",
             plan.clusters_needed()
         );
-        for (key, target) in &topology.routes {
-            let cluster = plan.assignments[&key.vni];
-            hw[cluster].install_route(*key, *target)?;
-            sw.install_route(*key, *target);
-            *self.intent.entry(key.vni).or_default() += 1;
+        let staged = Self::stage(topology, plan);
+        let mut report = InstallReport::default();
+
+        // The fallback cluster holds the full region state and is the
+        // graceful-degradation target, so it is populated before any
+        // hardware cutover.
+        for stage in &staged {
+            for (key, target) in &stage.routes {
+                sw.install_route(*key, *target);
+            }
+            for (vni, ip, nc) in &stage.vms {
+                sw.install_vm(*vni, *ip, *nc)
+                    .map_err(|error| InstallError::Table {
+                        cluster: usize::MAX,
+                        error,
+                    })?;
+            }
         }
-        for vm in &topology.vms {
-            let cluster = plan.assignments[&vm.vni];
-            hw[cluster].install_vm(vm.vni, vm.ip, vm.nc)?;
-            sw.install_vm(vm.vni, vm.ip, vm.nc)?;
+
+        for (cluster, stage) in staged.iter().enumerate() {
+            let mut attempt = 0u32;
+            loop {
+                report.attempts += 1;
+                match injector(cluster, attempt) {
+                    Some(InstallFault::Timeout) => {
+                        // Nothing reached the device.
+                        clock.advance(policy.timeout_ns);
+                    }
+                    Some(InstallFault::Partial { fraction }) => {
+                        // A prefix lands, then the push dies. The check
+                        // phase sees the shortfall; roll back before
+                        // retrying so no device serves half a push.
+                        let nr = ((stage.routes.len() as f64) * fraction) as usize;
+                        let nv = ((stage.vms.len() as f64) * fraction) as usize;
+                        let applied_routes = &stage.routes[..nr];
+                        let applied_vms = &stage.vms[..nv];
+                        Self::apply(&mut hw[cluster], applied_routes, applied_vms)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                        clock.advance(policy.push_ns_per_entry * (nr + nv) as u64);
+                        if Self::verify(&hw[cluster], stage) {
+                            // The "partial" prefix was the whole push.
+                            self.commit(directory, cluster, stage);
+                            report.committed += 1;
+                            break;
+                        }
+                        Self::rollback(&mut hw[cluster], applied_routes, applied_vms);
+                        report.rolled_back_entries += nr + nv;
+                    }
+                    None => {
+                        Self::apply(&mut hw[cluster], &stage.routes, &stage.vms)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                        clock.advance(policy.push_ns_per_entry * stage.entries() as u64);
+                        if Self::verify(&hw[cluster], stage) {
+                            self.commit(directory, cluster, stage);
+                            report.committed += 1;
+                            break;
+                        }
+                        // A clean push that still verifies short (device
+                        // dropping writes): roll back and retry.
+                        Self::rollback(&mut hw[cluster], &stage.routes, &stage.vms);
+                        report.rolled_back_entries += stage.entries();
+                    }
+                }
+                report.retries += 1;
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    return Err(InstallError::RetriesExhausted {
+                        cluster,
+                        attempts: attempt,
+                        last_fault: injector(cluster, attempt).unwrap_or(InstallFault::Timeout),
+                    });
+                }
+                clock.advance(policy.backoff_ns(attempt - 1));
+            }
         }
-        for (vni, cluster) in &plan.assignments {
-            directory.assign(*vni, *cluster);
+        report.virtual_ns = clock.now_ns();
+        Ok(report)
+    }
+
+    /// Commit phase for one cluster: record intent, cut the directory
+    /// over.
+    fn commit(&mut self, directory: &mut VniDirectory, cluster: usize, stage: &StagedCluster) {
+        for (vni, count) in &stage.route_intent {
+            *self.intent.entry(*vni).or_default() += count;
         }
-        Ok(())
+        for vni in &stage.vnis {
+            directory.assign(*vni, cluster);
+        }
+    }
+
+    /// Rebuilds one device's tables from the controller's plan through
+    /// the same two-phase push (wipe → push → verify → done), with
+    /// bounded retry and rollback-by-wipe on partial pushes. This is the
+    /// repair path after table corruption and the maintenance path for
+    /// firmware-style reinstalls; callers take the device out of the
+    /// ECMP group first and re-admit it through the probe gate.
+    ///
+    /// `cluster` is the physical cluster index (primaries first, then
+    /// backups); `plan_cluster` names the plan entry whose state the
+    /// device must hold (for a backup, its primary's index).
+    #[allow(clippy::too_many_arguments)]
+    pub fn reinstall_device(
+        &self,
+        topology: &Topology,
+        plan: &SplitPlan,
+        hw: &mut [HwCluster],
+        cluster: usize,
+        plan_cluster: usize,
+        device: usize,
+        clock: &mut VirtualClock,
+        policy: &InstallPolicy,
+        injector: &mut InstallInjector<'_>,
+    ) -> Result<InstallReport, InstallError> {
+        let stage = Self::stage(topology, plan)
+            .into_iter()
+            .nth(plan_cluster)
+            .expect("plan_cluster within plan");
+        let mut report = InstallReport::default();
+        let verify_device = |hw: &[HwCluster]| {
+            hw[cluster].devices[device].tables.vm_nc.len() == stage.vms.len()
+                && stage
+                    .route_intent
+                    .iter()
+                    .all(|(vni, expected)| hw[cluster].route_entries_for(device, *vni) == *expected)
+        };
+        let start_ns = clock.now_ns();
+        hw[cluster].devices[device].wipe_tables();
+        let mut attempt = 0u32;
+        loop {
+            report.attempts += 1;
+            let fault = injector(cluster, attempt);
+            let applied = match fault {
+                Some(InstallFault::Timeout) => {
+                    clock.advance(policy.timeout_ns);
+                    0
+                }
+                Some(InstallFault::Partial { fraction }) => {
+                    let nr = ((stage.routes.len() as f64) * fraction) as usize;
+                    let nv = ((stage.vms.len() as f64) * fraction) as usize;
+                    let dev = &mut hw[cluster].devices[device];
+                    for (key, target) in &stage.routes[..nr] {
+                        dev.tables
+                            .routes
+                            .insert(*key, *target)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                    }
+                    for (vni, ip, nc) in &stage.vms[..nv] {
+                        dev.tables
+                            .add_vm(*vni, *ip, *nc)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                    }
+                    nr + nv
+                }
+                None => {
+                    let dev = &mut hw[cluster].devices[device];
+                    for (key, target) in &stage.routes {
+                        dev.tables
+                            .routes
+                            .insert(*key, *target)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                    }
+                    for (vni, ip, nc) in &stage.vms {
+                        dev.tables
+                            .add_vm(*vni, *ip, *nc)
+                            .map_err(|error| InstallError::Table { cluster, error })?;
+                    }
+                    stage.entries()
+                }
+            };
+            clock.advance(policy.push_ns_per_entry * applied as u64);
+            if verify_device(hw) {
+                report.committed = 1;
+                break;
+            }
+            // Rollback for a single device is a wipe: cheaper than
+            // tracking the prefix and identical in outcome.
+            if applied > 0 {
+                hw[cluster].devices[device].wipe_tables();
+                report.rolled_back_entries += applied;
+            }
+            report.retries += 1;
+            attempt += 1;
+            if attempt >= policy.max_attempts {
+                return Err(InstallError::RetriesExhausted {
+                    cluster,
+                    attempts: attempt,
+                    last_fault: injector(cluster, attempt).unwrap_or(InstallFault::Timeout),
+                });
+            }
+            clock.advance(policy.backoff_ns(attempt - 1));
+        }
+        report.virtual_ns = clock.now_ns() - start_ns;
+        Ok(report)
     }
 
     /// Periodic consistency check: compares recorded intent against every

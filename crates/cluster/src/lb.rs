@@ -140,6 +140,15 @@ impl VniDirectory {
         self.map.is_empty()
     }
 
+    /// A deterministic (sorted) snapshot of every assignment. Chaos
+    /// invariant checks and property tests compare snapshots before and
+    /// after recovery sequences.
+    pub fn snapshot(&self) -> Vec<(Vni, usize)> {
+        let mut entries: Vec<(Vni, usize)> = self.map.iter().map(|(v, c)| (*v, *c)).collect();
+        entries.sort();
+        entries
+    }
+
     /// Moves every VNI on `from` to `to` (cluster-level disaster
     /// recovery: "any anomaly will alert the controller to modify the
     /// routes in the upstream devices for traffic reroute to the backup

@@ -14,13 +14,17 @@
 //!   and the XGW-x86-only baseline, producing the series behind Figs 4–6
 //!   and 19–22,
 //! - [`failover`] — disaster recovery at cluster, node, and port level
-//!   (§6.1),
+//!   (§6.1), with typed errors and probe-gated re-admission,
+//! - [`chaos`] — the deterministic fault-injection harness: replays
+//!   seeded [`sailfish_sim::faults`] schedules against a region and
+//!   records loss, fallback share, recovery timing, and invariants,
 //! - [`hierarchy`] — the "N+1" hierarchical cache-cluster design of the
 //!   paper's future work (§8),
 //! - [`monitor`] — water-level monitoring and alerting (§6.1),
 //! - [`probe`] — the probe-generator validation gate used before
 //!   admitting user traffic to a new cluster (§6.1).
 
+pub mod chaos;
 pub mod cluster;
 pub mod controller;
 pub mod failover;

@@ -22,6 +22,10 @@ pub struct WaterLevels {
     pub traffic_level: f64,
     /// Loss ratio above which the controller is alerted.
     pub loss_level: f64,
+    /// Share of offered traffic on the degraded XGW-x86 fallback path
+    /// above which the controller is alerted (it means hardware is not
+    /// serving part of the region).
+    pub fallback_level: f64,
 }
 
 impl Default for WaterLevels {
@@ -30,6 +34,7 @@ impl Default for WaterLevels {
             table_level: 0.85,
             traffic_level: 0.5, // "50% water level" in §2.3's sizing math
             loss_level: 1e-8,
+            fallback_level: 0.01,
         }
     }
 }
@@ -70,6 +75,12 @@ pub enum Alert {
         /// Measured loss ratio.
         loss_ratio: f64,
     },
+    /// Traffic is degrading to the XGW-x86 fallback path — some part of
+    /// the region has no serving hardware.
+    FallbackShare {
+        /// Share of offered traffic on the fallback path.
+        share: f64,
+    },
 }
 
 /// Evaluates the alert set for one measurement interval.
@@ -107,6 +118,12 @@ pub fn evaluate(
     let loss = report.loss_ratio();
     if loss >= levels.loss_level {
         alerts.push(Alert::LossWaterLevel { loss_ratio: loss });
+    }
+
+    // Degradation share: hardware is failing to serve part of the region.
+    let share = report.fallback_share();
+    if share >= levels.fallback_level {
+        alerts.push(Alert::FallbackShare { share });
     }
 
     alerts
@@ -202,6 +219,48 @@ mod tests {
         assert!(alerts
             .iter()
             .any(|a| matches!(a, Alert::TableWaterLevel { cluster: 0, .. })));
+    }
+
+    #[test]
+    fn fallback_share_alerts_when_hardware_cannot_serve() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let capacity = ClusterCapacity {
+            max_routes: 600,
+            max_vms: 3_000,
+        };
+        let mut region = Region::build(
+            &topology,
+            RegionConfig {
+                devices_per_cluster: 2,
+                capacity,
+                ..RegionConfig::default()
+            },
+        )
+        .unwrap();
+        let flows = generate_flows(
+            &topology,
+            &WorkloadConfig {
+                flows: 4_000,
+                total_gbps: 500.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let healthy = region.offer(&flows, 1.0);
+        let alerts = evaluate(&region, &healthy, capacity, WaterLevels::default());
+        assert!(!alerts
+            .iter()
+            .any(|a| matches!(a, Alert::FallbackShare { .. })));
+        // Kill every device of cluster 0: its traffic degrades to x86 and
+        // the monitor must notice.
+        for d in 0..region.config.devices_per_cluster {
+            crate::failover::fail_device(&mut region, 0, d).unwrap();
+        }
+        let degraded = region.offer(&flows, 1.0);
+        assert!(degraded.fallback_pps > 0.0);
+        let alerts = evaluate(&region, &degraded, capacity, WaterLevels::default());
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, Alert::FallbackShare { .. })));
     }
 
     #[test]

@@ -138,6 +138,30 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
     probes
 }
 
+/// Whether a device decision satisfies a probe's expectation.
+fn matches_expectation(decision: &HwDecision, expect: Expectation) -> bool {
+    matches!(
+        (decision, expect),
+        (HwDecision::ToNc { .. }, Expectation::ForwardLocal)
+            | (HwDecision::ToRegion { .. }, Expectation::CrossRegion)
+            | (HwDecision::ToIdc { .. }, Expectation::Idc)
+            | (
+                HwDecision::PuntToX86 {
+                    reason: PuntReason::SnatRequired,
+                    ..
+                },
+                Expectation::PuntSnat
+            )
+            | (
+                HwDecision::PuntToX86 {
+                    reason: PuntReason::NoHwRoute,
+                    ..
+                },
+                Expectation::PuntUnknown
+            )
+    )
+}
+
 /// Runs every probe on every device of its serving cluster.
 pub fn run(region: &mut Region, probes: &[Probe]) -> Vec<ProbeFailure> {
     let mut failures = Vec::new();
@@ -153,27 +177,7 @@ pub fn run(region: &mut Region, probes: &[Probe]) -> Vec<ProbeFailure> {
         };
         for device in 0..region.hw[cluster].devices.len() {
             let decision = region.hw[cluster].devices[device].classify(&probe.packet);
-            let ok = matches!(
-                (&decision, probe.expect),
-                (HwDecision::ToNc { .. }, Expectation::ForwardLocal)
-                    | (HwDecision::ToRegion { .. }, Expectation::CrossRegion)
-                    | (HwDecision::ToIdc { .. }, Expectation::Idc)
-                    | (
-                        HwDecision::PuntToX86 {
-                            reason: PuntReason::SnatRequired,
-                            ..
-                        },
-                        Expectation::PuntSnat
-                    )
-                    | (
-                        HwDecision::PuntToX86 {
-                            reason: PuntReason::NoHwRoute,
-                            ..
-                        },
-                        Expectation::PuntUnknown
-                    )
-            );
-            if !ok {
+            if !matches_expectation(&decision, probe.expect) {
                 failures.push(ProbeFailure {
                     label: probe.label.clone(),
                     cluster,
@@ -181,6 +185,43 @@ pub fn run(region: &mut Region, probes: &[Probe]) -> Vec<ProbeFailure> {
                     got: format!("{decision:?}"),
                 });
             }
+        }
+    }
+    failures
+}
+
+/// Runs the probes relevant to one device — the §6.1 re-admission gate.
+///
+/// Probes are selected by the *plan* (which VNIs this cluster must serve),
+/// not the live directory: a backup cluster (index ≥ primaries) is tested
+/// against its primary's assignment, and a cluster whose traffic is
+/// currently failed over elsewhere can still be validated before the
+/// directory cuts back over.
+pub fn run_device(
+    region: &mut Region,
+    probes: &[Probe],
+    cluster: usize,
+    device: usize,
+) -> Vec<ProbeFailure> {
+    let primaries = region.plan.clusters_needed();
+    let plan_cluster = if cluster >= primaries {
+        cluster - primaries
+    } else {
+        cluster
+    };
+    let mut failures = Vec::new();
+    for probe in probes {
+        if region.plan.assignments.get(&probe.packet.vni) != Some(&plan_cluster) {
+            continue;
+        }
+        let decision = region.hw[cluster].devices[device].classify(&probe.packet);
+        if !matches_expectation(&decision, probe.expect) {
+            failures.push(ProbeFailure {
+                label: probe.label.clone(),
+                cluster,
+                device,
+                got: format!("{decision:?}"),
+            });
         }
     }
     failures
@@ -236,6 +277,21 @@ mod tests {
         assert!(probes.len() >= 15);
         let failures = run(&mut region, &probes);
         assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn run_device_gates_single_devices_including_backups() {
+        let (topology, mut region) = build();
+        let probes = generate(&topology, 5);
+        assert!(run_device(&mut region, &probes, 0, 0).is_empty());
+        // A backup cluster's devices are testable against the primary's
+        // plan assignment even though the directory points elsewhere.
+        let backup = region.backup_of(0).unwrap();
+        assert!(run_device(&mut region, &probes, backup, 0).is_empty());
+        // Corruption on one device is caught there and only there.
+        region.hw[0].devices[1] = XgwH::with_defaults();
+        assert!(!run_device(&mut region, &probes, 0, 1).is_empty());
+        assert!(run_device(&mut region, &probes, 0, 0).is_empty());
     }
 
     #[test]

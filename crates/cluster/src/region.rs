@@ -28,7 +28,7 @@ use sailfish_xgw_h::{HwDecision, XgwH};
 use sailfish_xgw_x86::{CoreLoadReport, FlowRate, FluidEngine, XgwX86Config};
 
 use crate::cluster::{HwCluster, SwCluster};
-use crate::controller::{ClusterCapacity, Controller, PlanError, SplitPlan};
+use crate::controller::{ClusterCapacity, Controller, InstallError, PlanError, SplitPlan};
 use crate::lb::{EcmpGroup, LbError, VniDirectory};
 
 /// Residual (micro-burst) loss ratio of one hardware device at
@@ -65,6 +65,14 @@ pub struct RegionConfig {
     pub x86: XgwX86Config,
     /// SNAT pool of the software nodes.
     pub snat: SnatConfig,
+    /// Degrade flows with no serving hardware (directory gap after a
+    /// failed install, every device of a cluster offline) to the XGW-x86
+    /// path instead of black-holing them.
+    pub degrade_to_x86: bool,
+    /// Region-level rate budget for that degraded traffic, bits/s. The
+    /// fallback path is a safety net, not a second data plane: beyond the
+    /// budget it sheds load proportionally.
+    pub fallback_rate_bps: f64,
 }
 
 impl Default for RegionConfig {
@@ -90,6 +98,8 @@ impl Default for RegionConfig {
                 ],
                 ..SnatConfig::default()
             },
+            degrade_to_x86: true,
+            fallback_rate_bps: 40e9,
         }
     }
 }
@@ -103,6 +113,9 @@ pub enum BuildError {
     Lb(LbError),
     /// Table installation failed.
     Table(sailfish_tables::Error),
+    /// The two-phase install gave up (retries exhausted or a device
+    /// rejected entries).
+    Install(InstallError),
 }
 
 impl core::fmt::Display for BuildError {
@@ -111,6 +124,7 @@ impl core::fmt::Display for BuildError {
             BuildError::Plan(e) => write!(f, "planning: {e}"),
             BuildError::Lb(e) => write!(f, "load balancer: {e}"),
             BuildError::Table(e) => write!(f, "table install: {e}"),
+            BuildError::Install(e) => write!(f, "install: {e}"),
         }
     }
 }
@@ -135,6 +149,12 @@ impl From<sailfish_tables::Error> for BuildError {
     }
 }
 
+impl From<InstallError> for BuildError {
+    fn from(e: InstallError) -> Self {
+        BuildError::Install(e)
+    }
+}
+
 /// Where a flow goes after classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowPath {
@@ -156,7 +176,14 @@ pub enum FlowPath {
     },
     /// Dropped in hardware (ACL, loop).
     HwDrop,
-    /// The flow's VNI is not in the directory (configuration gap).
+    /// No serving hardware; degraded to the rate-limited XGW-x86 path
+    /// (graceful degradation instead of black-holing).
+    Fallback {
+        /// Software node serving it.
+        node: usize,
+    },
+    /// The flow's VNI is not in the directory (configuration gap) and
+    /// degradation is disabled.
     Unrouted,
 }
 
@@ -185,6 +212,11 @@ pub struct RegionReport {
     pub punted_bps: f64,
     /// Per-cluster loop-pipe byte split `(pipe1, pipe3)` in bits/s.
     pub loop_pipe_bps: Vec<(f64, f64)>,
+    /// Traffic degraded to the XGW-x86 fallback path because no hardware
+    /// could serve it, packets/s (before the fallback rate limit).
+    pub fallback_pps: f64,
+    /// Degraded traffic shed at the region fallback rate limit, packets/s.
+    pub fallback_limited_pps: f64,
     /// Flows that had no directory entry, packets/s (should be 0).
     pub unrouted_pps: f64,
 }
@@ -199,8 +231,19 @@ impl RegionReport {
             + self.residual_dropped_pps
             + self.punt_limited_pps
             + self.sw_dropped_pps
+            + self.fallback_limited_pps
             + self.unrouted_pps)
             / self.offered_pps
+    }
+
+    /// Share of offered traffic that had to degrade to the XGW-x86
+    /// fallback path (the chaos harness's graceful-degradation signal).
+    pub fn fallback_share(&self) -> f64 {
+        if self.offered_pps == 0.0 {
+            0.0
+        } else {
+            self.fallback_pps / self.offered_pps
+        }
     }
 
     /// Share of offered traffic handled by XGW-x86 (Fig 22).
@@ -314,13 +357,31 @@ impl Region {
         }
     }
 
+    /// A flow with no serving hardware: degrade to XGW-x86 when
+    /// configured, otherwise report it unrouted.
+    fn no_hw_path(&self, flow: &Flow) -> FlowPath {
+        if self.config.degrade_to_x86 {
+            FlowPath::Fallback {
+                node: self
+                    .sw
+                    .ecmp
+                    .pick(&flow.tuple)
+                    .expect("sw cluster is never empty"),
+            }
+        } else {
+            FlowPath::Unrouted
+        }
+    }
+
     /// Classifies one flow: which path it takes through the region.
     pub fn classify(&self, flow: &Flow) -> FlowPath {
         let Some(cluster) = self.directory.cluster_for(flow.vni) else {
-            return FlowPath::Unrouted;
+            // Directory gap: the VNI's install failed or was rolled back.
+            return self.no_hw_path(flow);
         };
         let Ok(device) = self.hw[cluster].device_for(&flow.tuple) else {
-            return FlowPath::Unrouted;
+            // Every device of the serving cluster is offline.
+            return self.no_hw_path(flow);
         };
         let packet = GatewayPacketBuilder::new(flow.vni, flow.tuple.src_ip, flow.tuple.dst_ip)
             .transport(
@@ -360,6 +421,7 @@ impl Region {
         let mut loop_pipe_bps = vec![(0.0f64, 0.0f64); self.hw.len()];
         let mut sw_flows: Vec<Vec<FlowRate>> = vec![Vec::new(); self.sw.nodes.len()];
         let mut sw_flow_scale: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.sw.nodes.len()];
+        let mut fb_flows: Vec<Vec<FlowRate>> = vec![Vec::new(); self.sw.nodes.len()];
         let mut offered_pps = 0.0;
         let mut offered_bps = 0.0;
         let mut unrouted_pps = 0.0;
@@ -402,9 +464,29 @@ impl Region {
                     offered_pps -= pps;
                     offered_bps -= bps;
                 }
+                FlowPath::Fallback { node } => {
+                    // No hardware transit: the LB steers the flow straight
+                    // at the software cluster.
+                    fb_flows[node].push(FlowRate {
+                        tuple: flow.tuple,
+                        pps,
+                        wire_bytes: flow.wire_bytes,
+                    });
+                }
                 FlowPath::Unrouted => unrouted_pps += pps,
             }
         }
+
+        // Region-level rate limit on the degraded path: it is a safety
+        // net sized for disasters, not a second data plane.
+        let total_fb_bps: f64 = fb_flows.iter().flatten().map(|f| f.bps()).sum();
+        let fb_scale = if total_fb_bps > self.config.fallback_rate_bps {
+            self.config.fallback_rate_bps / total_fb_bps
+        } else {
+            1.0
+        };
+        let mut fallback_pps = 0.0;
+        let mut fallback_limited_pps = 0.0;
 
         // Punt rate limiting per device: scale down software-bound flows
         // proportionally where the budget is exceeded.
@@ -430,6 +512,14 @@ impl Region {
                 punted_pps += f.pps;
                 punted_bps += f.bps();
             }
+            // Degraded flows share the node with punted ones; the core
+            // model sees both.
+            for f in &mut fb_flows[node] {
+                fallback_pps += f.pps;
+                fallback_limited_pps += f.pps * (1.0 - fb_scale);
+                f.pps *= fb_scale;
+            }
+            flows.extend(fb_flows[node].iter().cloned());
             let report = self.sw.nodes[node].engine.offer(flows);
             sw_dropped_pps += report.dropped_pps + report.nic_dropped_pps;
             sw_reports.push(report);
@@ -466,6 +556,8 @@ impl Region {
             punted_pps,
             punted_bps,
             loop_pipe_bps,
+            fallback_pps,
+            fallback_limited_pps,
             unrouted_pps,
         }
     }

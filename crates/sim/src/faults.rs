@@ -1,0 +1,376 @@
+//! Deterministic fault-injection schedules over virtual time.
+//!
+//! The paper's §6.1 machinery (probe-gated admission, water levels, the
+//! cluster/node/port disaster-recovery ladder, consistency checks) only
+//! earns its keep under *sequences* of failures. This module provides the
+//! workload side of that exercise: a seeded generator that composes
+//! schedules of the fault kinds a production gateway region sees —
+//! node death, port degradation (jitter / persistent loss), full-cluster
+//! failure, controller install faults (timeouts and partial installs),
+//! silent table corruption, and heavy-hitter storms — laid out on a
+//! virtual-time axis of fixed measurement slots.
+//!
+//! The schedule is pure data: it names targets by index and says nothing
+//! about *how* to inject or recover. `sailfish-cluster::chaos` interprets
+//! it against a live `Region` and measures loss, fallback share, MTTR and
+//! invariant violations. Everything is seeded; the same
+//! [`FaultScheduleConfig`] always yields the same schedule, byte for
+//! byte.
+
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
+
+/// A virtual clock in nanoseconds. Retry/backoff loops advance it
+/// explicitly instead of sleeping, so recovery timing is measurable and
+/// deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ns: u64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock (saturating).
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+}
+
+/// A controller-side installation fault (injected during a table push).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InstallFault {
+    /// The push times out before any entry reaches the device.
+    Timeout,
+    /// The push dies mid-flight: only a prefix `fraction ∈ (0, 1)` of the
+    /// entries lands, leaving controller and device inconsistent.
+    Partial {
+        /// Fraction of entries that were applied before the failure.
+        fraction: f64,
+    },
+}
+
+/// One injectable fault. Targets are indices into the region
+/// (`cluster` is a physical cluster index, primaries first then
+/// backups; `device` is a member index within the cluster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A gateway node dies (hardware failure): taken offline, survivors
+    /// share the load, re-admitted through the probe gate on recovery.
+    NodeDeath {
+        /// Target cluster.
+        cluster: usize,
+        /// Target device.
+        device: usize,
+    },
+    /// Port jitter or persistent packet loss: a fraction of the device's
+    /// ports is isolated, leaving `healthy_fraction` of its capacity.
+    PortDegradation {
+        /// Target cluster.
+        cluster: usize,
+        /// Target device.
+        device: usize,
+        /// Capacity fraction that stays up.
+        healthy_fraction: f64,
+    },
+    /// A full cluster fails: traffic rolls to the 1:1 hot-standby backup
+    /// until the primary is restored.
+    ClusterFailure {
+        /// Target (primary) cluster.
+        cluster: usize,
+    },
+    /// A maintenance table push to one device hits install faults for
+    /// `duration` consecutive attempts; the two-phase installer must
+    /// retry with backoff and roll back partial state.
+    InstallFailure {
+        /// Target cluster.
+        cluster: usize,
+        /// Target device.
+        device: usize,
+        /// The per-attempt fault.
+        fault: InstallFault,
+    },
+    /// Silent table corruption on one device: the device keeps serving,
+    /// misses punt to software, and only the consistency checker / probe
+    /// sweep can spot it.
+    TableCorruption {
+        /// Target cluster.
+        cluster: usize,
+        /// Target device.
+        device: usize,
+    },
+    /// A heavy-hitter storm: offered load multiplies for the window.
+    HeavyHitterStorm {
+        /// Load multiplier (> 1).
+        multiplier: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label (JSON records, log lines).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeDeath { .. } => "node_death",
+            FaultKind::PortDegradation { .. } => "port_degradation",
+            FaultKind::ClusterFailure { .. } => "cluster_failure",
+            FaultKind::InstallFailure { .. } => "install_failure",
+            FaultKind::TableCorruption { .. } => "table_corruption",
+            FaultKind::HeavyHitterStorm { .. } => "heavy_hitter_storm",
+        }
+    }
+}
+
+/// One scheduled fault: injected at slot `at`, cleared (recovery begins)
+/// at slot `at + duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection slot.
+    pub at: u64,
+    /// Slots the fault stays active before recovery starts (≥ 1).
+    pub duration: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// First slot at which recovery runs.
+    pub fn ends_at(&self) -> u64 {
+        self.at + self.duration
+    }
+}
+
+/// Parameters for schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScheduleConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Measurement slots in the schedule.
+    pub slots: u64,
+    /// Primary clusters available as targets.
+    pub clusters: usize,
+    /// Devices per cluster.
+    pub devices_per_cluster: usize,
+    /// Expected faults per slot (a rate; the generator draws
+    /// `slots × rate` events, at least one per kind when the budget
+    /// allows).
+    pub fault_rate: f64,
+    /// Longest fault window, in slots.
+    pub max_duration: u64,
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig {
+            seed: 7,
+            slots: 48,
+            clusters: 4,
+            devices_per_cluster: 3,
+            fault_rate: 0.25,
+            max_duration: 4,
+        }
+    }
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    /// Measurement slots covered.
+    pub slots: u64,
+    /// Events, sorted by injection slot (ties keep generation order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule with explicit events (tests, replayed scenarios).
+    pub fn from_events(slots: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { slots, events }
+    }
+
+    /// Generates a schedule from the seeded configuration.
+    ///
+    /// The first six events cover the six fault kinds once each (so any
+    /// non-trivial schedule exercises the whole recovery surface); the
+    /// remaining budget is drawn uniformly over kinds and targets. Slots
+    /// 0 and 1 stay clean to establish the loss baseline, and every
+    /// window ends at least one slot before the schedule does so that
+    /// recovery is observable.
+    pub fn generate(config: &FaultScheduleConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let budget = ((config.slots as f64 * config.fault_rate).round() as usize).max(1);
+        let first_slot = 2u64;
+        let last_slot = config.slots.saturating_sub(2).max(first_slot);
+        let mut events = Vec::with_capacity(budget);
+        for i in 0..budget {
+            let duration = rng.gen_range(1..=config.max_duration.max(1));
+            let at = rng.gen_range(first_slot..=last_slot.saturating_sub(duration).max(first_slot));
+            // Round-robin through the kinds first, then uniform.
+            let kind_idx = if i < 6 { i } else { rng.gen_range(0..6) };
+            let cluster = rng.gen_range(0..config.clusters.max(1));
+            let device = rng.gen_range(0..config.devices_per_cluster.max(1));
+            let kind = match kind_idx {
+                0 => FaultKind::NodeDeath { cluster, device },
+                1 => FaultKind::PortDegradation {
+                    cluster,
+                    device,
+                    healthy_fraction: rng.gen_range(0.25..0.75),
+                },
+                2 => FaultKind::ClusterFailure { cluster },
+                3 => FaultKind::InstallFailure {
+                    cluster,
+                    device,
+                    fault: if rng.gen_bool(0.5) {
+                        InstallFault::Timeout
+                    } else {
+                        InstallFault::Partial {
+                            fraction: rng.gen_range(0.1..0.9),
+                        }
+                    },
+                },
+                4 => FaultKind::TableCorruption { cluster, device },
+                _ => FaultKind::HeavyHitterStorm {
+                    multiplier: rng.gen_range(1.5..3.0),
+                },
+            };
+            events.push(FaultEvent { at, duration, kind });
+        }
+        Self::from_events(config.slots, events)
+    }
+
+    /// Events injected at `slot`, in schedule order.
+    pub fn events_at(&self, slot: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.at == slot)
+    }
+
+    /// Whether any event's active window covers `slot`.
+    pub fn fault_active_at(&self, slot: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| slot >= e.at && slot < e.ends_at())
+    }
+
+    /// Distinct fault-kind labels present, sorted.
+    pub fn kinds_present(&self) -> Vec<&'static str> {
+        let mut labels: Vec<&'static str> = self.events.iter().map(|e| e.kind.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = FaultScheduleConfig::default();
+        let a = FaultSchedule::generate(&config);
+        let b = FaultSchedule::generate(&config);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = FaultSchedule::generate(&FaultScheduleConfig { seed: 8, ..config });
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn schedule_covers_all_six_kinds() {
+        let schedule = FaultSchedule::generate(&FaultScheduleConfig {
+            fault_rate: 0.25,
+            ..FaultScheduleConfig::default()
+        });
+        assert_eq!(
+            schedule.kinds_present(),
+            vec![
+                "cluster_failure",
+                "heavy_hitter_storm",
+                "install_failure",
+                "node_death",
+                "port_degradation",
+                "table_corruption",
+            ]
+        );
+    }
+
+    #[test]
+    fn events_stay_inside_the_window() {
+        let config = FaultScheduleConfig {
+            slots: 32,
+            fault_rate: 1.0,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = FaultSchedule::generate(&config);
+        assert_eq!(schedule.events.len(), 32);
+        for e in &schedule.events {
+            assert!(e.at >= 2, "slots 0/1 are the clean baseline: {e:?}");
+            assert!(e.duration >= 1);
+            assert!(e.ends_at() <= config.slots, "{e:?}");
+        }
+        // Sorted by injection slot.
+        for w in schedule.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn targets_respect_region_shape() {
+        let config = FaultScheduleConfig {
+            clusters: 3,
+            devices_per_cluster: 2,
+            fault_rate: 2.0,
+            ..FaultScheduleConfig::default()
+        };
+        for e in &FaultSchedule::generate(&config).events {
+            match e.kind {
+                FaultKind::NodeDeath { cluster, device }
+                | FaultKind::TableCorruption { cluster, device }
+                | FaultKind::InstallFailure {
+                    cluster, device, ..
+                }
+                | FaultKind::PortDegradation {
+                    cluster, device, ..
+                } => {
+                    assert!(cluster < 3 && device < 2);
+                }
+                FaultKind::ClusterFailure { cluster } => assert!(cluster < 3),
+                FaultKind::HeavyHitterStorm { multiplier } => assert!(multiplier > 1.0),
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(250);
+        clock.advance(750);
+        assert_eq!(clock.now_ns(), 1_000);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn fault_activity_windows() {
+        let schedule = FaultSchedule::from_events(
+            10,
+            vec![FaultEvent {
+                at: 3,
+                duration: 2,
+                kind: FaultKind::HeavyHitterStorm { multiplier: 2.0 },
+            }],
+        );
+        assert!(!schedule.fault_active_at(2));
+        assert!(schedule.fault_active_at(3));
+        assert!(schedule.fault_active_at(4));
+        assert!(!schedule.fault_active_at(5));
+        assert_eq!(schedule.events_at(3).count(), 1);
+        assert_eq!(schedule.events_at(4).count(), 0);
+    }
+}

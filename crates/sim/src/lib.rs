@@ -14,11 +14,16 @@
 //! - [`workload`] — flow sets with configurable heavy hitters and the
 //!   diurnal/shopping-festival load profile behind Figs 4–6 and 19,
 //! - [`metrics`] — seedable, reproducible measurement helpers (histograms,
-//!   loss accounting, time series).
+//!   loss accounting, time series),
+//! - [`faults`] — deterministic fault-injection schedules over virtual
+//!   time (node death, port degradation, cluster failure, install
+//!   faults, table corruption, heavy-hitter storms), replayed against a
+//!   region by `sailfish-cluster::chaos`.
 //!
 //! Everything is seeded `StdRng`; no wall clock, no global state — every
 //! figure regenerates bit-for-bit.
 
+pub mod faults;
 pub mod metrics;
 pub mod topology;
 pub mod workload;

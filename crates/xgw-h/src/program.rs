@@ -170,6 +170,15 @@ impl XgwH {
         self.stats = XgwHStats::default();
     }
 
+    /// Drops every installed table entry, keeping the ALPM configuration,
+    /// the punt meter and the runtime counters. This is the memory-loss
+    /// failure mode the §6.1 consistency checker exists to catch (and the
+    /// first step of a controller-driven table rebuild): the device keeps
+    /// forwarding, but every lookup misses and punts to XGW-x86.
+    pub fn wipe_tables(&mut self) {
+        self.tables = HardwareTables::new(self.tables.routes.alpm_config());
+    }
+
     /// Which loop pipe the packet traverses: entries are split by VNI
     /// parity between Egress/Ingress Pipe 1 and Pipe 3 (Fig 14).
     pub fn loop_pipe_for(vni: Vni) -> usize {

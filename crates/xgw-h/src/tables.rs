@@ -229,6 +229,11 @@ impl HwRoutingTable {
         Ok(())
     }
 
+    /// The ALPM partition configuration in force.
+    pub fn alpm_config(&self) -> AlpmConfig {
+        self.alpm_config
+    }
+
     /// VNIs present, ascending.
     pub fn vnis(&self) -> Vec<Vni> {
         let mut v: Vec<Vni> = self.per_vni.keys().copied().collect();

@@ -58,6 +58,16 @@ impl CoreLoadReport {
         }
     }
 
+    /// Mean core utilization — the box-level headroom signal the chaos
+    /// harness and monitor watch while fallback traffic lands here.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization.is_empty() {
+            0.0
+        } else {
+            self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
+        }
+    }
+
     /// The index and utilization of the busiest core.
     pub fn hottest_core(&self) -> (usize, f64) {
         self.utilization

@@ -49,11 +49,14 @@ fn main() {
     assert_eq!(healthy.unrouted_pps, 0.0);
 
     println!("\n== node-level failure ==");
-    let out = failover::fail_device(&mut region, 0, 1);
+    let out = failover::fail_device(&mut region, 0, 1).unwrap();
     println!("device 1 of cluster 0 offline: {out:?}");
     let degraded = offer(&mut region, "2 of 3 devices in cluster 0");
     assert_eq!(degraded.unrouted_pps, 0.0, "survivors absorb the load");
-    failover::restore_device(&mut region, 0, 1);
+    // Re-admission is gated on a clean probe sweep (§6.1).
+    let probes = sailfish_cluster::probe::generate(&topology, 3);
+    let out = failover::readmit_device(&mut region, &probes, 0, 1).unwrap();
+    println!("device 1 probe-gated back in: {out:?}");
     offer(&mut region, "device restored");
 
     println!("\n== cluster-level failure ==");
@@ -61,7 +64,7 @@ fn main() {
         .controller
         .check_consistency(&region.plan, &region.hw);
     println!("pre-failover consistency findings: {}", consistency.len());
-    let out = failover::fail_cluster(&mut region, 0);
+    let out = failover::fail_cluster(&mut region, 0).unwrap();
     println!("cluster 0 failed, rolled to backup: {out:?}");
     let failed_over = offer(&mut region, "traffic on hot-standby backup");
     assert_eq!(
@@ -72,7 +75,8 @@ fn main() {
     assert_eq!(failed_over.device_util[0].iter().sum::<f64>(), 0.0);
 
     println!("\n== restoration ==");
-    failover::restore_cluster(&mut region, 0);
+    let out = failover::restore_cluster(&mut region, 0).unwrap();
+    println!("primary restored: {out:?}");
     let restored = offer(&mut region, "primary restored");
     assert!(restored.device_util[0].iter().sum::<f64>() > 0.0);
 

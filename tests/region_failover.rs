@@ -44,15 +44,15 @@ fn full_recovery_ladder() {
     let healthy_loss = healthy.loss_ratio();
 
     // Node failure: loss unchanged at this load (survivors absorb it).
-    failover::fail_device(&mut region, 0, 0);
+    failover::fail_device(&mut region, 0, 0).unwrap();
     let node_down = region.offer(&flows, 1.0);
     assert_eq!(node_down.unrouted_pps, 0.0);
     assert!(node_down.loss_ratio() < healthy_loss * 10.0 + 1e-9);
 
     // Second and third node failures kill the cluster: cluster failover.
-    failover::fail_device(&mut region, 0, 1);
-    failover::fail_device(&mut region, 0, 2);
-    match failover::fail_cluster(&mut region, 0) {
+    failover::fail_device(&mut region, 0, 1).unwrap();
+    failover::fail_device(&mut region, 0, 2).unwrap();
+    match failover::fail_cluster(&mut region, 0).unwrap() {
         RecoveryOutcome::RolledToBackup { vnis_moved, .. } => assert!(vnis_moved > 0),
         other => panic!("unexpected {other:?}"),
     }
@@ -61,9 +61,18 @@ fn full_recovery_ladder() {
 
     // Restore the ladder bottom-up.
     for d in 0..3 {
-        failover::restore_device(&mut region, 0, d);
+        failover::restore_device(&mut region, 0, d).unwrap();
     }
-    failover::restore_cluster(&mut region, 0);
+    match failover::restore_cluster(&mut region, 0).unwrap() {
+        RecoveryOutcome::Restored {
+            primary,
+            vnis_moved,
+        } => {
+            assert_eq!(primary, 0);
+            assert!(vnis_moved > 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
     let restored = region.offer(&flows, 1.0);
     assert_eq!(restored.unrouted_pps, 0.0);
     assert!(restored.device_util[0].iter().sum::<f64>() > 0.0);
