@@ -45,12 +45,32 @@ fi
 
 # 4. Lints (skip if clippy is not installed).
 if cargo clippy --version >/dev/null 2>&1; then
-    run_step "clippy" cargo clippy --offline --all-targets -- -D warnings
+    run_step "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
 else
     echo "==> clippy: SKIPPED (clippy not installed)"
 fi
 
-# 5. Fault-injection smoke: the chaos sweep must run clean (zero
+# 5. Static-analyzer smoke: every shipped layout must verify clean and
+#    the known-bad corpus must fire its pinned codes; run twice and cmp
+#    the rendered report (determinism gate).
+run_step "verify-smoke" cargo run --release --offline -q -p sailfish-bench \
+    --bin sailfish-verify
+if [ -f experiments/verify_report.txt ]; then
+    cp experiments/verify_report.txt /tmp/sailfish_verify_run1.txt
+    run_step "verify-determinism" cargo run --release --offline -q -p sailfish-bench \
+        --bin sailfish-verify
+    echo
+    echo "==> verify-determinism: comparing the two reports"
+    if cmp -s /tmp/sailfish_verify_run1.txt experiments/verify_report.txt; then
+        echo "==> verify-determinism: OK (byte-identical)"
+    else
+        echo "==> verify-determinism: FAILED (reports differ)"
+        failures=$((failures + 1))
+    fi
+    rm -f /tmp/sailfish_verify_run1.txt
+fi
+
+# 6. Fault-injection smoke: the chaos sweep must run clean (zero
 #    invariant violations, every fault recovered) at tiny scale, twice,
 #    with byte-identical JSON output (determinism gate).
 run_step "chaos-smoke" cargo run --release --offline -q -p sailfish-bench \
@@ -70,7 +90,7 @@ if [ -f experiments/fault_injection.json ]; then
     rm -f /tmp/sailfish_fault_injection_run1.json
 fi
 
-# 6. Dependency policy: no external crates anywhere in the workspace.
+# 7. Dependency policy: no external crates anywhere in the workspace.
 echo
 echo "==> policy: no external crate references in manifests"
 if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \

@@ -20,6 +20,19 @@ pub enum Error {
     PhvExhausted,
     /// A table spec is internally inconsistent (zero-width key, etc.).
     InvalidSpec(&'static str),
+    /// The same table name is placed more than once with fractions that
+    /// over-commit its entry set (a double install, not cross-pipe
+    /// mapping).
+    DuplicateTable {
+        /// The offending table's name.
+        table: String,
+    },
+    /// A table is placed in a gress that does not exist in the layout's
+    /// fold configuration (e.g. a loop step without folding).
+    GressViolation {
+        /// The offending table's name.
+        table: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -34,6 +47,15 @@ impl fmt::Display for Error {
             }
             Error::PhvExhausted => write!(f, "PHV container budget exhausted"),
             Error::InvalidSpec(what) => write!(f, "invalid table spec: {what}"),
+            Error::DuplicateTable { table } => {
+                write!(f, "table '{table}' is placed more than once")
+            }
+            Error::GressViolation { table } => {
+                write!(
+                    f,
+                    "table '{table}' sits in a gress the fold configuration never visits"
+                )
+            }
         }
     }
 }

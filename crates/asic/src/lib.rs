@@ -23,6 +23,8 @@
 //! - the forwarding-performance envelope (throughput, packet rate,
 //!   latency) of [`perf`], reproducing Fig 18.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod cost;
 pub mod error;
@@ -30,8 +32,10 @@ pub mod mem;
 pub mod perf;
 pub mod phv;
 pub mod placement;
+pub mod verify;
 
 pub use config::TofinoConfig;
 pub use cost::{MatchKind, MemCost, Storage, TableSpec};
 pub use error::{Error, Result};
 pub use placement::{FoldStep, Layout, PlacedTable};
+pub use verify::{Diagnostic, LintCode, Report, Severity, VerifyOptions};

@@ -216,26 +216,53 @@ impl Layout {
         self.bridge_count() * self.config.bridge_bits_per_crossing as usize / 8
     }
 
+    /// Runs the static analyzer over this layout and returns the full
+    /// diagnostics report (see [`crate::verify`]).
+    pub fn verify(&self, label: &str) -> crate::verify::Report {
+        crate::verify::verify(self, label)
+    }
+
+    /// Like [`Layout::verify`] with caller-supplied analyzer options.
+    pub fn verify_with(
+        &self,
+        label: &str,
+        options: &crate::verify::VerifyOptions,
+    ) -> crate::verify::Report {
+        crate::verify::verify_with(self, label, options)
+    }
+
     /// Validates ordering and capacity.
+    ///
+    /// This is the legacy pass/fail view, now routed through the static
+    /// analyzer: the first (most severe) error diagnostic is mapped back
+    /// to the matching typed [`Error`]. Callers that want the full
+    /// picture should use [`Layout::verify`] instead.
     pub fn validate(&self) -> Result<()> {
-        if self.folded {
-            let mut prev = FoldStep::IngressOuter;
-            for t in &self.tables {
-                if t.step < prev {
-                    return Err(Error::OrderViolation {
-                        table: t.spec.name.clone(),
-                    });
-                }
-                prev = t.step;
-            }
-        }
-        for pair in [PipePair::Outer, PipePair::Loop] {
-            let occ = Occupancy::of(self.pair_usage(pair), &self.config);
-            if !occ.fits() {
-                return Err(Error::DoesNotFit {
-                    detail: format!("{pair:?} pipes at {occ}"),
-                });
-            }
+        use crate::verify::LintCode;
+        let report = self.verify("validate");
+        // Map in legacy priority order so existing callers see the same
+        // error classes the old hand-rolled checks produced.
+        for code in [
+            LintCode::FoldOrderViolation,
+            LintCode::DuplicateTable,
+            LintCode::GressViolation,
+            LintCode::OverCapacity,
+            LintCode::StageOverflow,
+            LintCode::PhvOverflow,
+        ] {
+            let Some(d) = report.diagnostics.iter().find(|d| d.code == code) else {
+                continue;
+            };
+            let table = d.table.clone().unwrap_or_default();
+            return Err(match code {
+                LintCode::FoldOrderViolation => Error::OrderViolation { table },
+                LintCode::DuplicateTable => Error::DuplicateTable { table },
+                LintCode::GressViolation => Error::GressViolation { table },
+                LintCode::PhvOverflow => Error::PhvExhausted,
+                _ => Error::DoesNotFit {
+                    detail: d.message.clone(),
+                },
+            });
         }
         Ok(())
     }
@@ -269,18 +296,20 @@ mod tests {
         // A table that exactly fills one pipe fits when folded tables are
         // spread over both pairs.
         let cfg = TofinoConfig::tofino_64t();
-        let big = spec("big", 700_000); // 700k/0.8 = 875k words each
+        // Two distinct tables, each 700k/0.8 = 875k words.
+        let big_a = spec("big-a", 700_000);
+        let big_b = spec("big-b", 700_000);
         let mut unfolded = Layout::new(cfg.clone(), false);
-        unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
-        unfolded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
+        unfolded.push(PlacedTable::new(big_a.clone(), FoldStep::IngressOuter));
+        unfolded.push(PlacedTable::new(big_b.clone(), FoldStep::IngressOuter));
         assert!(
-            unfolded.validate().is_err(),
-            "two copies cannot fit one pipe"
+            matches!(unfolded.validate(), Err(Error::DoesNotFit { .. })),
+            "two such tables cannot fit one pipe"
         );
 
         let mut folded = Layout::new(cfg, true);
-        folded.push(PlacedTable::new(big.clone(), FoldStep::IngressOuter));
-        folded.push(PlacedTable::new(big, FoldStep::IngressLoop));
+        folded.push(PlacedTable::new(big_a, FoldStep::IngressOuter));
+        folded.push(PlacedTable::new(big_b, FoldStep::IngressLoop));
         folded.validate().unwrap();
     }
 

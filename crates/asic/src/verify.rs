@@ -1,0 +1,1069 @@
+//! `sailfish-verify`: a diagnostics-grade static analyzer for pipeline
+//! layouts.
+//!
+//! [`Layout::validate`](crate::placement::Layout::validate) historically
+//! rejected an illegal placement with a single opaque error. Every result
+//! the reproduction claims — Table 4 occupancy, the §4.4
+//! folding/splitting/pooling legality, the digest-conflict bound —
+//! depends on a placement being *legal* on the Tofino model, so this
+//! module takes the compiler's route instead: a multi-pass analyzer that
+//! lowers a [`Layout`] to per-stage resource demands and emits a
+//! structured [`Report`] of stable-coded [`Diagnostic`]s, each carrying a
+//! severity, the offending table, the fold step, and a remediation hint.
+//!
+//! Passes, in order:
+//!
+//! 1. **fold-order dependency graph** — builds the match-action
+//!    dependency DAG over [`FoldStep`]s (edges follow
+//!    `depends_on_previous`) and rejects lookups that read metadata
+//!    produced later on the fold path (`SF-E001`) or placed in a gress
+//!    that does not exist in the layout's fold configuration (`SF-E003`);
+//! 2. **stage/block allocator** — lowers each [`PlacedTable`] to
+//!    per-stage SRAM/TCAM block demands against the
+//!    [`TofinoConfig`] inventories, walking the twelve stages of each
+//!    pipe with a first-fit allocator that honours dependency chaining
+//!    (a dependent match must start after its producer's last stage), and
+//!    reports per-pipe/per-stage occupancy water-levels — warnings at
+//!    ≥85% (`SF-W001`/`SF-W002`), errors over 100% (`SF-E002`) or when a
+//!    chain spills past the last stage (`SF-E006`);
+//! 3. **PHV/bridge budget** — counts metadata bits per gress (action
+//!    results live in the PHV, bridged bits land in the destination
+//!    gress) and diagnoses overflow (`SF-E004`) and pressure
+//!    (`SF-W003`/`SF-W006`);
+//! 4. **lint rules** — duplicate table placements whose fractions
+//!    over-commit the entry set (`SF-E005`), under-placed fractions
+//!    (`SF-W005`), and an undersized digest-conflict table against the
+//!    reservation the caller requires (`SF-W004`).
+//!
+//! The rendered report is byte-stable for a given layout: diagnostics
+//! are sorted by (severity, code, table, step) and every number is
+//! formatted with a fixed precision, so two runs of the analyzer over
+//! the same layout `cmp` equal — the CI determinism gate relies on this.
+
+use core::fmt;
+
+use crate::config::TofinoConfig;
+use crate::mem::Occupancy;
+use crate::placement::{FoldStep, Layout, PipePair, PlacedTable};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The layout is illegal on the modeled hardware.
+    Error,
+    /// The layout is legal but fragile (low headroom, suspect shape).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Stable lint codes. The numeric part never changes meaning across
+/// versions; tools may match on [`LintCode::code`] strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// `SF-E001` — a lookup reads metadata produced later on the fold
+    /// path.
+    FoldOrderViolation,
+    /// `SF-E002` — a pipe's aggregate SRAM or TCAM demand exceeds its
+    /// inventory.
+    OverCapacity,
+    /// `SF-E003` — a table sits in a gress that does not exist in this
+    /// fold configuration (loop steps without folding).
+    GressViolation,
+    /// `SF-E004` — a gress's metadata does not fit the PHV budget.
+    PhvOverflow,
+    /// `SF-E005` — duplicate placements of one table over-commit its
+    /// entry set (fractions sum past 1).
+    DuplicateTable,
+    /// `SF-E006` — a dependency chain spills past the last match stage.
+    StageOverflow,
+    /// `SF-W001` — TCAM occupancy at or above the headroom water-level.
+    TcamHeadroom,
+    /// `SF-W002` — SRAM occupancy at or above the headroom water-level.
+    SramHeadroom,
+    /// `SF-W003` — PHV usage at or above the headroom water-level.
+    PhvPressure,
+    /// `SF-W004` — a conflict table smaller than the required
+    /// reservation.
+    ConflictTableUndersized,
+    /// `SF-W005` — fractional placements leave part of a table's entry
+    /// set unplaced.
+    UnderPlaced,
+    /// `SF-W006` — every fold boundary is already bridged; the next
+    /// dependency rides the packet.
+    BridgePressure,
+}
+
+impl LintCode {
+    /// The stable code string, e.g. `SF-E003`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintCode::FoldOrderViolation => "SF-E001",
+            LintCode::OverCapacity => "SF-E002",
+            LintCode::GressViolation => "SF-E003",
+            LintCode::PhvOverflow => "SF-E004",
+            LintCode::DuplicateTable => "SF-E005",
+            LintCode::StageOverflow => "SF-E006",
+            LintCode::TcamHeadroom => "SF-W001",
+            LintCode::SramHeadroom => "SF-W002",
+            LintCode::PhvPressure => "SF-W003",
+            LintCode::ConflictTableUndersized => "SF-W004",
+            LintCode::UnderPlaced => "SF-W005",
+            LintCode::BridgePressure => "SF-W006",
+        }
+    }
+
+    /// The human slug, e.g. `gress-violation`.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LintCode::FoldOrderViolation => "fold-order-violation",
+            LintCode::OverCapacity => "over-capacity",
+            LintCode::GressViolation => "gress-violation",
+            LintCode::PhvOverflow => "phv-overflow",
+            LintCode::DuplicateTable => "duplicate-table",
+            LintCode::StageOverflow => "stage-overflow",
+            LintCode::TcamHeadroom => "tcam-headroom",
+            LintCode::SramHeadroom => "sram-headroom",
+            LintCode::PhvPressure => "phv-pressure",
+            LintCode::ConflictTableUndersized => "conflict-table-undersized",
+            LintCode::UnderPlaced => "under-placed",
+            LintCode::BridgePressure => "bridge-pressure",
+        }
+    }
+
+    /// The severity implied by the code class (`E` vs `W`).
+    pub fn severity(&self) -> Severity {
+        match self {
+            LintCode::FoldOrderViolation
+            | LintCode::OverCapacity
+            | LintCode::GressViolation
+            | LintCode::PhvOverflow
+            | LintCode::DuplicateTable
+            | LintCode::StageOverflow => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.slug())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// The offending table, when the finding is table-scoped.
+    pub table: Option<String>,
+    /// The fold step it sits at, when table-scoped.
+    pub step: Option<FoldStep>,
+    /// What is wrong, with the numbers that prove it.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl Diagnostic {
+    /// The diagnostic's severity (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.code)?;
+        if let Some(table) = &self.table {
+            write!(f, " table '{table}'")?;
+            if let Some(step) = self.step {
+                write!(f, " @ {step:?}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Block usage of one match stage of a pipe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWater {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// SRAM blocks allocated in the stage.
+    pub sram_blocks: usize,
+    /// TCAM blocks allocated in the stage.
+    pub tcam_blocks: usize,
+}
+
+/// The lowered resource picture of one pipe pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairReport {
+    /// Which pair.
+    pub pair: PipePair,
+    /// Aggregate occupancy of one pipe of the pair.
+    pub occupancy: Occupancy,
+    /// Per-stage block water-levels (only stages with any allocation).
+    pub stages: Vec<StageWater>,
+}
+
+/// PHV metadata accounting per gress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhvReport {
+    /// Metadata bits live in the ingress gress.
+    pub ingress_bits: u32,
+    /// Metadata bits live in the egress gress.
+    pub egress_bits: u32,
+    /// Per-gress budget.
+    pub capacity_bits: u32,
+}
+
+/// Analyzer knobs. [`VerifyOptions::default`] matches the hardware
+/// model; callers with program-level knowledge (e.g. the XGW-H conflict
+/// reservation) tighten it.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Occupancy percentage at which headroom warnings fire.
+    pub headroom_warn_pct: f64,
+    /// Minimum entries any table whose name contains
+    /// [`VerifyOptions::conflict_name_marker`] must reserve
+    /// (`SF-W004`). `None` disables the lint.
+    pub conflict_table_min_entries: Option<usize>,
+    /// Substring identifying digest-conflict tables.
+    pub conflict_name_marker: &'static str,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            headroom_warn_pct: 85.0,
+            conflict_table_min_entries: None,
+            conflict_name_marker: "conflict",
+        }
+    }
+}
+
+/// The structured outcome of verifying one layout.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Caller-supplied label naming the layout.
+    pub label: String,
+    /// Whether the layout runs folded.
+    pub folded: bool,
+    /// Number of placed tables.
+    pub table_count: usize,
+    /// All findings, sorted by (severity, code, table, step).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-pair lowered resource picture, `[Outer, Loop]`.
+    pub pairs: Vec<PairReport>,
+    /// Per-gress PHV accounting.
+    pub phv: PhvReport,
+    /// Gress boundaries the placement bridges.
+    pub bridge_count: usize,
+    /// Bytes those bridges append to every looped packet.
+    pub bridge_bytes: usize,
+}
+
+impl Report {
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Whether the layout is legal (no errors; warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Whether a diagnostic with `code` was emitted.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report as stable text. Byte-identical across runs
+    /// for the same layout.
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== sailfish-verify: {} ==", self.label);
+        let _ = writeln!(
+            out,
+            "layout: {}, {} table placement(s); bridges: {} ({} bytes on the wire)",
+            if self.folded { "folded" } else { "unfolded" },
+            self.table_count,
+            self.bridge_count,
+            self.bridge_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "phv: ingress {}/{} bits, egress {}/{} bits",
+            self.phv.ingress_bits,
+            self.phv.capacity_bits,
+            self.phv.egress_bits,
+            self.phv.capacity_bits,
+        );
+        for pair in &self.pairs {
+            let _ = writeln!(
+                out,
+                "pair {:?}: SRAM {:.1}% | TCAM {:.1}%",
+                pair.pair, pair.occupancy.sram_pct, pair.occupancy.tcam_pct,
+            );
+            for s in &pair.stages {
+                let _ = writeln!(
+                    out,
+                    "  stage {:>2}: sram {:>3} blk, tcam {:>3} blk",
+                    s.stage, s.sram_blocks, s.tcam_blocks,
+                );
+            }
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        let _ = writeln!(out, "diagnostics: {errors} error(s), {warnings} warning(s)");
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+            let _ = writeln!(out, "    hint: {}", d.hint);
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if errors == 0 { "CLEAN" } else { "REJECTED" }
+        );
+        out
+    }
+}
+
+/// A dependency edge in the match-action DAG: `consumer` reads metadata
+/// `producer` writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DepEdge {
+    producer: usize,
+    consumer: usize,
+}
+
+/// Verifies `layout` with default options. See [`verify_with`].
+pub fn verify(layout: &Layout, label: &str) -> Report {
+    verify_with(layout, label, &VerifyOptions::default())
+}
+
+/// Runs all four analyzer passes over `layout` and returns the
+/// structured report. Never panics; an illegal layout is a report full
+/// of errors, not a crash.
+pub fn verify_with(layout: &Layout, label: &str, options: &VerifyOptions) -> Report {
+    let mut diagnostics = Vec::new();
+    let edges = dependency_edges(layout);
+
+    pass_fold_order(layout, &edges, &mut diagnostics);
+    let pairs = pass_stage_alloc(layout, options, &mut diagnostics);
+    let phv = pass_phv_bridge(layout, options, &mut diagnostics);
+    pass_lints(layout, options, &mut diagnostics);
+
+    // Stable order: errors first, then by code, table, step.
+    diagnostics.sort_by(|a, b| {
+        (a.severity(), a.code, &a.table, a.step.map(|s| s as usize)).cmp(&(
+            b.severity(),
+            b.code,
+            &b.table,
+            b.step.map(|s| s as usize),
+        ))
+    });
+
+    Report {
+        label: label.to_string(),
+        folded: layout.folded,
+        table_count: layout.tables.len(),
+        diagnostics,
+        pairs,
+        phv,
+        bridge_count: layout.bridge_count(),
+        bridge_bytes: layout.bridge_bytes(),
+    }
+}
+
+/// Builds the match-action dependency DAG: edge `i-1 -> i` whenever
+/// table `i` consumes its predecessor's metadata.
+fn dependency_edges(layout: &Layout) -> Vec<DepEdge> {
+    layout
+        .tables
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[1].depends_on_previous)
+        .map(|(i, _)| DepEdge {
+            producer: i,
+            consumer: i + 1,
+        })
+        .collect()
+}
+
+/// Pass 1: fold-order dependency checks over the DAG.
+fn pass_fold_order(layout: &Layout, edges: &[DepEdge], diagnostics: &mut Vec<Diagnostic>) {
+    if layout.folded {
+        // Tables are listed in lookup order; a later lookup at an
+        // earlier fold step cannot be reached by the packet in order,
+        // whether or not it consumes metadata.
+        for (i, w) in layout.tables.windows(2).enumerate() {
+            let (producer, consumer) = (&w[0], &w[1]);
+            if consumer.step < producer.step {
+                let message = if edges.iter().any(|e| e.consumer == i + 1) {
+                    format!(
+                        "reads metadata produced by '{}' at {:?}, which the packet visits later",
+                        producer.spec.name, producer.step,
+                    )
+                } else {
+                    format!(
+                        "placed at {:?}, earlier on the fold path than '{}' which precedes it \
+                         in lookup order",
+                        consumer.step, producer.spec.name,
+                    )
+                };
+                diagnostics.push(Diagnostic {
+                    code: LintCode::FoldOrderViolation,
+                    table: Some(consumer.spec.name.clone()),
+                    step: Some(consumer.step),
+                    message,
+                    hint: "move the consumer to the producer's step or later on the fold path, \
+                           or break the dependency",
+                });
+            }
+        }
+    } else {
+        // Without folding there is no loop visit: tables placed in the
+        // loop gresses are unreachable and their metadata cannot be
+        // bridged anywhere.
+        for t in &layout.tables {
+            if matches!(t.step, FoldStep::EgressLoop | FoldStep::IngressLoop) {
+                diagnostics.push(Diagnostic {
+                    code: LintCode::GressViolation,
+                    table: Some(t.spec.name.clone()),
+                    step: Some(t.step),
+                    message: "placed in a loop gress, but the layout is unfolded — the packet \
+                              never visits Pipe 1/3 and no bridge exists across that boundary"
+                        .to_string(),
+                    hint: "enable pipeline folding, or move the table to IngressOuter/EgressOuter",
+                });
+            }
+        }
+        // The one legal unfolded boundary is ingress -> egress. A
+        // dependency flowing egress -> ingress reads next-packet state.
+        for e in edges {
+            let producer = &layout.tables[e.producer];
+            let consumer = &layout.tables[e.consumer];
+            if !producer.step.is_ingress() && consumer.step.is_ingress() {
+                diagnostics.push(Diagnostic {
+                    code: LintCode::FoldOrderViolation,
+                    table: Some(consumer.spec.name.clone()),
+                    step: Some(consumer.step),
+                    message: format!(
+                        "ingress lookup reads metadata produced by '{}' in the egress gress",
+                        producer.spec.name,
+                    ),
+                    hint: "only ingress -> egress metadata flow exists without folding; reorder \
+                           the tables or break the dependency",
+                });
+            }
+        }
+    }
+}
+
+/// Pass 2: lower tables to per-stage block demands and first-fit them
+/// into the stage inventories of each pipe.
+fn pass_stage_alloc(
+    layout: &Layout,
+    options: &VerifyOptions,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<PairReport> {
+    let config = layout.config();
+    let stages = config.stages_per_pipe;
+
+    // Aggregate water-levels first: they are exact (no block rounding)
+    // and directly comparable to Table 4.
+    let mut reports = Vec::new();
+    for pair in [PipePair::Outer, PipePair::Loop] {
+        let occ = Occupancy::of(layout.pair_usage(pair), config);
+        for (pct, code_err, code_warn, what) in [
+            (
+                occ.sram_pct,
+                LintCode::OverCapacity,
+                LintCode::SramHeadroom,
+                "SRAM",
+            ),
+            (
+                occ.tcam_pct,
+                LintCode::OverCapacity,
+                LintCode::TcamHeadroom,
+                "TCAM",
+            ),
+        ] {
+            if pct > 100.0 {
+                diagnostics.push(Diagnostic {
+                    code: code_err,
+                    table: None,
+                    step: None,
+                    message: format!(
+                        "{what} demand in the {pair:?} pipes is {pct:.1}% of one pipe's inventory"
+                    ),
+                    hint: "split entries across the pipe pair (Fig 14), map a fraction to the \
+                           other pair (Fig 15), or shrink the table",
+                });
+            } else if pct >= options.headroom_warn_pct {
+                diagnostics.push(Diagnostic {
+                    code: code_warn,
+                    table: None,
+                    step: None,
+                    message: format!(
+                        "{what} in the {pair:?} pipes at {pct:.1}% leaves little headroom \
+                         for future entries"
+                    ),
+                    hint: "plan a rebalance before the next tenant batch lands",
+                });
+            }
+        }
+        reports.push(PairReport {
+            pair,
+            occupancy: occ,
+            stages: Vec::new(),
+        });
+    }
+
+    // Stage-granular allocation. Both gresses of a pipe share the same
+    // stage memories, so each pair has one inventory; each gress visit
+    // restarts the stage walk at 0, and a dependent match must start
+    // after the stage where its producer finished.
+    let mut sram_left = [
+        vec![config.sram_blocks_per_stage; stages],
+        vec![config.sram_blocks_per_stage; stages],
+    ];
+    let mut tcam_left = [
+        vec![config.tcam_blocks_per_stage; stages],
+        vec![config.tcam_blocks_per_stage; stages],
+    ];
+    let mut water = [
+        vec![StageWater::default(); stages],
+        vec![StageWater::default(); stages],
+    ];
+    let mut end_stage: Vec<Option<usize>> = vec![None; layout.tables.len()];
+
+    for (i, t) in layout.tables.iter().enumerate() {
+        let pair_idx = if layout.folded {
+            match t.step.pipe_pair() {
+                PipePair::Outer => 0,
+                PipePair::Loop => 1,
+            }
+        } else {
+            // Unfolded: every pipe runs the whole program; model one
+            // representative pipe's stages (index 0) and mirror later.
+            0
+        };
+        let demand = if layout.folded {
+            t.cost_per_pipe(config)
+        } else {
+            t.spec.cost(config).scale(t.fraction.0, t.fraction.1)
+        };
+        let sram_blocks = demand.sram_words.div_ceil(config.sram_block_words);
+        let tcam_blocks = demand.tcam_rows.div_ceil(config.tcam_block_rows);
+
+        let min_start = if t.depends_on_previous && i > 0 && layout.tables[i - 1].step == t.step {
+            end_stage[i - 1].map_or(0, |s| s + 1)
+        } else {
+            0
+        };
+
+        let mut need_sram = sram_blocks;
+        let mut need_tcam = tcam_blocks;
+        let mut last_touched = min_start.saturating_sub(1);
+        for stage in min_start..stages {
+            if need_sram == 0 && need_tcam == 0 {
+                break;
+            }
+            let take_s = need_sram.min(sram_left[pair_idx][stage]);
+            let take_t = need_tcam.min(tcam_left[pair_idx][stage]);
+            if take_s > 0 || take_t > 0 {
+                sram_left[pair_idx][stage] -= take_s;
+                tcam_left[pair_idx][stage] -= take_t;
+                water[pair_idx][stage].sram_blocks += take_s;
+                water[pair_idx][stage].tcam_blocks += take_t;
+                need_sram -= take_s;
+                need_tcam -= take_t;
+                last_touched = stage;
+            }
+        }
+        end_stage[i] = Some(last_touched.min(stages - 1));
+        if need_sram > 0 || need_tcam > 0 {
+            diagnostics.push(Diagnostic {
+                code: LintCode::StageOverflow,
+                table: Some(t.spec.name.clone()),
+                step: Some(t.step),
+                message: format!(
+                    "needs {sram_blocks} SRAM / {tcam_blocks} TCAM block(s) starting at stage \
+                     {min_start}, but {need_sram} SRAM / {need_tcam} TCAM block(s) spill past \
+                     stage {last}",
+                    last = stages - 1,
+                ),
+                hint: "shorten the dependency chain, split the table across the pair, or free \
+                       blocks in earlier stages",
+            });
+        }
+    }
+
+    for (pair_idx, report) in reports.iter_mut().enumerate() {
+        // Unfolded pipes are identical; mirror the representative walk.
+        let src = if layout.folded { pair_idx } else { 0 };
+        report.stages = water[src]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.sram_blocks > 0 || w.tcam_blocks > 0)
+            .map(|(stage, w)| StageWater {
+                stage,
+                sram_blocks: w.sram_blocks,
+                tcam_blocks: w.tcam_blocks,
+            })
+            .collect();
+    }
+    reports
+}
+
+/// Pass 3: PHV and bridge budgets. Each table's action result lives in
+/// its gress's PHV; bridged metadata lands in the destination gress.
+fn pass_phv_bridge(
+    layout: &Layout,
+    options: &VerifyOptions,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> PhvReport {
+    let config = layout.config();
+    let mut ingress: u32 = 0;
+    let mut egress: u32 = 0;
+    for t in &layout.tables {
+        if t.step.is_ingress() {
+            ingress = ingress.saturating_add(t.spec.action_bits);
+        } else {
+            egress = egress.saturating_add(t.spec.action_bits);
+        }
+    }
+    // Which boundaries the dependent chain crosses (same rule as
+    // Layout::bridge_count, but we need the destination gress of each).
+    let mut crossed = std::collections::BTreeSet::new();
+    if layout.folded {
+        for w in layout.tables.windows(2) {
+            if !w[1].depends_on_previous {
+                continue;
+            }
+            let (a, b) = (w[0].step as usize, w[1].step as usize);
+            for boundary in a..b {
+                crossed.insert(boundary);
+            }
+        }
+    } else if layout.bridge_count() > 0 {
+        crossed.insert(0);
+    }
+    for boundary in &crossed {
+        // Boundary k lands the bridged bits in FoldStep::ALL[k + 1].
+        let dest = FoldStep::ALL[boundary + 1];
+        if dest.is_ingress() {
+            ingress = ingress.saturating_add(config.bridge_bits_per_crossing);
+        } else {
+            egress = egress.saturating_add(config.bridge_bits_per_crossing);
+        }
+    }
+
+    for (bits, gress) in [(ingress, "ingress"), (egress, "egress")] {
+        let pct = 100.0 * f64::from(bits) / f64::from(config.phv_bits);
+        if bits > config.phv_bits {
+            diagnostics.push(Diagnostic {
+                code: LintCode::PhvOverflow,
+                table: None,
+                step: None,
+                message: format!(
+                    "{gress} metadata needs {bits} bits but the PHV holds {} per gress",
+                    config.phv_bits,
+                ),
+                hint: "shrink action data, drop unused metadata fields, or move tables to the \
+                       other gress",
+            });
+        } else if pct >= options.headroom_warn_pct {
+            diagnostics.push(Diagnostic {
+                code: LintCode::PhvPressure,
+                table: None,
+                step: None,
+                message: format!(
+                    "{gress} metadata at {bits}/{} bits ({pct:.1}%) of the PHV budget",
+                    config.phv_bits,
+                ),
+                hint: "PHV is scarce (§6.2); audit field widths before adding services",
+            });
+        }
+    }
+
+    let max_bridges = if layout.folded { 3 } else { 1 };
+    if layout.bridge_count() >= max_bridges && max_bridges > 0 && !layout.tables.is_empty() {
+        diagnostics.push(Diagnostic {
+            code: LintCode::BridgePressure,
+            table: None,
+            step: None,
+            message: format!(
+                "all {max_bridges} gress boundary(ies) are bridged ({} bytes ride every packet)",
+                layout.bridge_bytes(),
+            ),
+            hint: "group dependent tables within one gress to reclaim wire bytes",
+        });
+    }
+
+    PhvReport {
+        ingress_bits: ingress,
+        egress_bits: egress,
+        capacity_bits: config.phv_bits,
+    }
+}
+
+/// Pass 4: lint rules over table shapes and name-grouped fractions.
+fn pass_lints(layout: &Layout, options: &VerifyOptions, diagnostics: &mut Vec<Diagnostic>) {
+    // Group fractional placements by table name. Fractions of one
+    // logical table must sum to exactly one entry set: more is a
+    // double-install (the old Layout silently accepted it and
+    // double-counted memory — last-write-wins by another name), less
+    // strands entries off-chip.
+    let mut by_name: Vec<(&str, Vec<&PlacedTable>)> = Vec::new();
+    for t in &layout.tables {
+        match by_name.iter_mut().find(|(n, _)| *n == t.spec.name) {
+            Some((_, list)) => list.push(t),
+            None => by_name.push((&t.spec.name, vec![t])),
+        }
+    }
+    for (name, placements) in &by_name {
+        let total: f64 = placements
+            .iter()
+            .map(|t| t.fraction.0 as f64 / t.fraction.1 as f64)
+            .sum();
+        let first_step = placements[0].step;
+        if total > 1.0 + 1e-9 {
+            diagnostics.push(Diagnostic {
+                code: LintCode::DuplicateTable,
+                table: Some((*name).to_string()),
+                step: Some(first_step),
+                message: format!(
+                    "{} placement(s) commit {:.2}x of the table's entry set — duplicate \
+                     placements would shadow each other on hardware",
+                    placements.len(),
+                    total,
+                ),
+                hint: "remove the duplicate, or give each placement a fraction so they sum to 1",
+            });
+        } else if total < 1.0 - 1e-9 {
+            diagnostics.push(Diagnostic {
+                code: LintCode::UnderPlaced,
+                table: Some((*name).to_string()),
+                step: Some(first_step),
+                message: format!(
+                    "placed fraction(s) sum to {total:.2}; the remaining entries have no home \
+                     on chip"
+                ),
+                hint: "add the complementary fraction on another step (Fig 15) or accept the \
+                       punt-to-x86 cost for the remainder",
+            });
+        }
+    }
+
+    if let Some(min_entries) = options.conflict_table_min_entries {
+        for t in &layout.tables {
+            if t.spec.name.contains(options.conflict_name_marker) && t.spec.entries < min_entries {
+                diagnostics.push(Diagnostic {
+                    code: LintCode::ConflictTableUndersized,
+                    table: Some(t.spec.name.clone()),
+                    step: Some(t.step),
+                    message: format!(
+                        "reserves {} entries, below the required digest-conflict reservation \
+                         of {min_entries}",
+                        t.spec.entries,
+                    ),
+                    hint: "size the conflict table to the reservation so digest collisions \
+                           never evict live mappings",
+                });
+            }
+        }
+    }
+}
+
+/// A known-bad layout with the diagnostics it must provoke. The corpus
+/// doubles as golden-test fixtures and as the `sailfish-verify` demo
+/// input.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Stable case name.
+    pub name: &'static str,
+    /// The layout under test.
+    pub layout: Layout,
+    /// Options to verify it with.
+    pub options: VerifyOptions,
+    /// Codes the report must contain.
+    pub expect: Vec<LintCode>,
+}
+
+/// The known-bad corpus: every error class and the headline warnings,
+/// one minimal layout each.
+pub fn known_bad_corpus(config: &TofinoConfig) -> Vec<CorpusCase> {
+    use crate::cost::{MatchKind, Storage, TableSpec};
+
+    let exact = |name: &str, entries: usize, action_bits: u32| {
+        TableSpec::new(
+            name,
+            MatchKind::Exact,
+            56,
+            action_bits,
+            entries,
+            Storage::SramHash,
+        )
+        .expect("corpus spec is statically valid")
+    };
+    let tcam = |name: &str, entries: usize| {
+        TableSpec::new(name, MatchKind::Lpm, 56, 32, entries, Storage::Tcam)
+            .expect("corpus spec is statically valid")
+    };
+
+    let mut cases = Vec::new();
+
+    // 1. Gress violation: loop-gress tables without folding.
+    let mut gress = Layout::new(config.clone(), false);
+    gress.push(PlacedTable::new(
+        exact("classify", 1_000, 32),
+        FoldStep::IngressOuter,
+    ));
+    gress.push(PlacedTable::new(
+        exact("routing", 1_000, 32),
+        FoldStep::EgressLoop,
+    ));
+    cases.push(CorpusCase {
+        name: "gress-violation",
+        layout: gress,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::GressViolation],
+    });
+
+    // 2. Over-capacity: one pipe's TCAM demand past 100%.
+    let mut over = Layout::new(config.clone(), true);
+    over.push(PlacedTable::new(
+        tcam("giant-acl", 200_000),
+        FoldStep::IngressOuter,
+    ));
+    cases.push(CorpusCase {
+        name: "over-capacity-pipe",
+        layout: over,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::OverCapacity],
+    });
+
+    // 3. Undersized conflict table against the caller's reservation.
+    let mut conflict = Layout::new(config.clone(), true);
+    conflict.push(PlacedTable::new(
+        exact("vm-nc-compressed", 10_000, 32),
+        FoldStep::IngressLoop,
+    ));
+    conflict.push(PlacedTable::new(
+        exact("vm-nc-conflict", 1_000, 32),
+        FoldStep::IngressLoop,
+    ));
+    cases.push(CorpusCase {
+        name: "undersized-conflict-table",
+        layout: conflict,
+        options: VerifyOptions {
+            conflict_table_min_entries: Some(24_576),
+            ..VerifyOptions::default()
+        },
+        expect: vec![LintCode::ConflictTableUndersized],
+    });
+
+    // 4. Duplicate table: two full placements of one name.
+    let mut dup = Layout::new(config.clone(), true);
+    dup.push(PlacedTable::new(
+        exact("vm-nc", 10_000, 32),
+        FoldStep::IngressLoop,
+    ));
+    dup.push(PlacedTable::new(
+        exact("vm-nc", 10_000, 32),
+        FoldStep::IngressLoop,
+    ));
+    cases.push(CorpusCase {
+        name: "duplicate-table",
+        layout: dup,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::DuplicateTable],
+    });
+
+    // 5. Fold-order violation: a consumer before its producer.
+    let mut order = Layout::new(config.clone(), true);
+    order.push(PlacedTable::new(
+        exact("rewrite", 1_000, 32),
+        FoldStep::EgressOuter,
+    ));
+    order.push(PlacedTable::new(
+        exact("routing", 1_000, 32),
+        FoldStep::IngressOuter,
+    ));
+    cases.push(CorpusCase {
+        name: "fold-order-violation",
+        layout: order,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::FoldOrderViolation],
+    });
+
+    // 6. PHV overflow: one action result wider than the whole budget.
+    let mut phv = Layout::new(config.clone(), true);
+    phv.push(PlacedTable::new(
+        exact("wide-metadata", 64, config.phv_bits + 8),
+        FoldStep::IngressOuter,
+    ));
+    cases.push(CorpusCase {
+        name: "phv-overflow",
+        layout: phv,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::PhvOverflow],
+    });
+
+    // 7. Stage overflow without aggregate overflow: a dependent chain
+    // longer than the stage count. Memory fits easily; stages do not.
+    let mut chain = Layout::new(config.clone(), true);
+    for i in 0..config.stages_per_pipe + 1 {
+        chain.push(PlacedTable::new(
+            exact(&format!("hop-{i:02}"), 100, 32),
+            FoldStep::IngressOuter,
+        ));
+    }
+    cases.push(CorpusCase {
+        name: "stage-overflow-chain",
+        layout: chain,
+        options: VerifyOptions::default(),
+        expect: vec![LintCode::StageOverflow],
+    });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{MatchKind, Storage, TableSpec};
+
+    fn cfg() -> TofinoConfig {
+        TofinoConfig::tofino_64t()
+    }
+
+    fn spec(name: &str, entries: usize) -> TableSpec {
+        TableSpec::new(name, MatchKind::Exact, 56, 32, entries, Storage::SramHash)
+            .expect("valid test spec")
+    }
+
+    #[test]
+    fn clean_layout_reports_clean() {
+        let mut l = Layout::new(cfg(), true);
+        l.push(PlacedTable::new(spec("a", 10_000), FoldStep::IngressOuter));
+        l.push(PlacedTable::new(spec("b", 10_000), FoldStep::EgressOuter));
+        let report = verify(&l, "clean");
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.table_count, 2);
+    }
+
+    #[test]
+    fn corpus_cases_all_fire() {
+        for case in known_bad_corpus(&cfg()) {
+            let report = verify_with(&case.layout, case.name, &case.options);
+            for code in &case.expect {
+                assert!(
+                    report.has(*code),
+                    "case '{}' should emit {code}; got:\n{}",
+                    case.name,
+                    report.render(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        for case in known_bad_corpus(&cfg()) {
+            let a = verify_with(&case.layout, case.name, &case.options).render();
+            let b = verify_with(&case.layout, case.name, &case.options).render();
+            assert_eq!(a, b, "case '{}' rendering unstable", case.name);
+        }
+    }
+
+    #[test]
+    fn headroom_warning_fires_between_85_and_100() {
+        // One pipe at ~89% SRAM: warning, not error.
+        let mut l = Layout::new(cfg(), true);
+        l.push(PlacedTable::new(
+            spec("big", 700_000),
+            FoldStep::IngressOuter,
+        ));
+        let report = verify(&l, "headroom");
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.has(LintCode::SramHeadroom), "{}", report.render());
+    }
+
+    #[test]
+    fn fractions_summing_to_one_are_legal() {
+        let mut l = Layout::new(cfg(), true);
+        let mut a = PlacedTable::new(spec("d", 100_000), FoldStep::IngressLoop);
+        a.fraction = (3, 10);
+        let mut b = PlacedTable::new(spec("d", 100_000), FoldStep::EgressOuter);
+        b.fraction = (7, 10);
+        l.push(a);
+        l.push(b);
+        let report = verify(&l, "fractions");
+        assert!(!report.has(LintCode::DuplicateTable), "{}", report.render());
+        assert!(!report.has(LintCode::UnderPlaced), "{}", report.render());
+    }
+
+    #[test]
+    fn under_placed_fraction_warns() {
+        let mut l = Layout::new(cfg(), true);
+        let mut a = PlacedTable::new(spec("d", 100_000), FoldStep::IngressLoop);
+        a.fraction = (1, 2);
+        l.push(a);
+        let report = verify(&l, "under");
+        assert!(report.has(LintCode::UnderPlaced), "{}", report.render());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn bridge_pressure_on_fully_bridged_path() {
+        let mut l = Layout::new(cfg(), true);
+        for (name, step) in [
+            ("a", FoldStep::IngressOuter),
+            ("b", FoldStep::EgressLoop),
+            ("c", FoldStep::IngressLoop),
+            ("d", FoldStep::EgressOuter),
+        ] {
+            l.push(PlacedTable::new(spec(name, 100), step));
+        }
+        let report = verify(&l, "chatty");
+        assert!(report.has(LintCode::BridgePressure), "{}", report.render());
+        assert!(report.is_clean());
+        assert_eq!(report.bridge_count, 3);
+    }
+
+    #[test]
+    fn stage_walk_records_water_levels() {
+        let mut l = Layout::new(cfg(), true);
+        l.push(PlacedTable::new(spec("a", 400_000), FoldStep::IngressOuter));
+        let report = verify(&l, "water");
+        let outer = &report.pairs[0];
+        assert!(!outer.stages.is_empty());
+        let total: usize = outer.stages.iter().map(|s| s.sram_blocks).sum();
+        // 400k entries / 0.8 = 500k words = 489 blocks.
+        assert_eq!(total, 489);
+    }
+}

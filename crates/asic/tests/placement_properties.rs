@@ -113,7 +113,10 @@ fn layout_accounting_consistent() {
         let mut layout = Layout::new(cfg.clone(), true);
         let mut expect_outer = 0usize;
         let mut expect_loop = 0usize;
-        for (spec, step) in ordered {
+        for (i, (mut spec, step)) in ordered.into_iter().enumerate() {
+            // Unique names: identical names with full fractions are a
+            // duplicate-placement diagnostic, not a bigger table.
+            spec.name = format!("t{i}");
             let t = PlacedTable::new(spec, step);
             let per_pipe = t.cost_per_pipe(&cfg).sram_words;
             match step.pipe_pair() {

@@ -1,0 +1,162 @@
+//! Golden-diagnostics tests for the static analyzer.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Byte stability** — the rendered report of every known-bad corpus
+//!    case is identical across two independent runs (the CI determinism
+//!    gate `cmp`s real reports, this is the in-process version), and the
+//!    diagnostic codes each case emits are pinned exactly.
+//! 2. **Soundness vs the legacy checker** — a seeded property test that
+//!    any layout the analyzer reports clean also satisfies the legacy
+//!    `Layout::validate` invariants (lookup-order monotonicity and
+//!    per-pair capacity), so routing `validate()` through the analyzer
+//!    never loosened it.
+
+use sailfish_asic::config::TofinoConfig;
+use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
+use sailfish_asic::mem::Occupancy;
+use sailfish_asic::placement::{FoldStep, Layout, PipePair, PlacedTable};
+use sailfish_asic::verify::{known_bad_corpus, verify_with, Severity};
+use sailfish_util::check;
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::Rng;
+
+#[test]
+fn corpus_reports_are_byte_stable() {
+    let cfg = TofinoConfig::tofino_64t();
+    let first: Vec<String> = known_bad_corpus(&cfg)
+        .into_iter()
+        .map(|c| verify_with(&c.layout, c.name, &c.options).render())
+        .collect();
+    let second: Vec<String> = known_bad_corpus(&cfg)
+        .into_iter()
+        .map(|c| verify_with(&c.layout, c.name, &c.options).render())
+        .collect();
+    assert_eq!(first, second, "rendered reports differ across runs");
+}
+
+#[test]
+fn corpus_emits_exactly_the_pinned_codes() {
+    let cfg = TofinoConfig::tofino_64t();
+    for case in known_bad_corpus(&cfg) {
+        let report = verify_with(&case.layout, case.name, &case.options);
+        for code in &case.expect {
+            assert!(
+                report.has(*code),
+                "case '{}' must emit {code}; rendered:\n{}",
+                case.name,
+                report.render(),
+            );
+        }
+    }
+}
+
+/// The error-class cases must actually be rejected, and the
+/// warning-only case (undersized conflict table) must stay legal.
+#[test]
+fn corpus_severity_matches_code_class() {
+    let cfg = TofinoConfig::tofino_64t();
+    for case in known_bad_corpus(&cfg) {
+        let report = verify_with(&case.layout, case.name, &case.options);
+        let expects_error = case.expect.iter().any(|c| c.severity() == Severity::Error);
+        assert_eq!(
+            !report.is_clean(),
+            expects_error,
+            "case '{}' clean-ness disagrees with its expected codes:\n{}",
+            case.name,
+            report.render(),
+        );
+    }
+}
+
+/// Every stable code renders with its `SF-…` prefix in the report so
+/// downstream grep/tooling can match on it.
+#[test]
+fn rendered_reports_carry_stable_codes() {
+    let cfg = TofinoConfig::tofino_64t();
+    for case in known_bad_corpus(&cfg) {
+        let report = verify_with(&case.layout, case.name, &case.options);
+        let rendered = report.render();
+        for code in &case.expect {
+            assert!(
+                rendered.contains(code.code()),
+                "case '{}' report must carry literal {}:\n{rendered}",
+                case.name,
+                code.code(),
+            );
+        }
+    }
+}
+
+fn arb_spec(rng: &mut StdRng, name: String) -> TableSpec {
+    let key_bits = rng.gen_range(1u32..=152);
+    let action_bits = rng.gen_range(0u32..=64);
+    let entries = rng.gen_range(1usize..150_000);
+    if check::one_of(rng, 2) == 0 {
+        TableSpec::new(
+            name,
+            MatchKind::Exact,
+            key_bits,
+            action_bits,
+            entries,
+            Storage::SramHash,
+        )
+        .expect("valid")
+    } else {
+        TableSpec::new(
+            name,
+            MatchKind::Lpm,
+            key_bits,
+            action_bits,
+            entries,
+            Storage::Tcam,
+        )
+        .expect("valid")
+    }
+}
+
+fn arb_step(rng: &mut StdRng) -> FoldStep {
+    FoldStep::ALL[check::one_of(rng, 4) as usize]
+}
+
+/// Analyzer-clean implies legacy-legal: lookup order is monotone and
+/// both pairs fit their inventories, i.e. `validate()` returns Ok.
+#[test]
+fn verify_clean_implies_legacy_invariants() {
+    check::run("verify_clean_implies_legacy_invariants", 192, |rng| {
+        let cfg = TofinoConfig::tofino_64t();
+        let folded = check::one_of(rng, 4) != 0; // bias towards folded
+        let n = rng.gen_range(1usize..7);
+        let mut steps: Vec<FoldStep> = (0..n).map(|_| arb_step(rng)).collect();
+        steps.sort();
+        let mut layout = Layout::new(cfg.clone(), folded);
+        for (i, step) in steps.into_iter().enumerate() {
+            let mut t = PlacedTable::new(arb_spec(rng, format!("t{i}")), step);
+            t.split_across_pair = check::one_of(rng, 2) == 0;
+            t.depends_on_previous = check::one_of(rng, 2) == 0;
+            layout.push(t);
+        }
+        let report = layout.verify("property");
+        if !report.is_clean() {
+            return; // only clean layouts are claimed legal
+        }
+        // Legacy invariant 1: lookup order is monotone over fold steps.
+        if folded {
+            for w in layout.tables.windows(2) {
+                assert!(
+                    w[0].step <= w[1].step,
+                    "clean layout with non-monotone steps"
+                );
+            }
+        }
+        // Legacy invariant 2: both pairs fit their memory inventories.
+        for pair in [PipePair::Outer, PipePair::Loop] {
+            let occ = Occupancy::of(layout.pair_usage(pair), &cfg);
+            assert!(occ.fits(), "clean layout over capacity: {occ}");
+        }
+        // And the legacy entry point agrees end-to-end.
+        layout
+            .validate()
+            .expect("verify-clean layout must pass legacy validate()");
+    });
+}

@@ -29,7 +29,8 @@ fn bench_production_layout(h: &mut Harness) {
                 CALIBRATED_ROUTES,
                 &alpm,
                 459_000,
-            );
+            )
+            .expect("production layout builds");
             layout.validate().unwrap();
             std::hint::black_box(layout.total_occupancy())
         })

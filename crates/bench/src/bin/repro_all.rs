@@ -6,6 +6,9 @@ use std::process::Command;
 use sailfish_bench::record::ExperimentRecord;
 
 const BINS: &[&str] = &[
+    // The static analyzer gates everything else: every layout the suite
+    // is about to exercise must be legal on the modeled hardware.
+    "sailfish-verify",
     "table1_routes",
     "table2_initial_memory",
     "table3_optimized_memory",

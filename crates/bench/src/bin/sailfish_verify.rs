@@ -1,0 +1,171 @@
+//! `sailfish-verify` — the diagnostics-grade static analyzer, run over
+//! every layout the reproduction suite ships plus the known-bad corpus.
+//!
+//! Two jobs:
+//!
+//! 1. **Gate**: every production layout (Table 3 majors, Table 4 full
+//!    complement, the default cluster device load, both folding-ablation
+//!    placements) must verify clean — error diagnostics fail the run
+//!    (non-zero exit), which is what CI's smoke step checks.
+//! 2. **Demonstrate**: the known-bad corpus must provoke exactly its
+//!    pinned stable codes, proving the analyzer catches each failure
+//!    class with an explainable report.
+//!
+//! The concatenated rendered reports land in
+//! `experiments/verify_report.txt`; the file is byte-stable, and CI runs
+//! the binary twice and `cmp`s the two reports to pin determinism.
+
+use std::fs;
+use std::process::ExitCode;
+
+use sailfish::compression::estimate_alpm_stats;
+use sailfish::prelude::*;
+use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
+use sailfish_asic::placement::{FoldStep, Layout, PlacedTable};
+use sailfish_asic::verify::{known_bad_corpus, verify_with, Report};
+use sailfish_bench::record::ExperimentRecord;
+use sailfish_bench::scale::calibrated_scenario;
+use sailfish_xgw_h::layout::{major_tables, production_layout, verify_layout};
+
+/// The folding-ablation placements (`ablation_folding` builds the same
+/// shapes): a dependency chain across all three boundaries, and the
+/// recommended grouped placement.
+fn ablation_layouts(cfg: &TofinoConfig) -> (Layout, Layout) {
+    let spec = |name: &str| {
+        TableSpec::new(name, MatchKind::Exact, 56, 32, 1_000, Storage::SramHash)
+            .expect("static ablation spec")
+    };
+    let mut chatty = Layout::new(cfg.clone(), true);
+    for (name, step) in [
+        ("a", FoldStep::IngressOuter),
+        ("b", FoldStep::EgressLoop),
+        ("c", FoldStep::IngressLoop),
+        ("d", FoldStep::EgressOuter),
+    ] {
+        chatty.push(PlacedTable::new(spec(name), step));
+    }
+    let mut grouped = Layout::new(cfg.clone(), true);
+    for (name, step) in [
+        ("a", FoldStep::IngressOuter),
+        ("b", FoldStep::IngressOuter),
+        ("c", FoldStep::IngressLoop),
+        ("d", FoldStep::IngressLoop),
+    ] {
+        let mut t = PlacedTable::new(spec(name), step);
+        t.depends_on_previous = name == "b" || name == "d";
+        grouped.push(t);
+    }
+    (chatty, grouped)
+}
+
+fn main() -> ExitCode {
+    let cfg = TofinoConfig::tofino_64t();
+    let scenario = calibrated_scenario();
+    // The deterministic ALPM estimate (same calibration as Fig 17);
+    // no region-scale topology build, so the run stays fast and
+    // byte-stable.
+    let alpm = estimate_alpm_stats(scenario.route_entries, 24, 0.6);
+
+    let mut rendered = String::new();
+    let mut rec = ExperimentRecord::new("verify", "Static layout verification");
+    let mut failed = false;
+
+    // --- production layouts: all must verify clean ------------------
+    let mut production: Vec<(&str, Report)> = Vec::new();
+
+    let table4 = production_layout(
+        cfg.clone(),
+        scenario.route_entries,
+        &alpm,
+        scenario.vm_entries,
+    )
+    .expect("production layout builds");
+    production.push((
+        "table4-production",
+        verify_layout(&table4, "table4-production"),
+    ));
+
+    let mut table3 = Layout::new(cfg.clone(), true);
+    for t in major_tables(scenario.route_entries, &alpm, scenario.vm_entries)
+        .expect("major tables build")
+    {
+        table3.push(t);
+    }
+    production.push(("table3-majors", verify_layout(&table3, "table3-majors")));
+
+    let cluster_load = sailfish_xgw_h::layout::verify_device_load(&cfg, 240_000, 480_000)
+        .expect("device load builds");
+    production.push(("cluster-device-load", cluster_load));
+
+    let (chatty, grouped) = ablation_layouts(&cfg);
+    production.push(("ablation-chatty", verify_layout(&chatty, "ablation-chatty")));
+    production.push((
+        "ablation-grouped",
+        verify_layout(&grouped, "ablation-grouped"),
+    ));
+
+    for (name, report) in &production {
+        let errors = report.errors().count();
+        let warnings = report.warnings().count();
+        println!(
+            "{name}: {} ({errors} error(s), {warnings} warning(s))",
+            if report.is_clean() {
+                "clean"
+            } else {
+                "REJECTED"
+            },
+        );
+        rec.compare(
+            format!("{name} verifies clean"),
+            "clean",
+            if report.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{errors} error(s)")
+            },
+            report.is_clean(),
+        );
+        failed |= !report.is_clean();
+        rendered.push_str(&report.render());
+        rendered.push('\n');
+    }
+
+    // --- known-bad corpus: every case must fire its pinned codes ----
+    for case in known_bad_corpus(&cfg) {
+        let report = verify_with(&case.layout, case.name, &case.options);
+        let fired = case.expect.iter().all(|code| report.has(*code));
+        let codes: Vec<&str> = case.expect.iter().map(|c| c.code()).collect();
+        println!(
+            "corpus/{}: {} (expects {})",
+            case.name,
+            if fired { "diagnosed" } else { "MISSED" },
+            codes.join("+"),
+        );
+        rec.compare(
+            format!("corpus '{}' emits {}", case.name, codes.join("+")),
+            "diagnosed",
+            if fired { "diagnosed" } else { "missed" }.to_string(),
+            fired,
+        );
+        failed |= !fired;
+        rendered.push_str(&report.render());
+        rendered.push('\n');
+    }
+
+    // --- artifacts ---------------------------------------------------
+    let dir = ExperimentRecord::output_dir();
+    let _ = fs::create_dir_all(&dir);
+    let report_path = dir.join("verify_report.txt");
+    if let Err(e) = fs::write(&report_path, &rendered) {
+        eprintln!("warning: could not write {}: {e}", report_path.display());
+    } else {
+        println!("full diagnostics: {}", report_path.display());
+    }
+    rec.finish();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -17,7 +17,9 @@ fn main() {
 
     // Per-table final costs (split across the whole chip like Fig 17).
     let mut layout = sailfish_asic::placement::Layout::new(cfg.clone(), true);
-    for t in major_tables(scenario.route_entries, &alpm, scenario.vm_entries) {
+    for t in major_tables(scenario.route_entries, &alpm, scenario.vm_entries)
+        .expect("major tables build")
+    {
         layout.push(t);
     }
     layout.validate().expect("optimized layout fits");

@@ -5,7 +5,7 @@ use sailfish::prelude::*;
 use sailfish_bench::record::ExperimentRecord;
 use sailfish_bench::scale::{calibrated_scenario, measured_region_alpm};
 use sailfish_bench::table::print_table;
-use sailfish_xgw_h::layout::production_layout;
+use sailfish_xgw_h::layout::{production_layout, verify_layout};
 
 fn main() {
     eprintln!("building region-scale topology and live ALPM...");
@@ -17,8 +17,14 @@ fn main() {
         scenario.route_entries,
         &alpm,
         scenario.vm_entries,
+    )
+    .expect("production layout builds");
+    let report = verify_layout(&layout, "table4");
+    assert!(
+        report.is_clean(),
+        "production layout must verify clean:\n{}",
+        report.render()
     );
-    layout.validate().expect("production layout must fit");
     let (outer, looped) = layout.occupancy();
     let total = layout.total_occupancy();
 

@@ -9,6 +9,8 @@
 //! model-derived; the *shape* (who wins, by what factor, where crossovers
 //! fall) is what must match the paper — see DESIGN.md §2.
 
+#![forbid(unsafe_code)]
+
 pub mod record;
 pub mod scale;
 pub mod table;

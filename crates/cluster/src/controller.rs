@@ -170,6 +170,16 @@ pub enum InstallError {
         /// The fault seen on the final attempt.
         last_fault: InstallFault,
     },
+    /// The static analyzer rejected the staged load before anything was
+    /// pushed: the cluster's devices could not legally hold it, so the
+    /// install is refused up front instead of failing half-way through
+    /// a hardware push.
+    LayoutRejected {
+        /// The cluster whose staged load is illegal.
+        cluster: usize,
+        /// The analyzer's error diagnostics, one per line.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for InstallError {
@@ -187,6 +197,12 @@ impl core::fmt::Display for InstallError {
                 "cluster {cluster}: install gave up after {attempts} attempts \
                  (last fault {last_fault:?})"
             ),
+            InstallError::LayoutRejected { cluster, detail } => {
+                write!(
+                    f,
+                    "cluster {cluster}: staged load rejected by verify: {detail}"
+                )
+            }
         }
     }
 }
@@ -411,6 +427,34 @@ impl Controller {
         }
     }
 
+    /// Static pre-push verification of one staged cluster: runs the
+    /// `sailfish_asic::verify` analyzer over the production layout the
+    /// cluster's devices would carry at the staged entry counts. An
+    /// error-level diagnostic refuses the push before any device is
+    /// touched; warnings are allowed through (they describe headroom,
+    /// not legality).
+    fn verify_staged(cluster: usize, stage: &StagedCluster) -> Result<(), InstallError> {
+        let config = sailfish_asic::TofinoConfig::tofino_64t();
+        let report = sailfish_xgw_h::layout::verify_device_load(
+            &config,
+            stage.routes.len(),
+            stage.vms.len(),
+        )
+        .map_err(|e| InstallError::LayoutRejected {
+            cluster,
+            detail: e.to_string(),
+        })?;
+        if report.is_clean() {
+            return Ok(());
+        }
+        let detail = report
+            .errors()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(InstallError::LayoutRejected { cluster, detail })
+    }
+
     /// The consistency-check phase of one push: every device of the
     /// cluster must hold exactly the staged per-VNI route counts and the
     /// staged number of VM mappings.
@@ -479,6 +523,13 @@ impl Controller {
         );
         let staged = Self::stage(topology, plan);
         let mut report = InstallReport::default();
+
+        // Static verification of every staged load before anything moves:
+        // an illegal layout is a typed, explainable refusal, not a
+        // half-pushed cluster.
+        for (cluster, stage) in staged.iter().enumerate() {
+            Self::verify_staged(cluster, stage)?;
+        }
 
         // The fallback cluster holds the full region state and is the
         // graceful-degradation target, so it is populated before any
@@ -594,6 +645,9 @@ impl Controller {
             .into_iter()
             .nth(plan_cluster)
             .expect("plan_cluster within plan");
+        // Same static gate as a full install: never wipe a live device
+        // for a load its pipeline cannot legally hold.
+        Self::verify_staged(cluster, &stage)?;
         let mut report = InstallReport::default();
         let verify_device = |hw: &[HwCluster]| {
             hw[cluster].devices[device].tables.vm_nc.len() == stage.vms.len()

@@ -24,6 +24,8 @@
 //! - [`probe`] — the probe-generator validation gate used before
 //!   admitting user traffic to a new cluster (§6.1).
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod cluster;
 pub mod controller;

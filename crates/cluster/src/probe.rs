@@ -88,13 +88,17 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
             }
         }
         if peered < per_class {
-            if let Some(peer_vni) = vpc.peer {
-                let peer = topology.vpcs.iter().find(|v| v.vni == peer_vni).unwrap();
+            // A dangling peer reference (no such VPC in the topology) is
+            // not probe-worthy; skip it rather than panic.
+            if let Some(peer) = vpc
+                .peer
+                .and_then(|peer_vni| topology.vpcs.iter().find(|v| v.vni == peer_vni))
+            {
                 let pvms = topology.vms_of(peer);
                 let reachable = pvms.len().min(PEERED_SUBNETS * 250);
                 if let Some(dst) = pvms[..reachable].iter().find(|m| m.ip.is_ipv4()) {
                     probes.push(Probe {
-                        label: format!("peer {} -> {} ({})", vpc.vni, dst.ip, peer_vni),
+                        label: format!("peer {} -> {} ({})", vpc.vni, dst.ip, peer.vni),
                         packet: mk(dst.ip),
                         expect: Expectation::ForwardLocal,
                     });
@@ -105,7 +109,7 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
         if snat < per_class && vpc.internet {
             probes.push(Probe {
                 label: format!("snat {}", vpc.vni),
-                packet: mk("93.184.216.34".parse().unwrap()),
+                packet: mk("93.184.216.34".parse().expect("valid IPv4 literal")),
                 expect: Expectation::PuntSnat,
             });
             snat += 1;
@@ -113,7 +117,7 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
         if idc < per_class && vpc.idc.is_some() {
             probes.push(Probe {
                 label: format!("idc {}", vpc.vni),
-                packet: mk("172.16.200.1".parse().unwrap()),
+                packet: mk("172.16.200.1".parse().expect("valid IPv4 literal")),
                 expect: Expectation::Idc,
             });
             idc += 1;
@@ -121,7 +125,7 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
         if xregion < per_class && vpc.cross_region.is_some() {
             probes.push(Probe {
                 label: format!("xregion {}", vpc.vni),
-                packet: mk("100.64.200.1".parse().unwrap()),
+                packet: mk("100.64.200.1".parse().expect("valid IPv4 literal")),
                 expect: Expectation::CrossRegion,
             });
             xregion += 1;
@@ -129,7 +133,7 @@ pub fn generate(topology: &Topology, per_class: usize) -> Vec<Probe> {
         if negative < per_class && !vpc.internet {
             probes.push(Probe {
                 label: format!("negative {}", vpc.vni),
-                packet: mk("198.51.100.77".parse().unwrap()),
+                packet: mk("198.51.100.77".parse().expect("valid IPv4 literal")),
                 expect: Expectation::PuntUnknown,
             });
             negative += 1;

@@ -91,10 +91,10 @@ impl Default for RegionConfig {
             x86: XgwX86Config::default(),
             snat: SnatConfig {
                 public_ips: vec![
-                    "203.0.113.1".parse().unwrap(),
-                    "203.0.113.2".parse().unwrap(),
-                    "203.0.113.3".parse().unwrap(),
-                    "203.0.113.4".parse().unwrap(),
+                    "203.0.113.1".parse().expect("valid IPv4 literal"),
+                    "203.0.113.2".parse().expect("valid IPv4 literal"),
+                    "203.0.113.3".parse().expect("valid IPv4 literal"),
+                    "203.0.113.4".parse().expect("valid IPv4 literal"),
                 ],
                 ..SnatConfig::default()
             },

@@ -64,6 +64,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sailfish_asic as asic;
 pub use sailfish_cluster as cluster;
 pub use sailfish_net as net;

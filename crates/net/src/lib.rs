@@ -25,6 +25,8 @@
 //! - [`rss`]: the Toeplitz hash used by NICs for receive-side scaling,
 //! - [`checksum`]: Internet checksum helpers shared by the wire types.
 
+#![forbid(unsafe_code)]
+
 pub mod checksum;
 pub mod error;
 pub mod flow;

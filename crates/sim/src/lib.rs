@@ -23,6 +23,8 @@
 //! Everything is seeded `StdRng`; no wall clock, no global state — every
 //! figure regenerates bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod metrics;
 pub mod topology;

@@ -27,6 +27,8 @@
 //! that stays on XGW-x86), [`acl::AclTable`], [`meter::Meter`],
 //! [`counter::CounterArray`].
 
+#![forbid(unsafe_code)]
+
 pub mod acl;
 pub mod alpm;
 pub mod counter;

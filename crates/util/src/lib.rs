@@ -19,6 +19,8 @@
 //! registry, so nothing here (or anywhere in the workspace) may depend
 //! on external crates. See README "Building offline".
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod check;
 pub mod json;

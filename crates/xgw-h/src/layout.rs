@@ -9,10 +9,18 @@
 //! scratch tables, QoS marking) and its aggregate footprint reproduces
 //! Table 4's per-pipe occupancy. Every number is computed through the
 //! same cost model as the major tables.
+//!
+//! All constructors return `Result`: an inconsistent spec is a typed
+//! error, not a panic. Layout legality itself is checked by the static
+//! analyzer (`sailfish_asic::verify`); [`verify_layout`] runs it with
+//! the XGW-H program knowledge (the digest-conflict reservation) wired
+//! into the lint options.
 
 use sailfish_asic::config::TofinoConfig;
 use sailfish_asic::cost::{MatchKind, Storage, TableSpec};
+use sailfish_asic::error::Result;
 use sailfish_asic::placement::{FoldStep, Layout, PlacedTable};
+use sailfish_asic::verify::{Report, VerifyOptions};
 use sailfish_tables::alpm::AlpmStats;
 
 /// Reserved entries in the digest-conflict table. Hardware must
@@ -28,6 +36,57 @@ pub const POOLED_ROUTE_KEY_BITS: u32 = 24 + 128;
 /// family label.
 pub const COMPRESSED_VMNC_KEY_BITS: u32 = 24 + 32 + 2;
 
+/// ALPM bucket capacity the production tables are calibrated for
+/// (DESIGN.md §3).
+pub const ALPM_BUCKET_CAPACITY: usize = 24;
+
+/// Measured average bucket fill at region scale (DESIGN.md §3).
+pub const ALPM_CALIBRATED_FILL: f64 = 0.6;
+
+/// The analyzer options encoding XGW-H program knowledge: conflict
+/// tables must reserve at least [`CONFLICT_TABLE_RESERVED`] entries.
+pub fn verify_options() -> VerifyOptions {
+    VerifyOptions {
+        conflict_table_min_entries: Some(CONFLICT_TABLE_RESERVED),
+        ..VerifyOptions::default()
+    }
+}
+
+/// Runs the static analyzer over `layout` with the XGW-H lint options.
+pub fn verify_layout(layout: &Layout, label: &str) -> Report {
+    layout.verify_with(label, &verify_options())
+}
+
+/// Estimates the live routing table's ALPM shape at `route_entries`
+/// without building a region-scale topology: partitions sized for the
+/// calibrated bucket capacity and fill.
+pub fn estimated_alpm(route_entries: usize) -> AlpmStats {
+    let per_partition = (ALPM_BUCKET_CAPACITY as f64 * ALPM_CALIBRATED_FILL).max(1.0);
+    let partitions = (route_entries as f64 / per_partition).ceil().max(1.0) as usize;
+    let allocated_slots = partitions * ALPM_BUCKET_CAPACITY;
+    AlpmStats {
+        tcam_entries: partitions,
+        bucket_entries: route_entries,
+        default_entries: 0,
+        allocated_slots,
+        avg_fill: route_entries as f64 / allocated_slots.max(1) as f64,
+    }
+}
+
+/// Statically verifies the table load one device would carry at
+/// `route_entries`/`vmnc_entries`, before anything is pushed to it.
+/// Returns the full diagnostics report; callers gate on
+/// [`Report::is_clean`].
+pub fn verify_device_load(
+    config: &TofinoConfig,
+    route_entries: usize,
+    vmnc_entries: usize,
+) -> Result<Report> {
+    let alpm = estimated_alpm(route_entries);
+    let layout = production_layout(config.clone(), route_entries, &alpm, vmnc_entries)?;
+    Ok(verify_layout(&layout, "device-load"))
+}
+
 /// The two major tables, fully optimized, placed along the fold path.
 /// `alpm` carries the measured first-level/bucket sizes of the live
 /// routing table.
@@ -35,7 +94,7 @@ pub fn major_tables(
     route_entries: usize,
     alpm: &AlpmStats,
     vmnc_entries: usize,
-) -> Vec<PlacedTable> {
+) -> Result<Vec<PlacedTable>> {
     let mut tables = Vec::new();
 
     // VXLAN routing — ALPM, in the loop pipes' egress, split by VNI
@@ -50,8 +109,7 @@ pub fn major_tables(
             tcam_index_entries: alpm.tcam_entries,
             allocated_slots: alpm.allocated_slots.max(route_entries),
         },
-    )
-    .expect("static spec");
+    )?;
     let mut routing = PlacedTable::new(routing, FoldStep::EgressLoop);
     routing.split_across_pair = true;
     tables.push(routing);
@@ -69,9 +127,8 @@ pub fn major_tables(
             entries,
             Storage::SramHash,
         )
-        .expect("static spec")
     };
-    let mut vmnc_main = PlacedTable::new(vmnc_spec(vmnc_entries), FoldStep::IngressLoop);
+    let mut vmnc_main = PlacedTable::new(vmnc_spec(vmnc_entries)?, FoldStep::IngressLoop);
     vmnc_main.fraction = (3, 10);
     vmnc_main.split_across_pair = true;
     tables.push(vmnc_main);
@@ -85,124 +142,103 @@ pub fn major_tables(
         32,
         CONFLICT_TABLE_RESERVED,
         Storage::SramHash,
-    )
-    .expect("static spec");
+    )?;
     let mut conflict = PlacedTable::new(conflict, FoldStep::IngressLoop);
     conflict.split_across_pair = true;
     tables.push(conflict);
 
-    let mut vmnc_rest = PlacedTable::new(vmnc_spec(vmnc_entries), FoldStep::EgressOuter);
+    let mut vmnc_rest = PlacedTable::new(vmnc_spec(vmnc_entries)?, FoldStep::EgressOuter);
     vmnc_rest.fraction = (7, 10);
     vmnc_rest.split_across_pair = true;
     tables.push(vmnc_rest);
 
-    tables
+    Ok(tables)
 }
 
 /// The representative service-table complement (§3.3's "diverse cloud
 /// services"): classification and per-SLA state in the outer pipes,
 /// cross-region/QoS state in the loop pipes.
-pub fn service_tables() -> Vec<PlacedTable> {
-    let mut tables = Vec::new();
-
-    let mut push = |spec: TableSpec, step: FoldStep| {
-        let mut t = PlacedTable::new(spec, step);
-        // Service tables are consulted positionally; they do not bridge
-        // metadata across gresses.
-        t.depends_on_previous = false;
-        tables.push(t);
-    };
-
-    // Ingress Pipe 0/2: tunnel/vport classification, per-tenant ACL,
-    // meters, counters, LB scratch sessions.
-    push(
-        TableSpec::new(
+pub fn service_tables() -> Result<Vec<PlacedTable>> {
+    // (name, kind, key_bits, action_bits, entries, storage, step)
+    let rows: [(&str, MatchKind, u32, u32, usize, Storage, FoldStep); 7] = [
+        // Ingress Pipe 0/2: tunnel/vport classification, per-tenant ACL,
+        // meters, counters, LB scratch sessions.
+        (
             "vport-classify",
             MatchKind::Exact,
             56,
             32,
             200_000,
             Storage::SramHash,
-        )
-        .expect("static spec"),
-        FoldStep::IngressOuter,
-    );
-    push(
-        TableSpec::new(
+            FoldStep::IngressOuter,
+        ),
+        (
             "tenant-acl",
             MatchKind::Ternary,
             128,
             8,
             20_000,
             Storage::Tcam,
-        )
-        .expect("static spec"),
-        FoldStep::IngressOuter,
-    );
-    push(
-        TableSpec::new(
+            FoldStep::IngressOuter,
+        ),
+        (
             "sla-meters",
             MatchKind::Exact,
             24,
             104,
             100_000,
             Storage::SramDirect,
-        )
-        .expect("static spec"),
-        FoldStep::IngressOuter,
-    );
-    push(
-        TableSpec::new(
+            FoldStep::IngressOuter,
+        ),
+        (
             "service-counters",
             MatchKind::Exact,
             24,
             104,
             40_000,
             Storage::SramDirect,
-        )
-        .expect("static spec"),
-        FoldStep::IngressOuter,
-    );
-    push(
-        TableSpec::new(
+            FoldStep::IngressOuter,
+        ),
+        (
             "lb-scratch",
             MatchKind::Exact,
             56,
             64,
             80_000,
             Storage::SramHash,
-        )
-        .expect("static spec"),
-        FoldStep::IngressOuter,
-    );
-
-    // Loop pipes: cross-region tunnel state and QoS marking.
-    push(
-        TableSpec::new(
+            FoldStep::IngressOuter,
+        ),
+        // Loop pipes: cross-region tunnel state and QoS marking.
+        (
             "xregion-tunnels",
             MatchKind::Exact,
             56,
             64,
             80_000,
             Storage::SramHash,
-        )
-        .expect("static spec"),
-        FoldStep::IngressLoop,
-    );
-    push(
-        TableSpec::new(
+            FoldStep::IngressLoop,
+        ),
+        (
             "qos-marking",
             MatchKind::Exact,
             56,
             16,
             30_000,
             Storage::SramHash,
-        )
-        .expect("static spec"),
-        FoldStep::IngressLoop,
-    );
+            FoldStep::IngressLoop,
+        ),
+    ];
 
-    tables
+    let mut tables = Vec::new();
+    for (name, kind, key_bits, action_bits, entries, storage, step) in rows {
+        let spec = TableSpec::new(name, kind, key_bits, action_bits, entries, storage)?;
+        let mut t = PlacedTable::new(spec, step);
+        // Service tables are consulted positionally; they do not bridge
+        // metadata across gresses.
+        t.depends_on_previous = false;
+        tables.push(t);
+    }
+    Ok(tables)
 }
 
 /// The full production layout of one XGW-H (folded, majors + services).
@@ -211,24 +247,25 @@ pub fn production_layout(
     route_entries: usize,
     alpm: &AlpmStats,
     vmnc_entries: usize,
-) -> Layout {
+) -> Result<Layout> {
     let mut layout = Layout::new(config, true);
     // Services first in lookup order within their steps; the Layout only
     // validates step monotonicity, so interleave by step.
     let mut tables: Vec<PlacedTable> = Vec::new();
-    tables.extend(service_tables());
-    tables.extend(major_tables(route_entries, alpm, vmnc_entries));
+    tables.extend(service_tables()?);
+    tables.extend(major_tables(route_entries, alpm, vmnc_entries)?);
     tables.sort_by_key(|t| t.step);
     for t in tables {
         layout.push(t);
     }
-    layout
+    Ok(layout)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sailfish_asic::placement::PipePair;
+    use sailfish_asic::verify::LintCode;
 
     /// Region-scale ALPM stats matching DESIGN.md §3 calibration
     /// (bucket capacity 24, measured fill ≈ 0.6).
@@ -242,14 +279,19 @@ mod tests {
         }
     }
 
-    #[test]
-    fn production_layout_fits_and_matches_table4_shape() {
-        let layout = production_layout(
+    fn calibrated_layout() -> Layout {
+        production_layout(
             TofinoConfig::tofino_64t(),
             229_300,
             &calibrated_alpm(),
             459_000,
-        );
+        )
+        .expect("production layout builds")
+    }
+
+    #[test]
+    fn production_layout_fits_and_matches_table4_shape() {
+        let layout = calibrated_layout();
         layout.validate().unwrap();
         let (outer, looped) = layout.occupancy();
         // Table 4: Pipeline 0/2 ≈ 70% SRAM / 41% TCAM.
@@ -264,9 +306,44 @@ mod tests {
     }
 
     #[test]
+    fn production_layout_verifies_clean_under_xgwh_lints() {
+        let layout = calibrated_layout();
+        let report = verify_layout(&layout, "table4");
+        assert!(report.is_clean(), "{}", report.render());
+        // The conflict table meets its reservation, so the undersized
+        // lint stays silent even though the lint is armed.
+        assert!(!report.has(LintCode::ConflictTableUndersized));
+    }
+
+    #[test]
+    fn shrunk_conflict_table_is_flagged() {
+        // Rebuild the layout, then shrink the conflict table below the
+        // reservation: the XGW-H lint options must catch it.
+        let mut layout = calibrated_layout();
+        for t in &mut layout.tables {
+            if t.spec.name == "vm-nc-conflict" {
+                t.spec.entries = CONFLICT_TABLE_RESERVED / 4;
+            }
+        }
+        let report = verify_layout(&layout, "shrunk-conflict");
+        assert!(
+            report.has(LintCode::ConflictTableUndersized),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn device_load_verifies_clean_at_default_cluster_scale() {
+        let report = verify_device_load(&TofinoConfig::tofino_64t(), 240_000, 480_000)
+            .expect("layout builds");
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
     fn major_tables_alone_match_table3() {
         let mut layout = Layout::new(TofinoConfig::tofino_64t(), true);
-        for t in major_tables(229_300, &calibrated_alpm(), 459_000) {
+        for t in major_tables(229_300, &calibrated_alpm(), 459_000).expect("majors build") {
             layout.push(t);
         }
         layout.validate().unwrap();
@@ -278,12 +355,7 @@ mod tests {
 
     #[test]
     fn lookup_order_is_monotone() {
-        let layout = production_layout(
-            TofinoConfig::tofino_64t(),
-            229_300,
-            &calibrated_alpm(),
-            459_000,
-        );
+        let layout = calibrated_layout();
         let mut prev = FoldStep::IngressOuter;
         for t in &layout.tables {
             assert!(t.step >= prev);
@@ -293,12 +365,7 @@ mod tests {
 
     #[test]
     fn loop_pair_carries_the_routing_tcam() {
-        let layout = production_layout(
-            TofinoConfig::tofino_64t(),
-            229_300,
-            &calibrated_alpm(),
-            459_000,
-        );
+        let layout = calibrated_layout();
         let outer = layout.pair_usage(PipePair::Outer);
         let looped = layout.pair_usage(PipePair::Loop);
         // The outer TCAM holds only the ACL; the loop TCAM holds the ALPM
@@ -306,5 +373,15 @@ mod tests {
         assert!(outer.tcam_rows > 0);
         assert!(looped.tcam_rows > 0);
         assert!(looped.sram_words > 0 && outer.sram_words > 0);
+    }
+
+    #[test]
+    fn estimated_alpm_tracks_calibration() {
+        let est = estimated_alpm(229_300);
+        // ceil(229300 / (24 × 0.6)) = 15,924 partitions — within 1% of
+        // the measured 15,900.
+        assert!((15_800..16_100).contains(&est.tcam_entries), "{est:?}");
+        assert_eq!(est.allocated_slots, est.tcam_entries * 24);
+        assert!(est.avg_fill > 0.55 && est.avg_fill < 0.65);
     }
 }

@@ -16,6 +16,8 @@
 //!   memory accounting,
 //! - per-pipe and punt statistics feeding Figs 20–22.
 
+#![forbid(unsafe_code)]
+
 pub mod layout;
 pub mod program;
 pub mod tables;

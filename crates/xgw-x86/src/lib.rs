@@ -21,6 +21,8 @@
 //! - the single-node performance envelope of Fig 18
 //!   ([`config::XgwX86Config`]).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod cores;
 pub mod forward;
