@@ -90,7 +90,27 @@ if [ -f experiments/fault_injection.json ]; then
     rm -f /tmp/sailfish_fault_injection_run1.json
 fi
 
-# 7. Dependency policy: no external crates anywhere in the workspace.
+# 7. Dataplane smoke: the behavioral executor must hold the differential
+#    oracle at tiny scale, twice, with byte-identical JSON counters
+#    (determinism gate).
+run_step "dataplane-smoke" cargo run --release --offline -q -p sailfish-bench \
+    --bin dataplane_bench -- --tiny
+if [ -f BENCH_dataplane.json ]; then
+    cp BENCH_dataplane.json /tmp/sailfish_dataplane_run1.json
+    run_step "dataplane-determinism" cargo run --release --offline -q -p sailfish-bench \
+        --bin dataplane_bench -- --tiny
+    echo
+    echo "==> dataplane-determinism: comparing the two runs"
+    if cmp -s /tmp/sailfish_dataplane_run1.json BENCH_dataplane.json; then
+        echo "==> dataplane-determinism: OK (byte-identical)"
+    else
+        echo "==> dataplane-determinism: FAILED (runs differ)"
+        failures=$((failures + 1))
+    fi
+    rm -f /tmp/sailfish_dataplane_run1.json
+fi
+
+# 8. Dependency policy: no external crates anywhere in the workspace.
 echo
 echo "==> policy: no external crate references in manifests"
 if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \

@@ -1,0 +1,224 @@
+//! Behavioral dataplane benchmark: executes real VXLAN frames through
+//! the XGW-H executor in single-threaded and multi-worker mode, verifies
+//! every decision against the reference XGW-x86 forwarder (the
+//! differential oracle), and records virtual-time Mpps plus per-table
+//! hit/miss/conflict counters to `BENCH_dataplane.json`.
+//!
+//! Run with: `cargo run --release -p sailfish-bench --bin dataplane_bench`
+//! (add `--tiny` for the CI smoke scale). The JSON output is fully
+//! deterministic — virtual cost-model time, seeded workload, seeded
+//! schedule — so two runs produce byte-identical files; wall-clock
+//! throughput is printed to stdout only.
+
+use std::time::Instant;
+
+use sailfish_bench::record::ExperimentRecord;
+use sailfish_bench::table::print_table;
+use sailfish_dataplane::executor::{software_forwarder, Dataplane, DataplaneConfig};
+use sailfish_dataplane::oracle::differential_run;
+use sailfish_dataplane::{traffic, RunReport, TableCounters};
+use sailfish_sim::workload::generate_flows;
+use sailfish_sim::{Topology, TopologyConfig, WorkloadConfig};
+use sailfish_util::json::Json;
+
+const SCHEDULE_SEED: u64 = 42;
+
+fn counters_json(c: &TableCounters) -> Json {
+    Json::Object(
+        c.fields()
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::from(*v)))
+            .collect(),
+    )
+}
+
+fn run_json(r: &RunReport) -> Json {
+    Json::Object(vec![
+        ("workers".to_string(), Json::from(r.workers)),
+        ("packets".to_string(), Json::from(r.packets)),
+        ("virtual_ns".to_string(), Json::from(r.virtual_ns)),
+        (
+            "virtual_mpps".to_string(),
+            Json::from((r.virtual_mpps() * 1000.0).round() / 1000.0),
+        ),
+        (
+            "fallback_packets".to_string(),
+            Json::from(r.fallback_packets),
+        ),
+        (
+            "decision_digest".to_string(),
+            Json::from(format!("{:016x}", r.decision_digest)),
+        ),
+        ("counters".to_string(), counters_json(&r.counters)),
+    ])
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (flows_n, packets) = if tiny {
+        (600, 20_000)
+    } else {
+        (4_000, 1_200_000)
+    };
+
+    let topology = Topology::generate(TopologyConfig::default());
+    let flows = generate_flows(
+        &topology,
+        &WorkloadConfig {
+            flows: flows_n,
+            internet_share: 0.05,
+            ..WorkloadConfig::default()
+        },
+    );
+    let frames = traffic::frames_for_flows(&flows);
+    let sched = traffic::schedule(&flows[..frames.len()], packets, SCHEDULE_SEED);
+    let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+    let dp = Dataplane::build(&topology, DataplaneConfig::default());
+
+    // Differential oracle: every executor decision (punts included) must
+    // match the reference forwarder, packet by packet.
+    let mut fb_oracle = software_forwarder(&topology);
+    let mut reference = software_forwarder(&topology);
+    let t0 = Instant::now();
+    let oracle = differential_run(&dp, &seq, &mut fb_oracle, &mut reference);
+    println!(
+        "oracle: {} packets, {} agreements, {} mismatches ({:.2}s wall)",
+        oracle.packets,
+        oracle.agreements,
+        oracle.mismatches,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(m) = &oracle.first_mismatch {
+        eprintln!("first mismatch: {m}");
+    }
+
+    // Executor runs: deterministic single-worker golden mode, then the
+    // scoped-thread multi-worker mode.
+    let mut fb_single = software_forwarder(&topology);
+    let t1 = Instant::now();
+    let single = dp.run_single(&seq, &mut fb_single);
+    let single_wall = t1.elapsed();
+    let mut fb_multi = software_forwarder(&topology);
+    let t2 = Instant::now();
+    let multi = dp.run_multi(&seq, &mut fb_multi);
+    let multi_wall = t2.elapsed();
+
+    let row = |label: &str, r: &RunReport, wall: f64| {
+        vec![
+            label.to_string(),
+            format!("{}", r.workers),
+            format!("{:.3}", r.virtual_mpps()),
+            format!("{:.3}", r.packets as f64 / wall / 1e6),
+            format!(
+                "{:.1}%",
+                100.0 * r.counters.cache_hits as f64 / r.counters.parsed.max(1) as f64
+            ),
+            format!(
+                "{:.2}%",
+                100.0 * r.fallback_packets as f64 / r.packets.max(1) as f64
+            ),
+        ]
+    };
+    print_table(
+        "Behavioral dataplane executor",
+        &[
+            "Mode",
+            "Workers",
+            "Virtual Mpps",
+            "Wall Mpps",
+            "Cache hits",
+            "Fallback",
+        ],
+        &[
+            row("single", &single, single_wall.as_secs_f64()),
+            row("multi", &multi, multi_wall.as_secs_f64()),
+        ],
+    );
+
+    let doc = Json::Object(vec![
+        ("id".to_string(), Json::from("dataplane")),
+        (
+            "workload".to_string(),
+            Json::Object(vec![
+                ("flows".to_string(), Json::from(frames.len())),
+                ("packets".to_string(), Json::from(seq.len())),
+                ("schedule_seed".to_string(), Json::from(SCHEDULE_SEED)),
+                ("tiny".to_string(), Json::from(tiny)),
+            ]),
+        ),
+        (
+            "oracle".to_string(),
+            Json::Object(vec![
+                ("packets".to_string(), Json::from(oracle.packets)),
+                ("agreements".to_string(), Json::from(oracle.agreements)),
+                ("mismatches".to_string(), Json::from(oracle.mismatches)),
+            ]),
+        ),
+        ("single".to_string(), run_json(&single)),
+        ("multi".to_string(), run_json(&multi)),
+    ]);
+    std::fs::write("BENCH_dataplane.json", doc.to_pretty() + "\n")
+        .expect("write BENCH_dataplane.json");
+    println!("wrote BENCH_dataplane.json");
+
+    let mut rec = ExperimentRecord::new(
+        "dataplane",
+        "Behavioral dataplane executor vs reference XGW-x86 forwarder",
+    );
+    rec.compare(
+        "differential oracle",
+        "0 mismatches over every seeded packet",
+        format!(
+            "{} mismatches / {} packets",
+            oracle.mismatches, oracle.packets
+        ),
+        oracle.holds(),
+    );
+    if !tiny {
+        rec.compare(
+            "oracle scale",
+            ">= 1M seeded packets",
+            format!("{}", oracle.packets),
+            oracle.packets >= 1_000_000,
+        );
+    }
+    rec.compare(
+        "decision digest independent of worker partitioning",
+        "single == multi",
+        format!(
+            "{:016x} vs {:016x}",
+            single.decision_digest, multi.decision_digest
+        ),
+        single.decision_digest == multi.decision_digest,
+    );
+    rec.compare(
+        "multi-worker scaling (virtual time)",
+        "> 1x over one worker",
+        format!("{:.2}x", multi.virtual_mpps() / single.virtual_mpps()),
+        multi.virtual_mpps() > single.virtual_mpps() * 1.2,
+    );
+    rec.compare(
+        "hardware serves the bulk of traffic (80/20 split)",
+        ">= 80% on-chip",
+        format!(
+            "{:.1}%",
+            100.0 * single.counters.hw_forwarded as f64 / single.counters.parsed.max(1) as f64
+        ),
+        single.counters.hw_forwarded * 5 >= single.counters.parsed * 4,
+    );
+    rec.compare(
+        "flow cache effectiveness",
+        "> 90% hit rate on Zipf traffic",
+        format!(
+            "{:.1}%",
+            100.0 * single.counters.cache_hits as f64 / single.counters.parsed.max(1) as f64
+        ),
+        single.counters.cache_hits * 10 >= single.counters.parsed * 9,
+    );
+    rec.finish();
+
+    if !oracle.holds() {
+        eprintln!("differential oracle failed");
+        std::process::exit(1);
+    }
+}

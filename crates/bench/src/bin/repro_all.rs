@@ -28,6 +28,7 @@ const BINS: &[&str] = &[
     "rule_80_20",
     "n_plus_1_hierarchy",
     "fault_injection_sweep",
+    "dataplane_bench",
     "ablation_alpm_depth",
     "ablation_folding",
     "ablation_cache_vs_prealloc",

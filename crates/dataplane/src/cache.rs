@@ -1,0 +1,173 @@
+//! The sharded flow cache used by the multi-worker executor.
+//!
+//! Gateways front the table pipeline with an exact-match flow cache: the
+//! first packet of a flow takes the full walk, later packets replay the
+//! recorded action. Shards are selected by the same Toeplitz hash the
+//! underlay RSS uses, so a worker touching one flow keeps hitting one
+//! shard. The cache is deliberately no-evict (insertion fails when a
+//! shard is full) — deterministic runs must not depend on eviction order.
+
+use std::collections::HashMap;
+
+use sailfish_net::rss::Toeplitz;
+use sailfish_net::{FiveTuple, Vni};
+use sailfish_tables::types::{IdcId, NcAddr, RegionId};
+
+/// The replayable outcome of a table walk for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedAction {
+    /// Forward to an NC after rewrite.
+    ToNc {
+        /// Destination server.
+        nc: NcAddr,
+        /// Rewritten VNI.
+        vni: Vni,
+    },
+    /// Hand off to another region.
+    ToRegion {
+        /// Destination region.
+        region: RegionId,
+        /// VNI context.
+        vni: Vni,
+    },
+    /// Hand off to an IDC.
+    ToIdc {
+        /// Destination IDC.
+        idc: IdcId,
+        /// VNI context.
+        vni: Vni,
+    },
+    /// Punt: the route needs stateful SNAT.
+    PuntSnat,
+    /// Punt: no hardware route.
+    PuntNoRoute,
+    /// Punt: VM mapping off-chip.
+    PuntNoVm,
+    /// Drop: ACL deny.
+    DropAcl,
+    /// Drop: peer-chain loop bound.
+    DropLoop,
+}
+
+/// An exact-match `(VNI, inner 5-tuple)` → action cache split into shards.
+#[derive(Debug)]
+pub struct ShardedFlowCache {
+    shards: Vec<HashMap<(Vni, FiveTuple), CachedAction>>,
+    capacity_per_shard: usize,
+    hasher: Toeplitz,
+}
+
+impl ShardedFlowCache {
+    /// Creates a cache with `shards` shards of `capacity_per_shard` flows.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedFlowCache {
+            shards: (0..shards).map(|_| HashMap::new()).collect(),
+            capacity_per_shard,
+            hasher: Toeplitz::default(),
+        }
+    }
+
+    fn shard_for(&self, tuple: &FiveTuple) -> usize {
+        self.hasher.hash_tuple(tuple) as usize % self.shards.len()
+    }
+
+    /// Looks up the cached action for a flow.
+    pub fn get(&self, vni: Vni, tuple: &FiveTuple) -> Option<CachedAction> {
+        self.shards[self.shard_for(tuple)]
+            .get(&(vni, *tuple))
+            .copied()
+    }
+
+    /// Records an action; returns `false` (and stores nothing) when the
+    /// flow's shard is full.
+    pub fn insert(&mut self, vni: Vni, tuple: &FiveTuple, action: CachedAction) -> bool {
+        let idx = self.shard_for(tuple);
+        let shard = &mut self.shards[idx];
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(&(vni, *tuple)) {
+            return false;
+        }
+        shard.insert((vni, *tuple), action);
+        true
+    }
+
+    /// Total cached flows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no flow is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached flow (table update invalidation).
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+
+    /// Per-shard occupancy, for balance diagnostics.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_net::IpProtocol;
+
+    fn tuple(i: u32) -> FiveTuple {
+        FiveTuple::new(
+            core::net::Ipv4Addr::from(0x0a00_0000 | i).into(),
+            "10.0.0.1".parse().unwrap(),
+            IpProtocol::Udp,
+            1000 + (i % 100) as u16,
+            80,
+        )
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut c = ShardedFlowCache::new(4, 16);
+        let v = Vni::from_const(7);
+        let t = tuple(1);
+        assert!(c.get(v, &t).is_none());
+        assert!(c.insert(v, &t, CachedAction::PuntSnat));
+        assert_eq!(c.get(v, &t), Some(CachedAction::PuntSnat));
+        // Same tuple under another VNI is a distinct flow.
+        assert!(c.get(Vni::from_const(8), &t).is_none());
+    }
+
+    #[test]
+    fn full_shard_rejects_new_flows_but_updates_existing() {
+        let mut c = ShardedFlowCache::new(1, 8);
+        let v = Vni::from_const(1);
+        for i in 0..8 {
+            assert!(c.insert(v, &tuple(i), CachedAction::PuntNoRoute));
+        }
+        assert!(!c.insert(v, &tuple(99), CachedAction::PuntNoRoute));
+        assert_eq!(c.len(), 8);
+        // Updating a resident flow is always allowed.
+        assert!(c.insert(v, &tuple(0), CachedAction::DropAcl));
+        assert_eq!(c.get(v, &tuple(0)), Some(CachedAction::DropAcl));
+    }
+
+    #[test]
+    fn shards_spread_flows() {
+        let mut c = ShardedFlowCache::new(8, 10_000);
+        let v = Vni::from_const(1);
+        for i in 0..4_000 {
+            c.insert(v, &tuple(i), CachedAction::PuntSnat);
+        }
+        let occ = c.occupancy();
+        assert_eq!(occ.iter().sum::<usize>(), 4_000);
+        for (i, o) in occ.iter().enumerate() {
+            assert!(*o > 100, "shard {i} got {o}");
+        }
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-table hit/miss/conflict counters.
+//!
+//! The executor counts every table interaction the way a switch pipeline
+//! exposes per-stage counters: route LPM lookups and misses, VM-NC digest
+//! hits split by resolving plane (main vs conflict table), punt causes,
+//! and flow-cache effectiveness. The counter set is `Copy` so the virtual
+//! cost model can snapshot it around a single packet walk.
+
+/// Stage-by-stage dataplane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Frames parsed successfully into a gateway packet.
+    pub parsed: u64,
+    /// Frames rejected by the parser (truncated, malformed, non-VXLAN).
+    pub parse_errors: u64,
+    /// Packets dropped by the ACL stage.
+    pub acl_denied: u64,
+    /// Single-step LPM lookups issued against the routing table.
+    pub route_lookups: u64,
+    /// LPM lookups that matched an entry.
+    pub route_hits: u64,
+    /// LPM lookups that missed (long-tail routes live on x86).
+    pub route_misses: u64,
+    /// Peer-VPC hops followed (pipeline recirculations).
+    pub peer_hops: u64,
+    /// Packets dropped by the peer-chain loop bound.
+    pub loop_drops: u64,
+    /// VM-NC lookups resolved by the 32-bit digest (main) plane.
+    pub vm_hit_main: u64,
+    /// VM-NC lookups resolved by the exact conflict table.
+    pub vm_hit_conflict: u64,
+    /// VM-NC lookups that missed both planes.
+    pub vm_miss: u64,
+    /// Punts because the route requires stateful SNAT.
+    pub punt_snat: u64,
+    /// Punts because no hardware route matched.
+    pub punt_no_route: u64,
+    /// Punts because the VM mapping is off-chip.
+    pub punt_no_vm: u64,
+    /// Punts rejected by the protective rate limiter (dropped).
+    pub punt_rate_limited: u64,
+    /// Flow-cache hits (walk skipped entirely).
+    pub cache_hits: u64,
+    /// Flow-cache misses (full table walk taken).
+    pub cache_misses: u64,
+    /// Packets forwarded by the hardware pipeline.
+    pub hw_forwarded: u64,
+    /// Punted packets the software fallback then forwarded.
+    pub fallback_forwarded: u64,
+    /// Punted packets the software fallback then dropped.
+    pub fallback_dropped: u64,
+}
+
+impl TableCounters {
+    /// Accumulates another counter set (worker merge).
+    pub fn merge(&mut self, other: &TableCounters) {
+        for ((_, a), (_, b)) in self.fields_mut().into_iter().zip(other.fields()) {
+            *a += b;
+        }
+    }
+
+    /// Stable-ordered `(name, value)` view for deterministic JSON output.
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
+        [
+            ("parsed", self.parsed),
+            ("parse_errors", self.parse_errors),
+            ("acl_denied", self.acl_denied),
+            ("route_lookups", self.route_lookups),
+            ("route_hits", self.route_hits),
+            ("route_misses", self.route_misses),
+            ("peer_hops", self.peer_hops),
+            ("loop_drops", self.loop_drops),
+            ("vm_hit_main", self.vm_hit_main),
+            ("vm_hit_conflict", self.vm_hit_conflict),
+            ("vm_miss", self.vm_miss),
+            ("punt_snat", self.punt_snat),
+            ("punt_no_route", self.punt_no_route),
+            ("punt_no_vm", self.punt_no_vm),
+            ("punt_rate_limited", self.punt_rate_limited),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("hw_forwarded", self.hw_forwarded),
+            ("fallback_forwarded", self.fallback_forwarded),
+            ("fallback_dropped", self.fallback_dropped),
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 20] {
+        [
+            ("parsed", &mut self.parsed),
+            ("parse_errors", &mut self.parse_errors),
+            ("acl_denied", &mut self.acl_denied),
+            ("route_lookups", &mut self.route_lookups),
+            ("route_hits", &mut self.route_hits),
+            ("route_misses", &mut self.route_misses),
+            ("peer_hops", &mut self.peer_hops),
+            ("loop_drops", &mut self.loop_drops),
+            ("vm_hit_main", &mut self.vm_hit_main),
+            ("vm_hit_conflict", &mut self.vm_hit_conflict),
+            ("vm_miss", &mut self.vm_miss),
+            ("punt_snat", &mut self.punt_snat),
+            ("punt_no_route", &mut self.punt_no_route),
+            ("punt_no_vm", &mut self.punt_no_vm),
+            ("punt_rate_limited", &mut self.punt_rate_limited),
+            ("cache_hits", &mut self.cache_hits),
+            ("cache_misses", &mut self.cache_misses),
+            ("hw_forwarded", &mut self.hw_forwarded),
+            ("fallback_forwarded", &mut self.fallback_forwarded),
+            ("fallback_dropped", &mut self.fallback_dropped),
+        ]
+    }
+
+    /// Total punts charged to the x86 path.
+    pub fn punted(&self) -> u64 {
+        self.punt_snat + self.punt_no_route + self.punt_no_vm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_field() {
+        let mut a = TableCounters {
+            parsed: 1,
+            route_hits: 2,
+            ..TableCounters::default()
+        };
+        let b = TableCounters {
+            parsed: 10,
+            vm_hit_conflict: 3,
+            fallback_dropped: 5,
+            ..TableCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.parsed, 11);
+        assert_eq!(a.route_hits, 2);
+        assert_eq!(a.vm_hit_conflict, 3);
+        assert_eq!(a.fallback_dropped, 5);
+    }
+
+    #[test]
+    fn fields_cover_the_struct() {
+        // Sentinel check: each field projected exactly once, in a stable
+        // order shared by fields() and fields_mut().
+        let mut c = TableCounters::default();
+        for (i, (_, v)) in c.fields_mut().into_iter().enumerate() {
+            *v = i as u64 + 1;
+        }
+        let names: Vec<&str> = c.fields().iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate counter name");
+        for (i, (_, v)) in c.fields().into_iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! The frame executor: single-threaded deterministic and multi-worker.
+//!
+//! A [`Dataplane`] models one region's hardware tier the way the upstream
+//! fabric sees it: a VNI directory splits traffic horizontally across
+//! clusters (Fig 12), flow-hash ECMP attributes packets to devices inside
+//! a cluster, and each cluster's table set serves the walk. Packets the
+//! hardware cannot serve degrade to the XGW-x86 software forwarder, the
+//! PR 2 fallback model, behind a protective punt meter.
+//!
+//! Determinism contract: [`Dataplane::run_single`] and
+//! [`Dataplane::run_multi`] produce the **same decision digest** for the
+//! same frame sequence — the multiset of per-packet decisions is
+//! independent of worker partitioning — while their virtual-time Mpps
+//! differ (that difference *is* the measurement).
+
+use sailfish_cluster::lb::{EcmpGroup, VniDirectory};
+use sailfish_net::wire::ethernet;
+use sailfish_net::GatewayPacket;
+use sailfish_sim::Topology;
+use sailfish_tables::meter::Meter;
+use sailfish_xgw_h::program::HwDropReason;
+use sailfish_xgw_h::tables::HardwareTables;
+use sailfish_xgw_h::HwDecision;
+use sailfish_xgw_x86::{SoftwareForwarder, SoftwareTables};
+
+use crate::cache::{CachedAction, ShardedFlowCache};
+use crate::counters::TableCounters;
+use crate::engine::{self, cost};
+use crate::oracle::{DropClass, PathDecision};
+use crate::rewrite;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Hardware clusters in the region.
+    pub clusters: usize,
+    /// Devices per cluster (ECMP members).
+    pub devices_per_cluster: usize,
+    /// ECMP next-hop cap (commercial gear stays under 64).
+    pub ecmp_max: usize,
+    /// Every `hw_vm_stride`-th VM mapping stays off-chip (volatile or
+    /// mid-migration entries served by x86) — the NoVmMapping punt source.
+    pub hw_vm_stride: usize,
+    /// Punt meter rate. Generous by default so deterministic runs and the
+    /// oracle never hit the limiter; benches can tighten it.
+    pub punt_rate_bps: u64,
+    /// Punt meter burst.
+    pub punt_burst_bytes: u64,
+    /// Flow-cache shards per worker.
+    pub cache_shards: usize,
+    /// Flow capacity per shard (no-evict).
+    pub cache_shard_capacity: usize,
+    /// Worker threads in [`Dataplane::run_multi`].
+    pub workers: usize,
+    /// Frames per batch (per-batch overhead is charged once).
+    pub batch_size: usize,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            clusters: 4,
+            devices_per_cluster: 4,
+            ecmp_max: 64,
+            hw_vm_stride: 20,
+            punt_rate_bps: 400_000_000_000,
+            punt_burst_bytes: 1 << 31,
+            cache_shards: 8,
+            cache_shard_capacity: 4096,
+            workers: 4,
+            batch_size: 32,
+        }
+    }
+}
+
+/// One hardware cluster: shared tables plus the device ECMP group.
+#[derive(Debug)]
+struct ClusterState {
+    tables: HardwareTables,
+    ecmp: EcmpGroup,
+}
+
+/// The region-level hardware dataplane.
+#[derive(Debug)]
+pub struct Dataplane {
+    config: DataplaneConfig,
+    directory: VniDirectory,
+    clusters: Vec<ClusterState>,
+}
+
+/// Per-worker mutable state.
+struct WorkerState {
+    cache: ShardedFlowCache,
+    counters: TableCounters,
+    punt_meter: Meter,
+    clock_ns: u64,
+    digest: u64,
+    punted: Vec<GatewayPacket>,
+    device_packets: Vec<u64>,
+    scratch: Vec<u8>,
+}
+
+/// What one frame produced inside a worker.
+enum FrameOutcome {
+    /// The frame did not parse.
+    ParseError,
+    /// A final decision was reached on the hardware tier.
+    Decided(PathDecision),
+    /// Queued for the software fallback.
+    Punted,
+}
+
+/// Report of one executor run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Frames offered.
+    pub packets: u64,
+    /// Merged stage counters.
+    pub counters: TableCounters,
+    /// Order-independent sum of per-packet decision digests. Equal
+    /// between single and multi mode on the same frame sequence.
+    pub decision_digest: u64,
+    /// Virtual nanoseconds: slowest worker's pipeline time plus the
+    /// serial software-fallback time.
+    pub virtual_ns: u64,
+    /// Packets served by the software fallback.
+    pub fallback_packets: u64,
+    /// Workers used.
+    pub workers: usize,
+    /// Packets attributed per `(cluster, device)`, flattened row-major.
+    pub device_packets: Vec<u64>,
+}
+
+impl RunReport {
+    /// Throughput in Mpps under the virtual cost model.
+    pub fn virtual_mpps(&self) -> f64 {
+        if self.virtual_ns == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.virtual_ns as f64 * 1000.0
+        }
+    }
+}
+
+/// Builds the reference/fallback software forwarder holding the complete
+/// table set of `topology` (routes and every VM mapping).
+pub fn software_forwarder(topology: &Topology) -> SoftwareForwarder {
+    let mut tables = SoftwareTables::default();
+    for (key, target) in &topology.routes {
+        tables.routes.insert(*key, *target);
+    }
+    for vm in &topology.vms {
+        tables
+            .vm_nc
+            .insert(vm.vni, vm.ip, vm.nc)
+            .expect("topology VMs are unique");
+    }
+    SoftwareForwarder::new(tables)
+}
+
+impl Dataplane {
+    /// Builds the hardware tier from a topology: VNIs are assigned to
+    /// clusters so peered VPCs co-locate (their chains must resolve
+    /// without leaving the cluster), routes follow their VNI's cluster,
+    /// and every `hw_vm_stride`-th VM mapping is withheld from the chip.
+    pub fn build(topology: &Topology, config: DataplaneConfig) -> Self {
+        assert!(config.clusters > 0 && config.devices_per_cluster > 0);
+        let mut directory = VniDirectory::new();
+        for vpc in &topology.vpcs {
+            let anchor = match vpc.peer {
+                Some(peer) => vpc.vni.min(peer),
+                None => vpc.vni,
+            };
+            directory.assign(vpc.vni, anchor.value() as usize % config.clusters);
+        }
+
+        let mut clusters: Vec<ClusterState> = (0..config.clusters)
+            .map(|_| {
+                let mut ecmp = EcmpGroup::new(config.ecmp_max);
+                for d in 0..config.devices_per_cluster {
+                    ecmp.add(d).expect("devices_per_cluster under the cap");
+                }
+                ClusterState {
+                    tables: HardwareTables::default(),
+                    ecmp,
+                }
+            })
+            .collect();
+
+        for (key, target) in &topology.routes {
+            let c = directory
+                .cluster_for(key.vni)
+                .expect("route VNIs come from topology VPCs");
+            clusters[c]
+                .tables
+                .routes
+                .insert(*key, *target)
+                .expect("topology routes are unique");
+        }
+        let stride = config.hw_vm_stride.max(1);
+        for (i, vm) in topology.vms.iter().enumerate() {
+            if i % stride == 0 {
+                continue; // stays on x86
+            }
+            let c = directory.cluster_for(vm.vni).expect("VM VNIs are assigned");
+            clusters[c]
+                .tables
+                .add_vm(vm.vni, vm.ip, vm.nc)
+                .expect("topology VMs are unique");
+        }
+
+        Dataplane {
+            config,
+            directory,
+            clusters,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DataplaneConfig {
+        &self.config
+    }
+
+    /// The VNI → cluster directory.
+    pub fn directory(&self) -> &VniDirectory {
+        &self.directory
+    }
+
+    /// The table set of one cluster (for audits and regression tests).
+    pub fn cluster_tables(&self, cluster: usize) -> &HardwareTables {
+        &self.clusters[cluster].tables
+    }
+
+    fn new_worker_state(&self) -> WorkerState {
+        WorkerState {
+            cache: ShardedFlowCache::new(
+                self.config.cache_shards,
+                self.config.cache_shard_capacity,
+            ),
+            counters: TableCounters::default(),
+            punt_meter: Meter::new(self.config.punt_rate_bps, self.config.punt_burst_bytes),
+            clock_ns: 0,
+            digest: 0,
+            punted: Vec::new(),
+            device_packets: vec![0; self.config.clusters * self.config.devices_per_cluster],
+            scratch: Vec::new(),
+        }
+    }
+
+    fn action_of(decision: &HwDecision) -> CachedAction {
+        match decision {
+            HwDecision::ToNc { packet, nc } => CachedAction::ToNc {
+                nc: *nc,
+                vni: packet.vni,
+            },
+            HwDecision::ToRegion { region, vni } => CachedAction::ToRegion {
+                region: *region,
+                vni: *vni,
+            },
+            HwDecision::ToIdc { idc, vni } => CachedAction::ToIdc {
+                idc: *idc,
+                vni: *vni,
+            },
+            HwDecision::PuntToX86 { reason, .. } => match reason {
+                sailfish_xgw_h::PuntReason::SnatRequired => CachedAction::PuntSnat,
+                sailfish_xgw_h::PuntReason::NoHwRoute => CachedAction::PuntNoRoute,
+                sailfish_xgw_h::PuntReason::NoVmMapping => CachedAction::PuntNoVm,
+            },
+            HwDecision::Drop(HwDropReason::AclDeny) => CachedAction::DropAcl,
+            HwDecision::Drop(HwDropReason::RoutingLoop) => CachedAction::DropLoop,
+            HwDecision::Drop(HwDropReason::PuntRateLimited) => {
+                unreachable!("walk never rate-limits")
+            }
+        }
+    }
+
+    /// Applies a (possibly cache-replayed) action to the frame. When the
+    /// action comes from the cache the per-stage counters the walk would
+    /// have bumped are bumped here instead, so stage totals stay exact.
+    fn apply_action(
+        &self,
+        action: CachedAction,
+        frame: &[u8],
+        packet: &GatewayPacket,
+        st: &mut WorkerState,
+        from_cache: bool,
+    ) -> FrameOutcome {
+        match action {
+            CachedAction::ToNc { nc, vni } => {
+                st.scratch.clear();
+                st.scratch.extend_from_slice(frame);
+                if rewrite::apply(&mut st.scratch, nc, vni).is_err() {
+                    // A parseable VXLAN frame always rewrites; treat the
+                    // impossible case as a parse error for accounting.
+                    st.counters.parse_errors += 1;
+                    return FrameOutcome::ParseError;
+                }
+                st.clock_ns += cost::REWRITE_NS;
+                st.counters.hw_forwarded += 1;
+                FrameOutcome::Decided(PathDecision::ToNc { nc, vni })
+            }
+            CachedAction::ToRegion { region, vni } => {
+                st.counters.hw_forwarded += 1;
+                FrameOutcome::Decided(PathDecision::ToRegion { region, vni })
+            }
+            CachedAction::ToIdc { idc, vni } => {
+                st.counters.hw_forwarded += 1;
+                FrameOutcome::Decided(PathDecision::ToIdc { idc, vni })
+            }
+            CachedAction::PuntSnat | CachedAction::PuntNoRoute | CachedAction::PuntNoVm => {
+                if from_cache {
+                    match action {
+                        CachedAction::PuntSnat => st.counters.punt_snat += 1,
+                        CachedAction::PuntNoRoute => st.counters.punt_no_route += 1,
+                        CachedAction::PuntNoVm => st.counters.punt_no_vm += 1,
+                        _ => unreachable!(),
+                    }
+                }
+                st.clock_ns += cost::PUNT_HANDOFF_NS;
+                if st.punt_meter.offer(st.clock_ns, frame.len()) {
+                    st.punted.push(*packet);
+                    FrameOutcome::Punted
+                } else {
+                    st.counters.punt_rate_limited += 1;
+                    FrameOutcome::Decided(PathDecision::Drop(DropClass::PuntRateLimited))
+                }
+            }
+            CachedAction::DropAcl => {
+                if from_cache {
+                    st.counters.acl_denied += 1;
+                }
+                FrameOutcome::Decided(PathDecision::Drop(DropClass::Acl))
+            }
+            CachedAction::DropLoop => {
+                if from_cache {
+                    st.counters.loop_drops += 1;
+                }
+                FrameOutcome::Decided(PathDecision::Drop(DropClass::RoutingLoop))
+            }
+        }
+    }
+
+    /// Processes one frame inside a worker: parse, directory, ECMP
+    /// attribution, flow cache, table walk, rewrite/punt.
+    fn process_frame(&self, frame: &[u8], st: &mut WorkerState) -> FrameOutcome {
+        st.clock_ns += cost::PARSE_NS;
+        let packet = match GatewayPacket::parse(frame) {
+            Ok(p) => p,
+            Err(_) => {
+                st.counters.parse_errors += 1;
+                return FrameOutcome::ParseError;
+            }
+        };
+        st.counters.parsed += 1;
+
+        let Some(cluster_idx) = self.directory.cluster_for(packet.vni) else {
+            // The upstream balancer has no hardware assignment: default
+            // route to the software tier.
+            return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
+        };
+        let cluster = &self.clusters[cluster_idx];
+        let tuple = packet.five_tuple();
+        if let Ok(device) = cluster.ecmp.pick(&tuple) {
+            st.device_packets[cluster_idx * self.config.devices_per_cluster + device] += 1;
+        }
+
+        if let Some(action) = st.cache.get(packet.vni, &tuple) {
+            st.counters.cache_hits += 1;
+            st.clock_ns += cost::CACHE_HIT_NS;
+            return self.apply_action(action, frame, &packet, st, true);
+        }
+        st.counters.cache_misses += 1;
+        let before = st.counters;
+        let decision = engine::walk(&cluster.tables, &packet, &mut st.counters);
+        st.clock_ns += engine::walk_cost_ns(&before, &st.counters);
+        let action = Self::action_of(&decision);
+        st.cache.insert(packet.vni, &tuple, action);
+        self.apply_action(action, frame, &packet, st, false)
+    }
+
+    fn run_worker(&self, frames: &[&[u8]]) -> WorkerState {
+        let mut st = self.new_worker_state();
+        for batch in frames.chunks(self.config.batch_size.max(1)) {
+            st.clock_ns += cost::BATCH_OVERHEAD_NS;
+            for frame in batch {
+                if let FrameOutcome::Decided(d) = self.process_frame(frame, &mut st) {
+                    st.digest = st.digest.wrapping_add(d.digest());
+                }
+            }
+        }
+        st
+    }
+
+    fn finalize(
+        &self,
+        states: Vec<WorkerState>,
+        fallback: &mut SoftwareForwarder,
+        packets: u64,
+        workers: usize,
+    ) -> RunReport {
+        let mut counters = TableCounters::default();
+        let mut digest = 0u64;
+        let mut pipeline_ns = 0u64;
+        let mut device_packets = vec![0u64; self.config.clusters * self.config.devices_per_cluster];
+        let mut punted = Vec::new();
+        for st in states {
+            counters.merge(&st.counters);
+            digest = digest.wrapping_add(st.digest);
+            pipeline_ns = pipeline_ns.max(st.clock_ns);
+            for (acc, d) in device_packets.iter_mut().zip(&st.device_packets) {
+                *acc += d;
+            }
+            punted.extend(st.punted);
+        }
+
+        // The x86 tier serves punts serially after the pipeline time.
+        let mut now_ns = pipeline_ns;
+        let fallback_packets = punted.len() as u64;
+        for packet in &punted {
+            now_ns += cost::X86_PROCESS_NS;
+            let decision = PathDecision::from_software(&fallback.process(packet, now_ns));
+            if matches!(decision, PathDecision::Drop(_)) {
+                counters.fallback_dropped += 1;
+            } else {
+                counters.fallback_forwarded += 1;
+            }
+            digest = digest.wrapping_add(decision.digest());
+        }
+
+        RunReport {
+            packets,
+            counters,
+            decision_digest: digest,
+            virtual_ns: now_ns,
+            fallback_packets,
+            workers,
+            device_packets,
+        }
+    }
+
+    /// Runs every frame in order on one worker — the deterministic golden
+    /// mode. Punted packets are resolved through `fallback` afterwards.
+    pub fn run_single(&self, frames: &[&[u8]], fallback: &mut SoftwareForwarder) -> RunReport {
+        let st = self.run_worker(frames);
+        self.finalize(vec![st], fallback, frames.len() as u64, 1)
+    }
+
+    /// Runs frames across `config.workers` scoped threads, partitioned by
+    /// outer-UDP flow entropy (what an underlay ECMP fabric hashes).
+    /// Decision digest matches [`Dataplane::run_single`] on the same
+    /// frames; virtual time reflects the slowest worker.
+    pub fn run_multi(&self, frames: &[&[u8]], fallback: &mut SoftwareForwarder) -> RunReport {
+        let workers = self.config.workers.max(1);
+        let mut parts: Vec<Vec<&[u8]>> = (0..workers).map(|_| Vec::new()).collect();
+        for frame in frames {
+            parts[worker_for(frame, workers)].push(frame);
+        }
+        let states: Vec<WorkerState> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| scope.spawn(move || self.run_worker(part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        self.finalize(states, fallback, frames.len() as u64, workers)
+    }
+
+    /// Decides one frame end-to-end without touching caches or the punt
+    /// meter — the oracle's view of the executor. Punts are resolved
+    /// immediately through `fallback`. Returns `None` when the frame does
+    /// not parse.
+    pub fn decide_one(
+        &self,
+        frame: &[u8],
+        fallback: &mut SoftwareForwarder,
+        now_ns: u64,
+    ) -> Option<PathDecision> {
+        let packet = GatewayPacket::parse(frame).ok()?;
+        let Some(cluster_idx) = self.directory.cluster_for(packet.vni) else {
+            return Some(PathDecision::from_software(
+                &fallback.process(&packet, now_ns),
+            ));
+        };
+        let mut scratch = TableCounters::default();
+        Some(
+            match engine::walk(&self.clusters[cluster_idx].tables, &packet, &mut scratch) {
+                HwDecision::ToNc { packet: out, nc } => PathDecision::ToNc { nc, vni: out.vni },
+                HwDecision::ToRegion { region, vni } => PathDecision::ToRegion { region, vni },
+                HwDecision::ToIdc { idc, vni } => PathDecision::ToIdc { idc, vni },
+                HwDecision::PuntToX86 { packet, .. } => {
+                    PathDecision::from_software(&fallback.process(&packet, now_ns))
+                }
+                HwDecision::Drop(HwDropReason::AclDeny) => PathDecision::Drop(DropClass::Acl),
+                HwDecision::Drop(HwDropReason::RoutingLoop) => {
+                    PathDecision::Drop(DropClass::RoutingLoop)
+                }
+                HwDecision::Drop(HwDropReason::PuntRateLimited) => {
+                    unreachable!("walk never rate-limits")
+                }
+            },
+        )
+    }
+}
+
+/// Which worker a frame belongs to: the outer UDP source port (underlay
+/// flow entropy) mixed and reduced. Unparsable-at-a-glance frames land on
+/// worker 0.
+pub fn worker_for(frame: &[u8], workers: usize) -> usize {
+    if workers <= 1 {
+        return 0;
+    }
+    let port = peek_outer_udp_src(frame).unwrap_or(0);
+    (u64::from(port).wrapping_mul(0x9E37_79B1) >> 16) as usize % workers
+}
+
+fn peek_outer_udp_src(frame: &[u8]) -> Option<u16> {
+    let ethertype = u16::from_be_bytes([*frame.get(12)?, *frame.get(13)?]);
+    let udp_start = match ethertype {
+        0x0800 => ethernet::HEADER_LEN + usize::from(*frame.get(ethernet::HEADER_LEN)? & 0x0f) * 4,
+        0x86dd => ethernet::HEADER_LEN + 40,
+        _ => return None,
+    };
+    Some(u16::from_be_bytes([
+        *frame.get(udp_start)?,
+        *frame.get(udp_start + 1)?,
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic;
+    use sailfish_sim::{TopologyConfig, WorkloadConfig};
+
+    fn small_setup() -> (Topology, Vec<Vec<u8>>, Vec<usize>) {
+        let topology = Topology::generate(TopologyConfig::default());
+        let flows = sailfish_sim::workload::generate_flows(
+            &topology,
+            &WorkloadConfig {
+                flows: 800,
+                internet_share: 0.01,
+                ..WorkloadConfig::default()
+            },
+        );
+        let frames = traffic::frames_for_flows(&flows);
+        let sched = traffic::schedule(&flows[..frames.len()], 30_000, 42);
+        (topology, frames, sched)
+    }
+
+    #[test]
+    fn single_and_multi_agree_on_decisions() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(&topology, DataplaneConfig::default());
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+
+        let mut fb1 = software_forwarder(&topology);
+        let single = dp.run_single(&seq, &mut fb1);
+        let mut fb2 = software_forwarder(&topology);
+        let multi = dp.run_multi(&seq, &mut fb2);
+
+        assert_eq!(single.decision_digest, multi.decision_digest);
+        assert_eq!(single.packets, multi.packets);
+        assert_eq!(single.counters.parse_errors, 0);
+        assert_eq!(single.counters.parsed, seq.len() as u64);
+        // Stage totals are partition-independent too (no-evict cache).
+        assert_eq!(single.counters.punted(), multi.counters.punted());
+        assert_eq!(
+            single.counters.hw_forwarded + single.counters.fallback_forwarded,
+            multi.counters.hw_forwarded + multi.counters.fallback_forwarded,
+        );
+        assert_eq!(multi.workers, dp.config().workers);
+        // Parallel pipelines are faster in virtual time.
+        assert!(multi.virtual_mpps() >= single.virtual_mpps());
+    }
+
+    #[test]
+    fn deterministic_across_repeated_runs() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(&topology, DataplaneConfig::default());
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+        let mut fb1 = software_forwarder(&topology);
+        let a = dp.run_multi(&seq, &mut fb1);
+        let mut fb2 = software_forwarder(&topology);
+        let b = dp.run_multi(&seq, &mut fb2);
+        assert_eq!(a.decision_digest, b.decision_digest);
+        assert_eq!(a.virtual_ns, b.virtual_ns);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.device_packets, b.device_packets);
+    }
+
+    #[test]
+    fn stride_withholds_vm_mappings() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(&topology, DataplaneConfig::default());
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+        let mut fb = software_forwarder(&topology);
+        let report = dp.run_single(&seq, &mut fb);
+        // With 1-in-20 mappings off-chip and thousands of flows, some
+        // NoVmMapping punts must occur — and the fallback must serve them
+        // (full tables, no black hole).
+        assert!(report.counters.punt_no_vm > 0, "{:?}", report.counters);
+        assert!(report.counters.fallback_forwarded > 0);
+        assert_eq!(report.counters.punt_rate_limited, 0);
+        // Cache effectiveness: repeated flows hit after the first miss.
+        assert!(report.counters.cache_hits > report.counters.cache_misses);
+    }
+
+    #[test]
+    fn worker_partition_is_total_and_stable() {
+        let (_, frames, _) = small_setup();
+        for frame in frames.iter().take(200) {
+            let w = worker_for(frame, 4);
+            assert!(w < 4);
+            assert_eq!(w, worker_for(frame, 4));
+        }
+        assert_eq!(worker_for(&[], 4), 0);
+        assert_eq!(worker_for(&[0u8; 60], 1), 0);
+    }
+
+    #[test]
+    fn ecmp_attribution_spreads_devices() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(&topology, DataplaneConfig::default());
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+        let mut fb = software_forwarder(&topology);
+        let report = dp.run_single(&seq, &mut fb);
+        let busy = report.device_packets.iter().filter(|c| **c > 0).count();
+        assert!(
+            busy > dp.config().devices_per_cluster,
+            "only {busy} devices saw traffic: {:?}",
+            report.device_packets
+        );
+        assert_eq!(
+            report.device_packets.iter().sum::<u64>(),
+            report.counters.parsed
+        );
+    }
+}

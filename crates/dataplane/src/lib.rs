@@ -1,0 +1,39 @@
+//! Behavioral packet-level dataplane executor.
+//!
+//! Every other crate in the workspace reasons about [`sailfish_net::GatewayPacket`]
+//! — an already-parsed model of a VXLAN frame. This crate closes the loop
+//! down to real wire bytes: it parses Ethernet/IPv4/IPv6/VXLAN frames with
+//! the `net::wire` views, walks the verified XGW-H table layout stage by
+//! stage (digest match with conflict-table fallback, pooled-ALPM LPM,
+//! VNI-based horizontal split and ECMP device choice), applies the header
+//! rewrite and re-encapsulation in place, and degrades to the XGW-x86
+//! software path whenever the hardware pipeline cannot serve a packet —
+//! the same fallback model the region simulation uses.
+//!
+//! Two execution modes exist:
+//!
+//! - **single-threaded deterministic** ([`executor::Dataplane::run_single`])
+//!   for golden tests and byte-identical benchmark JSON, and
+//! - **multi-worker** ([`executor::Dataplane::run_multi`]) using scoped
+//!   threads, per-worker batching and a sharded flow cache, partitioned by
+//!   outer-UDP flow entropy exactly like an underlay ECMP fabric would.
+//!
+//! The differential oracle ([`oracle::differential_run`]) pins the whole
+//! pipeline against the reference software forwarder: every packet the
+//! hardware executor serves must reach the same `(next-hop, rewrite)`
+//! decision `xgw_x86::SoftwareForwarder` would take.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod counters;
+pub mod engine;
+pub mod executor;
+pub mod oracle;
+pub mod rewrite;
+pub mod traffic;
+
+pub use counters::TableCounters;
+pub use executor::{Dataplane, DataplaneConfig, RunReport};
+pub use oracle::{differential_run, OracleReport, PathDecision};

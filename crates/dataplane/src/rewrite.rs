@@ -1,0 +1,165 @@
+//! In-place header rewrite and re-encapsulation.
+//!
+//! After the table walk decides `ToNc { nc, vni }`, the wire frame is
+//! rewritten the way the egress pipe does it (Fig 2): decrement the outer
+//! TTL/hop limit, point the outer destination at the hosting NC, and stamp
+//! the destination VPC's VNI into the VXLAN header. Over IPv4 underlays
+//! both changes patch the header checksum incrementally (RFC 1624 Eqn. 3,
+//! see `sailfish_net::checksum`); over IPv6 the mandatory outer UDP
+//! checksum is refilled across the datagram.
+
+use core::net::IpAddr;
+
+use sailfish_net::wire::ethernet::{self, EtherType};
+use sailfish_net::wire::{ipv4, ipv6, udp, vxlan};
+use sailfish_net::{Error, Result, Vni};
+use sailfish_tables::types::NcAddr;
+
+/// Rewrites `frame` in place for delivery to `nc` under `vni`.
+///
+/// The frame must be a VXLAN-in-UDP packet as produced by
+/// [`sailfish_net::GatewayPacket::emit`]. Fails with `Error::Malformed`
+/// when the NC address family does not match an IPv4 underlay, and with
+/// parse errors when the frame is inconsistent.
+pub fn apply(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
+    let ethertype = ethernet::Frame::new_checked(&frame[..])?.ethertype();
+    match ethertype {
+        EtherType::Ipv4 => apply_v4(frame, nc, vni),
+        EtherType::Ipv6 => apply_v6(frame, nc, vni),
+        _ => Err(Error::Unsupported),
+    }
+}
+
+fn apply_v4(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
+    let IpAddr::V4(nc_v4) = nc.ip else {
+        // A v6-homed NC cannot terminate a v4 underlay frame.
+        return Err(Error::Malformed);
+    };
+    let ip_start = ethernet::HEADER_LEN;
+    let header_len = {
+        let ip = ipv4::Packet::new_checked(&frame[ip_start..])?;
+        ip.header_len()
+    };
+    {
+        let mut ip = ipv4::Packet::new_unchecked(&mut frame[ip_start..]);
+        ip.decrement_ttl();
+        ip.rewrite_dst_addr(nc_v4);
+    }
+    // Outer UDP checksum stays zero over IPv4 underlays (emit() convention),
+    // so only the VXLAN VNI needs stamping.
+    let vxlan_start = ip_start + header_len + udp::HEADER_LEN;
+    let mut vx = vxlan::Header::new_checked(&mut frame[vxlan_start..])?;
+    vx.set_vni(vni);
+    Ok(())
+}
+
+fn apply_v6(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
+    let ip_start = ethernet::HEADER_LEN;
+    let nc_v6 = match nc.ip {
+        IpAddr::V6(a) => a,
+        // NCs are v4-homed; a v6 underlay reaches them via the mapped form.
+        IpAddr::V4(a) => a.to_ipv6_mapped(),
+    };
+    let src = {
+        let mut ip = ipv6::Packet::new_checked(&mut frame[ip_start..])?;
+        let hop = ip.hop_limit();
+        if hop > 0 {
+            ip.set_hop_limit(hop - 1);
+        }
+        ip.set_dst_addr(nc_v6);
+        ip.src_addr()
+    };
+    let udp_start = ip_start + ipv6::HEADER_LEN;
+    {
+        let mut vx = vxlan::Header::new_checked(&mut frame[udp_start + udp::HEADER_LEN..])?;
+        vx.set_vni(vni);
+    }
+    // The v6 outer UDP checksum covers the rewritten addresses and VNI:
+    // refill it over the whole datagram.
+    let mut u = udp::Datagram::new_checked(&mut frame[udp_start..])?;
+    u.fill_checksum_v6(src, nc_v6);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_net::packet::GatewayPacketBuilder;
+    use sailfish_net::GatewayPacket;
+
+    fn nc(s: &str) -> NcAddr {
+        NcAddr::new(s.parse().unwrap())
+    }
+
+    fn sample_v4() -> GatewayPacket {
+        GatewayPacketBuilder::new(
+            Vni::from_const(100),
+            "192.168.10.2".parse().unwrap(),
+            "192.168.30.5".parse().unwrap(),
+        )
+        .build()
+    }
+
+    #[test]
+    fn v4_rewrite_round_trips_and_checksums() {
+        let p = sample_v4();
+        let mut frame = p.emit().unwrap();
+        apply(&mut frame, nc("10.1.1.12"), Vni::from_const(200)).unwrap();
+
+        // The outer IPv4 header checksum must still verify after the
+        // incremental patches.
+        let ip = ipv4::Packet::new_checked(&frame[ethernet::HEADER_LEN..]).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.ttl(), 63);
+        assert_eq!(
+            ip.dst_addr(),
+            "10.1.1.12".parse::<core::net::Ipv4Addr>().unwrap()
+        );
+
+        let q = GatewayPacket::parse(&frame).unwrap();
+        assert_eq!(q.outer.dst_ip, "10.1.1.12".parse::<IpAddr>().unwrap());
+        assert_eq!(q.vni, Vni::from_const(200));
+        // The inner tenant packet is untouched.
+        assert_eq!(q.inner, p.inner);
+    }
+
+    #[test]
+    fn v6_rewrite_refills_udp_checksum() {
+        let mut p = sample_v4();
+        p.outer.src_ip = "fd00::1".parse().unwrap();
+        p.outer.dst_ip = "fd00::2".parse().unwrap();
+        let mut frame = p.emit().unwrap();
+        apply(&mut frame, nc("10.1.1.12"), Vni::from_const(300)).unwrap();
+
+        let expected_dst: core::net::Ipv6Addr = "10.1.1.12"
+            .parse::<core::net::Ipv4Addr>()
+            .unwrap()
+            .to_ipv6_mapped();
+        let ip = ipv6::Packet::new_checked(&frame[ethernet::HEADER_LEN..]).unwrap();
+        assert_eq!(ip.hop_limit(), 63);
+        assert_eq!(ip.dst_addr(), expected_dst);
+        let u =
+            udp::Datagram::new_checked(&frame[ethernet::HEADER_LEN + ipv6::HEADER_LEN..]).unwrap();
+        assert!(u.verify_checksum_v6(ip.src_addr(), expected_dst));
+
+        let q = GatewayPacket::parse(&frame).unwrap();
+        assert_eq!(q.vni, Vni::from_const(300));
+        assert_eq!(q.outer.dst_ip, IpAddr::V6(expected_dst));
+    }
+
+    #[test]
+    fn v4_frame_rejects_v6_nc() {
+        let mut frame = sample_v4().emit().unwrap();
+        assert_eq!(
+            apply(&mut frame, nc("2001:db8::1"), Vni::from_const(1)),
+            Err(Error::Malformed)
+        );
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = sample_v4().emit().unwrap();
+        let mut cut = frame[..40].to_vec();
+        assert!(apply(&mut cut, nc("10.1.1.12"), Vni::from_const(1)).is_err());
+    }
+}

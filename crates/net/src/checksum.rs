@@ -35,6 +35,41 @@ pub fn verify(data: &[u8]) -> bool {
     finish(sum(0, data)) == 0
 }
 
+/// Incrementally updates a checksum after one aligned 16-bit word of the
+/// covered data changed from `old` to `new` (RFC 1624, Eqn. 3):
+///
+/// ```text
+/// HC' = ~(~HC + ~m + m')
+/// ```
+///
+/// The additive form (Eqn. 2, `HC' = HC - ~m - m'`) is *not* used because
+/// it mishandles the one's-complement double zero: when the true folded
+/// sum lands on the 0x0000/0xFFFF boundary, the subtractive fold picks the
+/// wrong representation and the updated field disagrees with a full
+/// recompute by exactly 0xFFFF. Folding `~HC + ~m + m'` through
+/// [`finish`]'s carry loop keeps the two paths bit-identical — the
+/// property tests pin this on headers whose rewrite drives the checksum
+/// through 0x0000.
+pub fn incremental_update(checksum: u16, old: u16, new: u16) -> u16 {
+    let acc = u32::from(!checksum) + u32::from(!old) + u32::from(new);
+    finish(acc)
+}
+
+/// Incrementally updates a checksum after a run of covered bytes changed
+/// from `old` to `new` (e.g. a 4-byte address rewrite). Both slices must
+/// have the same even length and start on a 16-bit boundary of the
+/// checksummed data.
+pub fn incremental_update_slice(checksum: u16, old: &[u8], new: &[u8]) -> u16 {
+    debug_assert_eq!(old.len(), new.len());
+    debug_assert!(old.len().is_multiple_of(2));
+    let mut acc = u32::from(!checksum);
+    for chunk in old.chunks_exact(2) {
+        acc += u32::from(!u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    acc = sum(acc, new);
+    finish(acc)
+}
+
 /// Partial sum of the IPv4 pseudo-header used by UDP/TCP.
 pub fn pseudo_header_v4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> u32 {
     let mut acc = 0u32;
@@ -83,6 +118,77 @@ mod tests {
         assert!(verify(&data));
         data[0] ^= 0x10;
         assert!(!verify(&data));
+    }
+
+    fn sample_header(ident: u16) -> [u8; 20] {
+        let mut header = [
+            0x45, 0x00, 0x00, 0x54, 0, 0, 0x40, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        header[4..6].copy_from_slice(&ident.to_be_bytes());
+        let c = checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+        header
+    }
+
+    /// Sweeps the full ident space so the post-rewrite folded sum crosses
+    /// every residue, including the 0x0000/0xFFFF double-zero boundary
+    /// that the subtractive update (RFC 1624 Eqn. 2) gets wrong.
+    #[test]
+    fn incremental_update_matches_full_recompute_across_fold_boundary() {
+        let mut hit_boundary = false;
+        for ident in 0u16..=u16::MAX {
+            let mut header = sample_header(ident);
+            let before = u16::from_be_bytes([header[10], header[11]]);
+
+            // Decrement TTL: the word at offset 8 changes.
+            let old_word = u16::from_be_bytes([header[8], header[9]]);
+            header[8] -= 1;
+            let new_word = u16::from_be_bytes([header[8], header[9]]);
+            let incremental = incremental_update(before, old_word, new_word);
+
+            header[10..12].copy_from_slice(&[0, 0]);
+            let full = checksum(&header);
+            assert_eq!(incremental, full, "ident {ident:#06x}");
+            if full == 0x0000 {
+                // A full recompute emits 0x0000 only when the folded sum
+                // is exactly 0xFFFF; Eqn. 2 would have produced 0xFFFF.
+                hit_boundary = true;
+            }
+        }
+        assert!(hit_boundary, "sweep must cross the double-zero boundary");
+    }
+
+    #[test]
+    fn incremental_slice_matches_full_recompute() {
+        let mut state = 0x9e37_79b9u32;
+        for _ in 0..4096 {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let ident = (state >> 16) as u16;
+            let mut header = sample_header(ident);
+            let before = u16::from_be_bytes([header[10], header[11]]);
+
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let new_dst = state.to_be_bytes();
+            let mut old_dst = [0u8; 4];
+            old_dst.copy_from_slice(&header[16..20]);
+            header[16..20].copy_from_slice(&new_dst);
+            let incremental = incremental_update_slice(before, &old_dst, &new_dst);
+
+            header[10..12].copy_from_slice(&[0, 0]);
+            assert_eq!(incremental, checksum(&header));
+        }
+    }
+
+    #[test]
+    fn incremental_noop_change_is_identity() {
+        let header = sample_header(42);
+        let c = u16::from_be_bytes([header[10], header[11]]);
+        let word = u16::from_be_bytes([header[8], header[9]]);
+        assert_eq!(incremental_update(c, word, word), c);
+        assert_eq!(
+            incremental_update_slice(c, &header[16..20], &header[16..20]),
+            c
+        );
     }
 
     #[test]

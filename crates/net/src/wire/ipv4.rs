@@ -165,6 +165,38 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
         self.buffer.as_mut()[16..20].copy_from_slice(&addr.octets());
     }
 
+    /// Decrements the TTL by one, patching the header checksum
+    /// incrementally (RFC 1624) instead of recomputing it — the rewrite
+    /// engine touches exactly the bytes a switch deparser would.
+    ///
+    /// A TTL of zero is left unchanged (the packet should have been
+    /// dropped upstream).
+    pub fn decrement_ttl(&mut self) {
+        let d = self.buffer.as_mut();
+        let old_word = u16::from_be_bytes([d[8], d[9]]);
+        let ttl = d[8];
+        if ttl == 0 {
+            return;
+        }
+        d[8] = ttl - 1;
+        let new_word = u16::from_be_bytes([d[8], d[9]]);
+        let old_sum = u16::from_be_bytes([d[10], d[11]]);
+        let new_sum = checksum::incremental_update(old_sum, old_word, new_word);
+        d[10..12].copy_from_slice(&new_sum.to_be_bytes());
+    }
+
+    /// Rewrites the destination address, patching the header checksum
+    /// incrementally (RFC 1624).
+    pub fn rewrite_dst_addr(&mut self, addr: Ipv4Addr) {
+        let d = self.buffer.as_mut();
+        let mut old = [0u8; 4];
+        old.copy_from_slice(&d[16..20]);
+        d[16..20].copy_from_slice(&addr.octets());
+        let old_sum = u16::from_be_bytes([d[10], d[11]]);
+        let new_sum = checksum::incremental_update_slice(old_sum, &old, &addr.octets());
+        d[10..12].copy_from_slice(&new_sum.to_be_bytes());
+    }
+
     /// Recomputes and writes the header checksum.
     pub fn fill_checksum(&mut self) {
         let header_len = self.header_len();
@@ -245,6 +277,47 @@ mod tests {
         let mut buf = build(b"hello");
         buf[0] = 0x44;
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn decrement_ttl_matches_full_recompute() {
+        let mut buf = build(b"abc");
+        let mut reference = buf.clone();
+        Packet::new_unchecked(&mut buf[..]).decrement_ttl();
+        {
+            let mut r = Packet::new_unchecked(&mut reference[..]);
+            r.set_ttl(63);
+            r.fill_checksum();
+        }
+        assert_eq!(buf, reference);
+        assert!(Packet::new_checked(&buf[..]).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn rewrite_dst_matches_full_recompute() {
+        let mut buf = build(b"abc");
+        let mut reference = buf.clone();
+        let dst = Ipv4Addr::new(10, 200, 3, 77);
+        Packet::new_unchecked(&mut buf[..]).rewrite_dst_addr(dst);
+        {
+            let mut r = Packet::new_unchecked(&mut reference[..]);
+            r.set_dst_addr(dst);
+            r.fill_checksum();
+        }
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    fn decrement_ttl_stops_at_zero() {
+        let mut buf = build(b"");
+        {
+            let mut p = Packet::new_unchecked(&mut buf[..]);
+            p.set_ttl(0);
+            p.fill_checksum();
+        }
+        let snapshot = buf.clone();
+        Packet::new_unchecked(&mut buf[..]).decrement_ttl();
+        assert_eq!(buf, snapshot, "TTL 0 must not wrap");
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Parse → serialize round-trip properties for every wire header view.
+//!
+//! For each of the six header formats (Ethernet, IPv4, IPv6, UDP, TCP,
+//! VXLAN) a random header is written through the setter API, re-parsed
+//! through `new_checked`, and every accessor compared. A second family of
+//! properties feeds truncated and garbage buffers to `new_checked` and
+//! requires rejection — the parser must never accept a buffer whose
+//! declared lengths overrun it.
+
+use core::net::{Ipv4Addr, Ipv6Addr};
+
+use sailfish_net::wire::ethernet::{self, EtherType};
+use sailfish_net::wire::{ipv4, ipv6, tcp, udp, vxlan};
+use sailfish_net::{IpProtocol, MacAddr, Vni};
+use sailfish_util::check;
+use sailfish_util::rand::rngs::Xoshiro256pp;
+use sailfish_util::rand::Rng;
+
+fn fill_random(rng: &mut Xoshiro256pp, buf: &mut [u8]) {
+    for b in buf {
+        *b = rng.gen();
+    }
+}
+
+fn random_mac(rng: &mut Xoshiro256pp) -> MacAddr {
+    MacAddr::from_id(rng.gen::<u64>() & 0xffff_ffff_ffff)
+}
+
+fn random_protocol(rng: &mut Xoshiro256pp) -> IpProtocol {
+    IpProtocol::from(rng.gen::<u8>())
+}
+
+#[test]
+fn ethernet_round_trip() {
+    check::run("ethernet_round_trip", 256, |rng| {
+        let src = random_mac(rng);
+        let dst = random_mac(rng);
+        let ethertype = *[EtherType::Ipv4, EtherType::Ipv6]
+            .get(check::one_of(rng, 2))
+            .unwrap();
+        let payload_len = rng.gen_range(0..64usize);
+        let mut buf = vec![0u8; ethernet::HEADER_LEN + payload_len];
+        fill_random(rng, &mut buf[ethernet::HEADER_LEN..]);
+        let payload_copy = buf[ethernet::HEADER_LEN..].to_vec();
+        {
+            let mut f = ethernet::Frame::new_unchecked(&mut buf[..]);
+            f.set_src_mac(src);
+            f.set_dst_mac(dst);
+            f.set_ethertype(ethertype);
+        }
+        let f = ethernet::Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.src_mac(), src);
+        assert_eq!(f.dst_mac(), dst);
+        assert_eq!(f.ethertype(), ethertype);
+        assert_eq!(f.payload(), &payload_copy[..]);
+    });
+}
+
+#[test]
+fn ipv4_round_trip() {
+    check::run("ipv4_round_trip", 256, |rng| {
+        let src = Ipv4Addr::from(rng.gen::<u32>());
+        let dst = Ipv4Addr::from(rng.gen::<u32>());
+        let payload_len = rng.gen_range(0..128usize);
+        let total_len = (ipv4::HEADER_LEN + payload_len) as u16;
+        let ttl = rng.gen::<u8>();
+        let tos = rng.gen::<u8>();
+        let ident = rng.gen::<u16>();
+        let protocol = random_protocol(rng);
+        let mut buf = vec![0u8; ipv4::HEADER_LEN + payload_len];
+        {
+            let mut p = ipv4::Packet::new_unchecked(&mut buf[..]);
+            p.set_version_and_header_len();
+            p.set_tos(tos);
+            p.set_total_len(total_len);
+            p.set_ident(ident);
+            p.set_dont_fragment();
+            p.set_ttl(ttl);
+            p.set_protocol(protocol);
+            p.set_src_addr(src);
+            p.set_dst_addr(dst);
+            p.fill_checksum();
+        }
+        let p = ipv4::Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), ipv4::HEADER_LEN);
+        assert_eq!(p.tos(), tos);
+        assert_eq!(p.total_len(), total_len);
+        assert_eq!(p.ident(), ident);
+        assert_eq!(p.ttl(), ttl);
+        assert_eq!(p.protocol(), protocol);
+        assert_eq!(p.src_addr(), src);
+        assert_eq!(p.dst_addr(), dst);
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), payload_len);
+    });
+}
+
+#[test]
+fn ipv6_round_trip() {
+    check::run("ipv6_round_trip", 256, |rng| {
+        let src = Ipv6Addr::from(rng.gen::<u64>() as u128 | ((rng.gen::<u64>() as u128) << 64));
+        let dst = Ipv6Addr::from(rng.gen::<u64>() as u128 | ((rng.gen::<u64>() as u128) << 64));
+        let payload_len = rng.gen_range(0..128usize);
+        let hop = rng.gen::<u8>();
+        let label = rng.gen::<u32>() & 0x000f_ffff;
+        let protocol = random_protocol(rng);
+        let mut buf = vec![0u8; ipv6::HEADER_LEN + payload_len];
+        {
+            let mut p = ipv6::Packet::new_unchecked(&mut buf[..]);
+            p.set_version();
+            p.set_flow_label(label);
+            p.set_payload_len(payload_len as u16);
+            p.set_next_header(protocol);
+            p.set_hop_limit(hop);
+            p.set_src_addr(src);
+            p.set_dst_addr(dst);
+        }
+        let p = ipv6::Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.flow_label(), label);
+        assert_eq!(p.payload_len() as usize, payload_len);
+        assert_eq!(p.next_header(), protocol);
+        assert_eq!(p.hop_limit(), hop);
+        assert_eq!(p.src_addr(), src);
+        assert_eq!(p.dst_addr(), dst);
+        assert_eq!(p.payload().len(), payload_len);
+    });
+}
+
+#[test]
+fn udp_round_trip() {
+    check::run("udp_round_trip", 256, |rng| {
+        let sport = rng.gen::<u16>();
+        let dport = rng.gen::<u16>();
+        let payload_len = rng.gen_range(0..256usize);
+        let src = Ipv4Addr::from(rng.gen::<u32>());
+        let dst = Ipv4Addr::from(rng.gen::<u32>());
+        let mut buf = vec![0u8; udp::HEADER_LEN + payload_len];
+        fill_random(rng, &mut buf[udp::HEADER_LEN..]);
+        {
+            let mut d = udp::Datagram::new_unchecked(&mut buf[..]);
+            d.set_src_port(sport);
+            d.set_dst_port(dport);
+            d.set_len((udp::HEADER_LEN + payload_len) as u16);
+            d.fill_checksum_v4(src, dst);
+        }
+        let d = udp::Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), sport);
+        assert_eq!(d.dst_port(), dport);
+        assert_eq!(d.len() as usize, udp::HEADER_LEN + payload_len);
+        assert!(d.verify_checksum_v4(src, dst));
+        assert_eq!(d.payload().len(), payload_len);
+    });
+}
+
+#[test]
+fn tcp_round_trip() {
+    check::run("tcp_round_trip", 256, |rng| {
+        let sport = rng.gen::<u16>();
+        let dport = rng.gen::<u16>();
+        let seq = rng.gen::<u32>();
+        let ack = rng.gen::<u32>();
+        let window = rng.gen::<u16>();
+        let flags = *[
+            tcp::Flags::ACK,
+            tcp::Flags::SYN,
+            tcp::Flags::ACK | tcp::Flags::FIN,
+        ]
+        .get(check::one_of(rng, 3))
+        .unwrap();
+        let payload_len = rng.gen_range(0..256usize);
+        let src = Ipv4Addr::from(rng.gen::<u32>());
+        let dst = Ipv4Addr::from(rng.gen::<u32>());
+        let mut buf = vec![0u8; tcp::HEADER_LEN + payload_len];
+        fill_random(rng, &mut buf[tcp::HEADER_LEN..]);
+        {
+            let mut t = tcp::Segment::new_unchecked(&mut buf[..]);
+            t.set_src_port(sport);
+            t.set_dst_port(dport);
+            t.set_seq(seq);
+            t.set_ack_number(ack);
+            t.set_basic_header_len();
+            t.set_flags(flags);
+            t.set_window(window);
+            t.fill_checksum_v4(src, dst);
+        }
+        let t = tcp::Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.src_port(), sport);
+        assert_eq!(t.dst_port(), dport);
+        assert_eq!(t.seq(), seq);
+        assert_eq!(t.ack_number(), ack);
+        assert_eq!(t.header_len(), tcp::HEADER_LEN);
+        assert_eq!(t.flags().0, flags);
+        assert_eq!(t.window(), window);
+        assert!(t.verify_checksum_v4(src, dst));
+        assert_eq!(t.payload().len(), payload_len);
+    });
+}
+
+#[test]
+fn vxlan_round_trip() {
+    check::run("vxlan_round_trip", 256, |rng| {
+        let vni = Vni::new(rng.gen::<u32>() & 0x00ff_ffff).unwrap();
+        let payload_len = rng.gen_range(0..64usize);
+        let mut buf = vec![0u8; vxlan::HEADER_LEN + payload_len];
+        fill_random(rng, &mut buf[vxlan::HEADER_LEN..]);
+        let payload_copy = buf[vxlan::HEADER_LEN..].to_vec();
+        {
+            let mut v = vxlan::Header::new_unchecked(&mut buf[..]);
+            v.init();
+            v.set_vni(vni);
+        }
+        let v = vxlan::Header::new_checked(&buf[..]).unwrap();
+        assert!(v.vni_valid());
+        assert_eq!(v.vni(), vni);
+        assert_eq!(v.payload(), &payload_copy[..]);
+    });
+}
+
+/// Every view must reject any strict prefix of a valid header.
+#[test]
+fn truncation_rejected_at_every_length() {
+    check::run("truncation_rejected_at_every_length", 64, |rng| {
+        let mut full = vec![0u8; 64];
+        fill_random(rng, &mut full);
+
+        for cut in 0..ethernet::HEADER_LEN {
+            assert!(ethernet::Frame::new_checked(&full[..cut]).is_err());
+        }
+        for cut in 0..ipv4::HEADER_LEN {
+            assert!(ipv4::Packet::new_checked(&full[..cut]).is_err());
+        }
+        for cut in 0..ipv6::HEADER_LEN {
+            assert!(ipv6::Packet::new_checked(&full[..cut]).is_err());
+        }
+        for cut in 0..udp::HEADER_LEN {
+            assert!(udp::Datagram::new_checked(&full[..cut]).is_err());
+        }
+        for cut in 0..tcp::HEADER_LEN {
+            assert!(tcp::Segment::new_checked(&full[..cut]).is_err());
+        }
+        for cut in 0..vxlan::HEADER_LEN {
+            assert!(vxlan::Header::new_checked(&full[..cut]).is_err());
+        }
+    });
+}
+
+/// Internal length fields must never let accessors overrun the buffer:
+/// a declared length larger than the buffer is malformed, full stop.
+#[test]
+fn garbage_declared_lengths_rejected() {
+    check::run("garbage_declared_lengths_rejected", 128, |rng| {
+        // IPv4 with total_len overrunning the buffer.
+        let mut v4 = vec![0u8; ipv4::HEADER_LEN];
+        {
+            let mut p = ipv4::Packet::new_unchecked(&mut v4[..]);
+            p.set_version_and_header_len();
+            p.set_total_len(ipv4::HEADER_LEN as u16 + 1 + rng.gen_range(0..1000u16));
+        }
+        assert!(ipv4::Packet::new_checked(&v4[..]).is_err());
+        // Wrong version nibble.
+        let mut bad_version = v4.clone();
+        bad_version[0] = (rng.gen::<u8>() & 0xef) | 0x0f; // anything without the 4 nibble
+        if bad_version[0] >> 4 != 4 {
+            assert!(ipv4::Packet::new_checked(&bad_version[..]).is_err());
+        }
+
+        // IPv6 with payload_len overrunning the buffer.
+        let mut v6 = [0u8; ipv6::HEADER_LEN];
+        {
+            let mut p = ipv6::Packet::new_unchecked(&mut v6[..]);
+            p.set_version();
+            p.set_payload_len(1 + rng.gen_range(0..1000u16));
+        }
+        assert!(ipv6::Packet::new_checked(&v6[..]).is_err());
+
+        // UDP with a declared length below the header or above the buffer.
+        let mut u = [0u8; udp::HEADER_LEN];
+        {
+            let mut d = udp::Datagram::new_unchecked(&mut u[..]);
+            d.set_len(rng.gen_range(0..udp::HEADER_LEN as u16));
+        }
+        assert!(udp::Datagram::new_checked(&u[..]).is_err());
+        {
+            let mut d = udp::Datagram::new_unchecked(&mut u[..]);
+            d.set_len(udp::HEADER_LEN as u16 + 1 + rng.gen_range(0..1000u16));
+        }
+        assert!(udp::Datagram::new_checked(&u[..]).is_err());
+
+        // TCP with a data offset pointing past the buffer.
+        let mut t = [0u8; tcp::HEADER_LEN];
+        t[12] = 0xf0; // data offset 15 words = 60 bytes > 20-byte buffer
+        assert!(tcp::Segment::new_checked(&t[..]).is_err());
+
+        // VXLAN without the I flag.
+        let mut vx = [0u8; vxlan::HEADER_LEN];
+        {
+            let mut h = vxlan::Header::new_unchecked(&mut vx[..]);
+            h.init();
+            h.set_vni(Vni::from_const(42));
+        }
+        vx[0] &= !0x08; // clear the VNI-valid flag
+        assert!(vxlan::Header::new_checked(&vx[..]).is_err());
+    });
+}
+
+/// Random byte soup: `new_checked` either rejects the buffer or yields a
+/// view whose declared extents stay inside it (no accessor may panic).
+#[test]
+fn random_buffers_never_overrun() {
+    check::run("random_buffers_never_overrun", 512, |rng| {
+        let len = rng.gen_range(0..96usize);
+        let mut buf = vec![0u8; len];
+        fill_random(rng, &mut buf);
+
+        if let Ok(p) = ipv4::Packet::new_checked(&buf[..]) {
+            assert!(p.total_len() as usize <= len);
+            let _ = (p.src_addr(), p.dst_addr(), p.ttl(), p.payload());
+        }
+        if let Ok(p) = ipv6::Packet::new_checked(&buf[..]) {
+            assert!(ipv6::HEADER_LEN + p.payload_len() as usize <= len);
+            let _ = (p.src_addr(), p.dst_addr(), p.payload());
+        }
+        if let Ok(d) = udp::Datagram::new_checked(&buf[..]) {
+            assert!(d.len() as usize <= len);
+            let _ = d.payload();
+        }
+        if let Ok(t) = tcp::Segment::new_checked(&buf[..]) {
+            assert!(t.header_len() <= len);
+            let _ = t.payload();
+        }
+        if let Ok(v) = vxlan::Header::new_checked(&buf[..]) {
+            let _ = (v.vni(), v.payload());
+        }
+        if let Ok(f) = ethernet::Frame::new_checked(&buf[..]) {
+            let _ = (f.src_mac(), f.ethertype(), f.payload());
+        }
+    });
+}

@@ -41,6 +41,21 @@ pub struct DigestStats {
     pub conflict_entries: usize,
 }
 
+/// Where a traced lookup resolved, mirroring the two-probe hardware
+/// sequence (conflict table first, then the compressed main table). The
+/// dataplane executor uses this to attribute per-table hit counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestLookup {
+    /// Found in the compressed main table (digest matched and the stored
+    /// full-width key confirmed).
+    HitMain,
+    /// Found in the full-width conflict table (the key's digest collides
+    /// with another resident key).
+    HitConflict,
+    /// Not present in either table.
+    Miss,
+}
+
 /// An exact-match table with 128→32-bit key compression.
 #[derive(Debug, Clone)]
 pub struct DigestExactTable<V> {
@@ -165,6 +180,19 @@ impl<V> DigestExactTable<V> {
         }
     }
 
+    /// Looks up a key and reports *which* table resolved it, for hit/miss
+    /// accounting in the behavioral dataplane.
+    pub fn get_traced(&self, key: &VmKey) -> (Option<&V>, DigestLookup) {
+        if let Some(v) = self.conflict.get(key) {
+            return (Some(v), DigestLookup::HitConflict);
+        }
+        let slot = Self::slot_key(key);
+        match self.main.get(&slot) {
+            Some((stored, v)) if stored == key => (Some(v), DigestLookup::HitMain),
+            _ => (None, DigestLookup::Miss),
+        }
+    }
+
     /// Removes a key, returning its value.
     pub fn remove(&mut self, key: &VmKey) -> Option<V> {
         if let Some(v) = self.conflict.remove(key) {
@@ -286,6 +314,32 @@ mod tests {
             "conflicts {} should be tiny",
             stats.conflict_entries
         );
+    }
+
+    #[test]
+    fn traced_lookup_reports_resolving_table() {
+        let mut seen: std::collections::HashMap<u32, u128> = std::collections::HashMap::new();
+        let mut pair = None;
+        for i in 0..600_000u128 {
+            let d = digest32(1, i);
+            if let Some(prev) = seen.insert(d, i) {
+                pair = Some((prev, i));
+                break;
+            }
+        }
+        let (a, b) = pair.expect("birthday paradox: a collision exists in 600k keys");
+        let mut t = DigestExactTable::new();
+        t.insert(v6key(1, a), "main").unwrap();
+        t.insert(v6key(1, b), "conflict").unwrap();
+        assert_eq!(
+            t.get_traced(&v6key(1, a)),
+            (Some(&"main"), DigestLookup::HitMain)
+        );
+        assert_eq!(
+            t.get_traced(&v6key(1, b)),
+            (Some(&"conflict"), DigestLookup::HitConflict)
+        );
+        assert_eq!(t.get_traced(&v6key(2, a)), (None, DigestLookup::Miss));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use core::net::IpAddr;
 
 use sailfish_net::Vni;
 
-use crate::digest::{DigestExactTable, DigestStats};
+use crate::digest::{DigestExactTable, DigestLookup, DigestStats};
 use crate::error::Result;
 use crate::types::{NcAddr, VmKey};
 
@@ -46,6 +46,13 @@ impl VmNcTable {
     /// Finds the NC hosting a VM.
     pub fn lookup(&self, vni: Vni, vm_ip: IpAddr) -> Option<NcAddr> {
         self.inner.get(&VmKey::new(vni, vm_ip)).copied()
+    }
+
+    /// Finds the NC hosting a VM, reporting which digest plane resolved
+    /// the key (main vs conflict table) for dataplane counters.
+    pub fn lookup_traced(&self, vni: Vni, vm_ip: IpAddr) -> (Option<NcAddr>, DigestLookup) {
+        let (v, trace) = self.inner.get_traced(&VmKey::new(vni, vm_ip));
+        (v.copied(), trace)
     }
 
     /// Removes a VM (migration or release).
