@@ -90,7 +90,28 @@ if [ -f experiments/fault_injection.json ]; then
     rm -f /tmp/sailfish_fault_injection_run1.json
 fi
 
-# 7. Dataplane smoke: the behavioral executor must hold the differential
+# 7. Live-executor chaos smoke: fault schedules replayed against the
+#    packet-level dataplane must hold all three invariants (no black
+#    hole, bounded fallback, oracle agreement after every epoch swap) at
+#    tiny scale, twice, with byte-identical JSON (determinism gate).
+run_step "chaos-dataplane-smoke" cargo run --release --offline -q -p sailfish-bench \
+    --bin chaos_dataplane_sweep -- --tiny
+if [ -f experiments/chaos_dataplane.json ]; then
+    cp experiments/chaos_dataplane.json /tmp/sailfish_chaos_dataplane_run1.json
+    run_step "chaos-dataplane-determinism" cargo run --release --offline -q -p sailfish-bench \
+        --bin chaos_dataplane_sweep -- --tiny
+    echo
+    echo "==> chaos-dataplane-determinism: comparing the two runs"
+    if cmp -s /tmp/sailfish_chaos_dataplane_run1.json experiments/chaos_dataplane.json; then
+        echo "==> chaos-dataplane-determinism: OK (byte-identical)"
+    else
+        echo "==> chaos-dataplane-determinism: FAILED (runs differ)"
+        failures=$((failures + 1))
+    fi
+    rm -f /tmp/sailfish_chaos_dataplane_run1.json
+fi
+
+# 8. Dataplane smoke: the behavioral executor must hold the differential
 #    oracle at tiny scale, twice, with byte-identical JSON counters
 #    (determinism gate).
 run_step "dataplane-smoke" cargo run --release --offline -q -p sailfish-bench \
@@ -110,7 +131,7 @@ if [ -f BENCH_dataplane.json ]; then
     rm -f /tmp/sailfish_dataplane_run1.json
 fi
 
-# 8. Dependency policy: no external crates anywhere in the workspace.
+# 9. Dependency policy: no external crates anywhere in the workspace.
 echo
 echo "==> policy: no external crate references in manifests"
 if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \

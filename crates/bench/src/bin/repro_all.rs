@@ -28,6 +28,7 @@ const BINS: &[&str] = &[
     "rule_80_20",
     "n_plus_1_hierarchy",
     "fault_injection_sweep",
+    "chaos_dataplane_sweep",
     "dataplane_bench",
     "ablation_alpm_depth",
     "ablation_folding",

@@ -1,0 +1,691 @@
+//! Dataplane chaos harness: replay fault schedules against a **live**
+//! executor.
+//!
+//! PR 2's `sim::faults` schedules drive an abstract region model; this
+//! harness replays the same six fault kinds against the packet-level
+//! [`Dataplane`], with recovery applied the only way a live gateway may
+//! apply it: **staged epoch builds published by atomic swap**
+//! ([`crate::epoch`]). Per slot the harness
+//!
+//! 1. derives the degraded [`WorldView`] from the faults active this
+//!    slot, stages a rebuild and publishes it (install faults defer or
+//!    discard the publish — a torn staged state never goes live),
+//! 2. drives a Zipf traffic slice through [`Dataplane::run_single`], and
+//! 3. checks three invariants:
+//!    - **no black hole** — the accounting identity holds exactly: every
+//!      parsed packet is forwarded, intentionally dropped, or served by
+//!      the fallback;
+//!    - **bounded fallback share** — punts never exceed the degradation's
+//!      blast radius (per-frame classification against the published
+//!      world) plus a small margin;
+//!    - **oracle agreement** — after every published epoch swap, the
+//!      differential oracle must find zero mismatches between the
+//!      executor and the reference software forwarder.
+//!
+//! [`sailfish_cluster::monitor::Alert::FallbackShare`] alerts are raised
+//! from the same measurements, so tests can assert the operator sees the
+//! degradation before the punt-path circuit breaker opens.
+
+use sailfish_cluster::controller::InstallPolicy;
+use sailfish_cluster::monitor::{Alert, WaterLevels};
+use sailfish_sim::faults::{FaultEvent, FaultKind, FaultSchedule, InstallFault};
+use sailfish_sim::workload::{self, WorkloadConfig};
+use sailfish_sim::Topology;
+use sailfish_xgw_h::HwDecision;
+
+use crate::counters::TableCounters;
+use crate::engine;
+use crate::epoch::{EpochState, WorldView};
+use crate::executor::{software_forwarder, Dataplane, DataplaneConfig};
+use crate::oracle::differential_run;
+use crate::traffic;
+
+/// Harness tuning.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Distinct flows in the traffic pool.
+    pub flows: usize,
+    /// Frames offered per slot (before storm multipliers).
+    pub frames_per_slot: usize,
+    /// Seed for workload generation and per-slot scheduling.
+    pub traffic_seed: u64,
+    /// Frames in the post-swap differential-oracle probe.
+    pub probe_frames: usize,
+    /// Slack over the computed blast-radius share before the bounded-
+    /// fallback invariant trips.
+    pub fallback_margin: f64,
+    /// Alert thresholds (only `fallback_level` is used here).
+    pub levels: WaterLevels,
+    /// Retry/backoff policy for publishes under install faults.
+    pub install: InstallPolicy,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            flows: 600,
+            frames_per_slot: 3_000,
+            traffic_seed: 0xC4A05,
+            probe_frames: 1_200,
+            fallback_margin: 0.02,
+            levels: WaterLevels::default(),
+            install: InstallPolicy::default(),
+        }
+    }
+}
+
+/// Per-slot measurements.
+#[derive(Debug, Clone)]
+pub struct SlotRecord {
+    /// Slot index.
+    pub slot: u64,
+    /// Frames offered this slot.
+    pub offered: u64,
+    /// Packets the software fallback served.
+    pub fallback_packets: u64,
+    /// `fallback_packets / offered`.
+    pub fallback_share: f64,
+    /// Blast-radius share the published degradation explains.
+    pub expected_fallback_share: f64,
+    /// Packets the accounting identity could not explain (invariant 1;
+    /// must be zero).
+    pub unaccounted: u64,
+    /// Punts shed by the meter or the open breaker.
+    pub punts_shed: u64,
+    /// The epoch the slot's traffic ran against.
+    pub epoch: u64,
+    /// Whether the published world was degraded during the slot.
+    pub degraded: bool,
+    /// Whether a `FallbackShare` alert fired.
+    pub fallback_alert: bool,
+    /// Breaker open transitions observed this slot.
+    pub breaker_opened: u64,
+}
+
+/// Outcome of one scheduled fault.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// Stable fault-kind label.
+    pub label: &'static str,
+    /// Injection slot.
+    pub injected_at: u64,
+    /// Slot the schedule clears the fault (recovery may start).
+    pub cleared_at: u64,
+    /// Slot the recovery actually landed (published world no longer
+    /// carries the fault), when it did within the run.
+    pub recovered_at: Option<u64>,
+    /// Slots from injection until the recovery landed (the MTTR measured
+    /// in slots), when recovery landed.
+    pub outage_slots: Option<u64>,
+    /// Install attempts spent while this fault blocked publishes.
+    pub install_attempts: u32,
+}
+
+/// One invariant violation (an empty list means the run holds).
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// Slot of the violation.
+    pub slot: u64,
+    /// Which invariant tripped.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Full harness report.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Per-slot measurements.
+    pub slots: Vec<SlotRecord>,
+    /// Per-fault outcomes in schedule order.
+    pub faults: Vec<FaultOutcome>,
+    /// Invariant violations (empty on a passing run).
+    pub violations: Vec<InvariantViolation>,
+    /// Epoch swaps published across the run.
+    pub epochs_swapped: u64,
+    /// Publishes discarded by the staged-state verify gate.
+    pub discarded_installs: u64,
+    /// Differential-oracle probes executed (one per published swap).
+    pub oracle_checks: u64,
+    /// Total oracle mismatches (must be zero).
+    pub oracle_mismatches: u64,
+    /// `(slot, alert)` pairs raised during the run.
+    pub alerts: Vec<(u64, Alert)>,
+    /// First slot a `FallbackShare` alert fired.
+    pub first_fallback_alert_slot: Option<u64>,
+    /// First slot the punt breaker opened.
+    pub first_breaker_open_slot: Option<u64>,
+}
+
+impl ChaosReport {
+    /// Whether all three invariants held across the whole run.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty() && self.oracle_mismatches == 0
+    }
+
+    /// Mean MTTR in slots over the faults that recovered.
+    pub fn mean_mttr_slots(&self) -> f64 {
+        let recovered: Vec<u64> = self.faults.iter().filter_map(|f| f.outage_slots).collect();
+        if recovered.is_empty() {
+            0.0
+        } else {
+            recovered.iter().sum::<u64>() as f64 / recovered.len() as f64
+        }
+    }
+}
+
+/// The world the faults active at one slot imply, plus the traffic storm
+/// multiplier and any install fault blocking publishes.
+fn world_of(active: &[&FaultEvent], clusters: usize) -> (WorldView, f64, Option<InstallFault>) {
+    let mut world = WorldView::healthy();
+    let mut storm = 1.0f64;
+    let mut install: Option<InstallFault> = None;
+    for event in active {
+        match event.kind {
+            FaultKind::NodeDeath { cluster, device }
+            | FaultKind::PortDegradation {
+                cluster, device, ..
+            } => {
+                world.dead_devices.insert((cluster % clusters, device));
+            }
+            FaultKind::ClusterFailure { cluster } => {
+                world.unassigned_clusters.insert(cluster % clusters);
+            }
+            FaultKind::TableCorruption { cluster, .. } => {
+                world.wiped_clusters.insert(cluster % clusters);
+            }
+            FaultKind::InstallFailure { fault, .. } => {
+                install = Some(fault);
+            }
+            FaultKind::HeavyHitterStorm { multiplier } => {
+                storm *= multiplier.max(1.0);
+            }
+        }
+    }
+    (world, storm, install)
+}
+
+/// Replays `schedule` against a live dataplane built from `topology`.
+pub fn run_schedule(
+    topology: &Topology,
+    dp_config: DataplaneConfig,
+    cfg: &ChaosConfig,
+    schedule: &FaultSchedule,
+) -> ChaosReport {
+    let clusters = dp_config.clusters;
+    let dp = Dataplane::build(topology, dp_config);
+
+    // Traffic pool: Zipf flows, one wire frame per flow.
+    let flows = workload::generate_flows(
+        topology,
+        &WorkloadConfig {
+            seed: cfg.traffic_seed,
+            flows: cfg.flows.max(1),
+            internet_share: 0.01,
+            ..WorkloadConfig::default()
+        },
+    );
+    let frames = traffic::frames_for_flows(&flows);
+    let flows = flows.get(..frames.len()).unwrap_or(&flows);
+
+    // Classify every flow against the healthy epoch once: which cluster
+    // serves it, and whether the healthy hardware punts it anyway
+    // (withheld VM mapping, SNAT, no hardware route). The blast-radius
+    // bound is computed from this classification.
+    let healthy = dp.pin();
+    let flow_cluster: Vec<Option<usize>> = flows
+        .iter()
+        .map(|f| healthy.directory.cluster_for(f.vni))
+        .collect();
+    let healthy_punt: Vec<bool> = flows
+        .iter()
+        .zip(&flow_cluster)
+        .map(|(flow, cluster)| match cluster {
+            None => true,
+            Some(c) => {
+                let packet = traffic::packet_for_flow(flow);
+                let mut scratch = TableCounters::default();
+                let tables = healthy
+                    .clusters
+                    .get(*c)
+                    .map(|cl| &cl.tables)
+                    .expect("healthy directory stays in range");
+                matches!(
+                    engine::walk(tables, &packet, &mut scratch),
+                    HwDecision::PuntToX86 { .. }
+                )
+            }
+        })
+        .collect();
+    drop(healthy);
+
+    // Oracle probe slice, fixed across the run.
+    let probe_idx = traffic::schedule(flows, cfg.probe_frames.max(1), cfg.traffic_seed ^ 0xA11CE);
+    let probe: Vec<&[u8]> = probe_idx
+        .iter()
+        .filter_map(|i| frames.get(*i).map(|f| f.as_slice()))
+        .collect();
+
+    let mut report = ChaosReport {
+        slots: Vec::new(),
+        faults: schedule
+            .events
+            .iter()
+            .map(|e| FaultOutcome {
+                label: e.kind.label(),
+                injected_at: e.at,
+                cleared_at: e.ends_at(),
+                recovered_at: None,
+                outage_slots: None,
+                install_attempts: 0,
+            })
+            .collect(),
+        violations: Vec::new(),
+        epochs_swapped: 0,
+        discarded_installs: 0,
+        oracle_checks: 0,
+        oracle_mismatches: 0,
+        alerts: Vec::new(),
+        first_fallback_alert_slot: None,
+        first_breaker_open_slot: None,
+    };
+
+    let mut published_world = WorldView::healthy();
+
+    for slot in 0..schedule.slots {
+        let active: Vec<&FaultEvent> = schedule
+            .events
+            .iter()
+            .filter(|e| slot >= e.at && slot < e.ends_at())
+            .collect();
+        let (target_world, storm, install_fault) = world_of(&active, clusters);
+
+        // Sync the published epoch to the target world. Install faults
+        // gate the publish: a timeout burns every attempt, a partial push
+        // leaves torn epoch tags that the verify gate rejects.
+        let mut published_this_slot = false;
+        if target_world != published_world {
+            match install_fault {
+                Some(InstallFault::Timeout) => {
+                    for event in &active {
+                        if matches!(event.kind, FaultKind::InstallFailure { .. }) {
+                            record_attempts(&mut report.faults, event, cfg.install.max_attempts);
+                        }
+                    }
+                }
+                Some(InstallFault::Partial { .. }) => {
+                    // Stage, tear one cluster's tag the way a half-landed
+                    // push would, and let the verify gate discard it.
+                    let mut staged = EpochState::build_with_world(
+                        topology,
+                        dp.config(),
+                        dp.next_epoch(),
+                        &target_world,
+                    );
+                    if let Some(first) = staged.clusters.first_mut() {
+                        first.epoch_tag = staged.epoch.wrapping_sub(1);
+                    }
+                    if staged.tags_consistent() {
+                        // Cannot happen with a cluster present; publish
+                        // would be legal.
+                        dp.publish(staged);
+                        published_this_slot = true;
+                        published_world = target_world.clone();
+                    } else {
+                        report.discarded_installs += 1;
+                        for event in &active {
+                            if matches!(event.kind, FaultKind::InstallFailure { .. }) {
+                                record_attempts(
+                                    &mut report.faults,
+                                    event,
+                                    cfg.install.max_attempts,
+                                );
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let staged = EpochState::build_with_world(
+                        topology,
+                        dp.config(),
+                        dp.next_epoch(),
+                        &target_world,
+                    );
+                    dp.publish(staged);
+                    published_this_slot = true;
+                    published_world = target_world.clone();
+                }
+            }
+        }
+
+        // Invariant 3: after every published swap the oracle must agree.
+        if published_this_slot {
+            let mut fb = software_forwarder(topology);
+            let mut reference = software_forwarder(topology);
+            let oracle = differential_run(&dp, &probe, &mut fb, &mut reference);
+            report.oracle_checks += 1;
+            report.oracle_mismatches += oracle.mismatches;
+            if oracle.mismatches > 0 {
+                report.violations.push(InvariantViolation {
+                    slot,
+                    invariant: "oracle_agreement",
+                    detail: format!(
+                        "{} mismatches in {} probe packets after epoch swap",
+                        oracle.mismatches, oracle.packets
+                    ),
+                });
+            }
+        }
+
+        // Mark recoveries: a fault is recovered once its clearing slot
+        // has passed and the published world has converged back to the
+        // target implied by the faults still active.
+        if published_world == target_world {
+            for (event, outcome) in schedule.events.iter().zip(report.faults.iter_mut()) {
+                if outcome.recovered_at.is_none() && slot >= event.ends_at() {
+                    outcome.recovered_at = Some(slot);
+                    outcome.outage_slots = Some(slot.saturating_sub(event.at));
+                }
+            }
+        }
+
+        // Drive the slot's Zipf traffic slice.
+        let count = ((cfg.frames_per_slot.max(1) as f64) * storm) as usize;
+        let sched = traffic::schedule(
+            flows,
+            count,
+            cfg.traffic_seed
+                .wrapping_add((slot + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let seq: Vec<&[u8]> = sched
+            .iter()
+            .filter_map(|i| frames.get(*i).map(|f| f.as_slice()))
+            .collect();
+        let mut fallback = software_forwarder(topology);
+        let run = dp.run_single(&seq, &mut fallback);
+        let c = &run.counters;
+
+        // Invariant 1: no black hole. Two exact accounting identities,
+        // checked as absolute differences so a broken identity reports a
+        // violation instead of underflowing.
+        let decided = c.hw_forwarded + c.acl_denied + c.loop_drops + c.punted();
+        let unaccounted = c.parsed.abs_diff(decided);
+        let punt_served =
+            c.fallback_forwarded + c.fallback_dropped + c.punt_rate_limited + c.punt_breaker_open;
+        let punt_residue = c.punted().abs_diff(punt_served);
+        if unaccounted != 0 || punt_residue != 0 || c.parse_errors != 0 {
+            report.violations.push(InvariantViolation {
+                slot,
+                invariant: "no_black_hole",
+                detail: format!(
+                    "unaccounted={} punt_residue={} parse_errors={}",
+                    unaccounted, punt_residue, c.parse_errors
+                ),
+            });
+        }
+
+        // Invariant 2: bounded fallback share. Expected share is the
+        // exact blast radius of the *published* degradation plus the
+        // healthy punt baseline.
+        let degraded_clusters: Vec<usize> = published_world
+            .wiped_clusters
+            .iter()
+            .chain(published_world.unassigned_clusters.iter())
+            .copied()
+            .collect();
+        let expected_punts = sched
+            .iter()
+            .filter(|i| {
+                healthy_punt.get(**i).copied().unwrap_or(true)
+                    || flow_cluster
+                        .get(**i)
+                        .and_then(|c| *c)
+                        .is_some_and(|c| degraded_clusters.contains(&c))
+            })
+            .count() as u64;
+        let offered = seq.len() as u64;
+        let expected_share = if offered == 0 {
+            0.0
+        } else {
+            expected_punts as f64 / offered as f64
+        };
+        let actual_punt_share = if c.parsed == 0 {
+            0.0
+        } else {
+            c.punted() as f64 / c.parsed as f64
+        };
+        if actual_punt_share > expected_share + cfg.fallback_margin {
+            report.violations.push(InvariantViolation {
+                slot,
+                invariant: "bounded_fallback_share",
+                detail: format!(
+                    "punt share {:.4} exceeds blast radius {:.4} + margin {:.4}",
+                    actual_punt_share, expected_share, cfg.fallback_margin
+                ),
+            });
+        }
+
+        // Alerts and breaker observations.
+        let fallback_share = if offered == 0 {
+            0.0
+        } else {
+            run.fallback_packets as f64 / offered as f64
+        };
+        let fallback_alert = fallback_share >= cfg.levels.fallback_level;
+        if fallback_alert {
+            report.alerts.push((
+                slot,
+                Alert::FallbackShare {
+                    share: fallback_share,
+                },
+            ));
+            if report.first_fallback_alert_slot.is_none() {
+                report.first_fallback_alert_slot = Some(slot);
+            }
+        }
+        if run.breaker.opened > 0 && report.first_breaker_open_slot.is_none() {
+            report.first_breaker_open_slot = Some(slot);
+        }
+
+        report.slots.push(SlotRecord {
+            slot,
+            offered,
+            fallback_packets: run.fallback_packets,
+            fallback_share,
+            expected_fallback_share: expected_share,
+            unaccounted,
+            punts_shed: c.punt_rate_limited + c.punt_breaker_open,
+            epoch: dp.pin().epoch,
+            degraded: published_world.is_degraded(),
+            fallback_alert,
+            breaker_opened: run.breaker.opened,
+        });
+    }
+
+    report.epochs_swapped = dp.epoch_swaps();
+    report
+}
+
+fn record_attempts(faults: &mut [FaultOutcome], event: &FaultEvent, attempts: u32) {
+    // Attribute attempts to the matching outcome (same injection slot and
+    // label — schedules never duplicate both).
+    for outcome in faults.iter_mut() {
+        if outcome.injected_at == event.at && outcome.label == event.kind.label() {
+            outcome.install_attempts += attempts;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_sim::faults::FaultScheduleConfig;
+    use sailfish_sim::TopologyConfig;
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            flows: 300,
+            frames_per_slot: 800,
+            probe_frames: 400,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn generated_schedule_holds_all_invariants() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let schedule = FaultSchedule::generate(&FaultScheduleConfig {
+            slots: 12,
+            fault_rate: 0.5,
+            ..FaultScheduleConfig::default()
+        });
+        let report = run_schedule(
+            &topology,
+            DataplaneConfig::default(),
+            &quick_cfg(),
+            &schedule,
+        );
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert_eq!(report.oracle_mismatches, 0);
+        assert_eq!(report.slots.len(), 12);
+        if !schedule.events.is_empty() {
+            assert!(report.epochs_swapped > 0);
+        }
+    }
+
+    #[test]
+    fn corruption_degrades_and_recovers_with_epoch_swaps() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let schedule = FaultSchedule::from_events(
+            8,
+            vec![FaultEvent {
+                at: 2,
+                duration: 3,
+                kind: FaultKind::TableCorruption {
+                    cluster: 0,
+                    device: 0,
+                },
+            }],
+        );
+        let report = run_schedule(
+            &topology,
+            DataplaneConfig::default(),
+            &quick_cfg(),
+            &schedule,
+        );
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        // Inject swap + recovery swap.
+        assert_eq!(report.epochs_swapped, 2);
+        let outcome = report.faults.first().unwrap();
+        assert_eq!(outcome.recovered_at, Some(5));
+        assert_eq!(outcome.outage_slots, Some(3));
+        // Degraded slots show elevated fallback share and raise alerts.
+        let degraded: Vec<&SlotRecord> = report.slots.iter().filter(|s| s.degraded).collect();
+        assert_eq!(degraded.len(), 3);
+        assert!(degraded.iter().all(|s| s.fallback_alert));
+        // After recovery the share returns to the healthy baseline.
+        let last = report.slots.last().unwrap();
+        assert!(!last.degraded);
+        assert!(last.fallback_share < degraded[0].fallback_share);
+    }
+
+    #[test]
+    fn fallback_alerts_fire_before_the_breaker_opens() {
+        let topology = Topology::generate(TopologyConfig::default());
+        // A punt meter sized to absorb the healthy punt baseline but not
+        // a wiped cluster's punt storm: the negligible refill makes the
+        // burst the whole per-slot budget.
+        let dp_config = DataplaneConfig {
+            punt_rate_bps: 8_000,
+            punt_burst_bytes: 120_000,
+            ..DataplaneConfig::default()
+        };
+        let schedule = FaultSchedule::from_events(
+            6,
+            vec![FaultEvent {
+                at: 2,
+                duration: 3,
+                kind: FaultKind::TableCorruption {
+                    cluster: 0,
+                    device: 0,
+                },
+            }],
+        );
+        let report = run_schedule(&topology, dp_config, &quick_cfg(), &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        // The healthy punt baseline (withheld VM mappings, SNAT) already
+        // crosses the 1% fallback water level, so the operator-facing
+        // alert fires from the first slot...
+        let alert_slot = report
+            .first_fallback_alert_slot
+            .expect("fallback alerts must fire");
+        // ...while the breaker only opens once the wiped cluster floods
+        // the punt path past the meter at slot 2.
+        let breaker_slot = report
+            .first_breaker_open_slot
+            .expect("the punt storm must open the breaker");
+        assert!(
+            alert_slot < breaker_slot,
+            "alert at slot {alert_slot} must precede breaker open at slot {breaker_slot}"
+        );
+        assert_eq!(breaker_slot, 2);
+        // Healthy slots never trip the breaker (the meter may clip a few
+        // punts at the margin, but never enough consecutive rejects).
+        for s in report.slots.iter().filter(|s| !s.degraded) {
+            assert_eq!(s.breaker_opened, 0, "slot {} opened the breaker", s.slot);
+        }
+        // Degraded slots shed punts (meter first, then the open breaker).
+        assert!(report
+            .slots
+            .iter()
+            .filter(|s| s.degraded)
+            .all(|s| s.punts_shed > 0));
+    }
+
+    #[test]
+    fn partial_install_is_discarded_then_lands_after_fault_clears() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let schedule = FaultSchedule::from_events(
+            8,
+            vec![
+                FaultEvent {
+                    at: 1,
+                    duration: 2,
+                    kind: FaultKind::InstallFailure {
+                        cluster: 0,
+                        device: 0,
+                        fault: InstallFault::Partial { fraction: 0.5 },
+                    },
+                },
+                FaultEvent {
+                    at: 1,
+                    duration: 4,
+                    kind: FaultKind::NodeDeath {
+                        cluster: 1,
+                        device: 1,
+                    },
+                },
+            ],
+        );
+        let report = run_schedule(
+            &topology,
+            DataplaneConfig::default(),
+            &quick_cfg(),
+            &schedule,
+        );
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        // The degradation publish at slot 1/2 is blocked by the partial
+        // install; the verify gate discards the torn state.
+        assert!(report.discarded_installs > 0);
+        let install = report
+            .faults
+            .iter()
+            .find(|f| f.label == "install_failure")
+            .unwrap();
+        assert!(install.install_attempts > 0);
+        // Once the install fault clears at slot 3 the degradation swap
+        // lands; the recovery at slot 5 is the second swap.
+        assert_eq!(report.epochs_swapped, 2);
+    }
+}

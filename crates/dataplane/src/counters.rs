@@ -6,13 +6,26 @@
 //! and flow-cache effectiveness. The counter set is `Copy` so the virtual
 //! cost model can snapshot it around a single packet walk.
 
+use sailfish_net::{Error, FrameError};
+
 /// Stage-by-stage dataplane counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableCounters {
     /// Frames parsed successfully into a gateway packet.
     pub parsed: u64,
     /// Frames rejected by the parser (truncated, malformed, non-VXLAN).
+    /// Always the sum of the per-kind `frame_*` counters below.
     pub parse_errors: u64,
+    /// Frames rejected because a header ran past the buffer end.
+    pub frame_truncated: u64,
+    /// Frames rejected for inconsistent length or field encoding.
+    pub frame_malformed: u64,
+    /// Frames rejected for an unsupported protocol or port.
+    pub frame_unsupported: u64,
+    /// Frames rejected by checksum verification.
+    pub frame_checksum: u64,
+    /// Frames rejected for an out-of-range field value.
+    pub frame_out_of_range: u64,
     /// Packets dropped by the ACL stage.
     pub acl_denied: u64,
     /// Single-step LPM lookups issued against the routing table.
@@ -39,6 +52,12 @@ pub struct TableCounters {
     pub punt_no_vm: u64,
     /// Punts rejected by the protective rate limiter (dropped).
     pub punt_rate_limited: u64,
+    /// Punts shed because the punt-path circuit breaker was open.
+    pub punt_breaker_open: u64,
+    /// Packets that observed a cluster whose epoch tag disagreed with the
+    /// pinned epoch — torn table state. Zero in a correct build; the
+    /// epoch-consistency tests assert it stays zero.
+    pub epoch_violations: u64,
     /// Flow-cache hits (walk skipped entirely).
     pub cache_hits: u64,
     /// Flow-cache misses (full table walk taken).
@@ -59,11 +78,30 @@ impl TableCounters {
         }
     }
 
+    /// Records a typed parse failure: bumps the `parse_errors` total plus
+    /// the per-kind breakdown counter, so hostile bytes always degrade to
+    /// a counted drop-with-reason.
+    pub fn record_frame_error(&mut self, err: FrameError) {
+        self.parse_errors += 1;
+        match err.kind {
+            Error::Truncated => self.frame_truncated += 1,
+            Error::Malformed => self.frame_malformed += 1,
+            Error::Unsupported => self.frame_unsupported += 1,
+            Error::Checksum => self.frame_checksum += 1,
+            Error::OutOfRange => self.frame_out_of_range += 1,
+        }
+    }
+
     /// Stable-ordered `(name, value)` view for deterministic JSON output.
-    pub fn fields(&self) -> [(&'static str, u64); 20] {
+    pub fn fields(&self) -> [(&'static str, u64); 27] {
         [
             ("parsed", self.parsed),
             ("parse_errors", self.parse_errors),
+            ("frame_truncated", self.frame_truncated),
+            ("frame_malformed", self.frame_malformed),
+            ("frame_unsupported", self.frame_unsupported),
+            ("frame_checksum", self.frame_checksum),
+            ("frame_out_of_range", self.frame_out_of_range),
             ("acl_denied", self.acl_denied),
             ("route_lookups", self.route_lookups),
             ("route_hits", self.route_hits),
@@ -77,6 +115,8 @@ impl TableCounters {
             ("punt_no_route", self.punt_no_route),
             ("punt_no_vm", self.punt_no_vm),
             ("punt_rate_limited", self.punt_rate_limited),
+            ("punt_breaker_open", self.punt_breaker_open),
+            ("epoch_violations", self.epoch_violations),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("hw_forwarded", self.hw_forwarded),
@@ -85,10 +125,15 @@ impl TableCounters {
         ]
     }
 
-    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 20] {
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 27] {
         [
             ("parsed", &mut self.parsed),
             ("parse_errors", &mut self.parse_errors),
+            ("frame_truncated", &mut self.frame_truncated),
+            ("frame_malformed", &mut self.frame_malformed),
+            ("frame_unsupported", &mut self.frame_unsupported),
+            ("frame_checksum", &mut self.frame_checksum),
+            ("frame_out_of_range", &mut self.frame_out_of_range),
             ("acl_denied", &mut self.acl_denied),
             ("route_lookups", &mut self.route_lookups),
             ("route_hits", &mut self.route_hits),
@@ -102,6 +147,8 @@ impl TableCounters {
             ("punt_no_route", &mut self.punt_no_route),
             ("punt_no_vm", &mut self.punt_no_vm),
             ("punt_rate_limited", &mut self.punt_rate_limited),
+            ("punt_breaker_open", &mut self.punt_breaker_open),
+            ("epoch_violations", &mut self.epoch_violations),
             ("cache_hits", &mut self.cache_hits),
             ("cache_misses", &mut self.cache_misses),
             ("hw_forwarded", &mut self.hw_forwarded),
@@ -138,6 +185,25 @@ mod tests {
         assert_eq!(a.route_hits, 2);
         assert_eq!(a.vm_hit_conflict, 3);
         assert_eq!(a.fallback_dropped, 5);
+    }
+
+    #[test]
+    fn record_frame_error_keeps_total_in_sync() {
+        use sailfish_net::FrameLayer;
+        let mut c = TableCounters::default();
+        c.record_frame_error(FrameError::new(FrameLayer::OuterIpv4, Error::Truncated));
+        c.record_frame_error(FrameError::new(FrameLayer::Vxlan, Error::Malformed));
+        c.record_frame_error(FrameError::new(FrameLayer::OuterUdp, Error::Checksum));
+        assert_eq!(c.parse_errors, 3);
+        assert_eq!(c.frame_truncated, 1);
+        assert_eq!(c.frame_malformed, 1);
+        assert_eq!(c.frame_checksum, 1);
+        let breakdown = c.frame_truncated
+            + c.frame_malformed
+            + c.frame_unsupported
+            + c.frame_checksum
+            + c.frame_out_of_range;
+        assert_eq!(c.parse_errors, breakdown);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Epoch-consistent table state for live updates.
+//!
+//! Control-plane installs must never tear the dataplane's view: a packet
+//! that starts its walk against epoch `N` tables must finish against
+//! epoch `N` tables, for *every* table it touches (directory, routes,
+//! VM/NC, ECMP membership). The executor gets that guarantee RCU-style:
+//!
+//! - the full region table state lives in an immutable [`EpochState`]
+//!   behind an [`EpochCell`];
+//! - workers **pin** the current state once per batch ([`EpochCell::pin`])
+//!   and walk only the pinned snapshot;
+//! - installs **stage** a complete replacement state off to the side
+//!   ([`EpochState::build_with_world`]) and **publish** it with a single
+//!   atomic pointer swap ([`EpochCell::publish`]).
+//!
+//! Readers therefore observe entirely-old or entirely-new tables, never a
+//! mix. Every cluster carries the epoch it was built under
+//! ([`ClusterTables::epoch_tag`]); the executor cross-checks the tag
+//! against the pinned epoch on every packet and counts any disagreement
+//! as an `epoch_violations` torn-state event (zero in a correct build —
+//! the counter exists so tests can prove it).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use sailfish_cluster::lb::{EcmpGroup, VniDirectory};
+use sailfish_sim::Topology;
+use sailfish_xgw_h::tables::HardwareTables;
+
+use crate::executor::DataplaneConfig;
+
+/// One hardware cluster inside an epoch: shared tables plus the device
+/// ECMP group, stamped with the epoch they were built under.
+#[derive(Debug)]
+pub struct ClusterTables {
+    /// The epoch this cluster's tables belong to. Always equals the
+    /// owning [`EpochState::epoch`]; the executor verifies it per packet.
+    pub epoch_tag: u64,
+    /// The cluster's verified table set.
+    pub tables: HardwareTables,
+    /// ECMP group over the cluster's live devices.
+    pub ecmp: EcmpGroup,
+}
+
+/// Which parts of the region are degraded when (re)building table state.
+///
+/// The chaos harness translates fault injections into a `WorldView` and
+/// rebuilds the epoch from it; recovery publishes a healthy view again.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorldView {
+    /// Devices removed from their cluster's ECMP group
+    /// (`(cluster, device)`): node death or a degraded port.
+    pub dead_devices: BTreeSet<(usize, usize)>,
+    /// Clusters whose tables are lost (corruption detected, entries
+    /// quarantined): traffic punts to x86 until reinstall.
+    pub wiped_clusters: BTreeSet<usize>,
+    /// Clusters withdrawn from the VNI directory entirely (cluster-wide
+    /// failure): their VNIs lose hardware service and default-route to
+    /// the software tier.
+    pub unassigned_clusters: BTreeSet<usize>,
+}
+
+impl WorldView {
+    /// A fully healthy region.
+    pub fn healthy() -> Self {
+        WorldView::default()
+    }
+
+    /// Whether any degradation is present.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_devices.is_empty()
+            || !self.wiped_clusters.is_empty()
+            || !self.unassigned_clusters.is_empty()
+    }
+}
+
+/// A complete, immutable region table state for one epoch.
+#[derive(Debug)]
+pub struct EpochState {
+    /// Monotonically increasing version of the table state.
+    pub epoch: u64,
+    /// VNI → cluster horizontal split.
+    pub directory: VniDirectory,
+    /// Per-cluster tables and ECMP membership.
+    pub clusters: Vec<ClusterTables>,
+}
+
+impl EpochState {
+    /// Builds a healthy region state from a topology: VNIs are assigned
+    /// to clusters so peered VPCs co-locate (their chains must resolve
+    /// without leaving the cluster), routes follow their VNI's cluster,
+    /// and every `hw_vm_stride`-th VM mapping is withheld from the chip.
+    pub fn build(topology: &Topology, config: &DataplaneConfig, epoch: u64) -> Self {
+        Self::build_with_world(topology, config, epoch, &WorldView::healthy())
+    }
+
+    /// Builds a region state under a degraded [`WorldView`]. This is the
+    /// staging half of an install: the state is assembled off to the side
+    /// and only becomes visible via [`EpochCell::publish`].
+    pub fn build_with_world(
+        topology: &Topology,
+        config: &DataplaneConfig,
+        epoch: u64,
+        world: &WorldView,
+    ) -> Self {
+        assert!(config.clusters > 0 && config.devices_per_cluster > 0);
+        let mut directory = VniDirectory::new();
+        for vpc in &topology.vpcs {
+            let anchor = match vpc.peer {
+                Some(peer) => vpc.vni.min(peer),
+                None => vpc.vni,
+            };
+            let cluster = anchor.value() as usize % config.clusters;
+            if world.unassigned_clusters.contains(&cluster) {
+                continue; // the VNI falls back to the software tier
+            }
+            directory.assign(vpc.vni, cluster);
+        }
+
+        let mut clusters: Vec<ClusterTables> = (0..config.clusters)
+            .map(|c| {
+                let mut ecmp = EcmpGroup::new(config.ecmp_max);
+                for d in 0..config.devices_per_cluster {
+                    if world.dead_devices.contains(&(c, d)) {
+                        continue;
+                    }
+                    ecmp.add(d).expect("devices_per_cluster under the cap");
+                }
+                ClusterTables {
+                    epoch_tag: epoch,
+                    tables: HardwareTables::default(),
+                    ecmp,
+                }
+            })
+            .collect();
+
+        for (key, target) in &topology.routes {
+            let Some(c) = directory.cluster_for(key.vni) else {
+                continue; // VNI withdrawn from hardware
+            };
+            if world.wiped_clusters.contains(&c) {
+                continue;
+            }
+            let cluster = clusters.get_mut(c).expect("directory stays in range");
+            cluster
+                .tables
+                .routes
+                .insert(*key, *target)
+                .expect("topology routes are unique");
+        }
+        let stride = config.hw_vm_stride.max(1);
+        for (i, vm) in topology.vms.iter().enumerate() {
+            if i % stride == 0 {
+                continue; // stays on x86
+            }
+            let Some(c) = directory.cluster_for(vm.vni) else {
+                continue;
+            };
+            if world.wiped_clusters.contains(&c) {
+                continue;
+            }
+            let cluster = clusters.get_mut(c).expect("directory stays in range");
+            cluster
+                .tables
+                .add_vm(vm.vni, vm.ip, vm.nc)
+                .expect("topology VMs are unique");
+        }
+
+        EpochState {
+            epoch,
+            directory,
+            clusters,
+        }
+    }
+
+    /// Whether every cluster's epoch tag matches the state's epoch —
+    /// the torn-state self-check installs run before publishing.
+    pub fn tags_consistent(&self) -> bool {
+        self.clusters.iter().all(|c| c.epoch_tag == self.epoch)
+    }
+}
+
+/// The swap point between the control plane and the packet workers.
+///
+/// Deterministic single-worker runs and scoped multi-worker runs share
+/// the same mechanism: `pin` takes a read lock just long enough to clone
+/// the `Arc`, `publish` takes the write lock just long enough to replace
+/// it. A pinned snapshot stays alive (and entirely consistent) for as
+/// long as any batch still holds the `Arc`, even after newer epochs
+/// publish — classic RCU grace-period behavior without unsafe code.
+#[derive(Debug)]
+pub struct EpochCell {
+    current: RwLock<Arc<EpochState>>,
+    swaps: AtomicU64,
+}
+
+impl EpochCell {
+    /// Creates the cell with its initial state.
+    pub fn new(state: EpochState) -> Self {
+        EpochCell {
+            current: RwLock::new(Arc::new(state)),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current epoch state. Callers hold the returned `Arc` for
+    /// the duration of a batch so every packet in it sees one epoch.
+    pub fn pin(&self) -> Arc<EpochState> {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// Atomically publishes a staged state, returning its epoch.
+    ///
+    /// Panics if the staged epoch does not advance past the published one
+    /// or the staged state is internally torn — both are control-plane
+    /// bugs that must never reach the workers.
+    pub fn publish(&self, state: EpochState) -> u64 {
+        assert!(state.tags_consistent(), "staged state has torn epoch tags");
+        let mut cur = self.current.write().expect("epoch lock poisoned");
+        assert!(
+            state.epoch > cur.epoch,
+            "epoch must advance: staged {} vs published {}",
+            state.epoch,
+            cur.epoch
+        );
+        let epoch = state.epoch;
+        *cur = Arc::new(state);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// How many publishes have happened.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailfish_sim::TopologyConfig;
+
+    fn topology() -> Topology {
+        Topology::generate(TopologyConfig::default())
+    }
+
+    #[test]
+    fn healthy_build_tags_every_cluster() {
+        let state = EpochState::build(&topology(), &DataplaneConfig::default(), 3);
+        assert_eq!(state.epoch, 3);
+        assert!(state.tags_consistent());
+        assert_eq!(state.clusters.len(), DataplaneConfig::default().clusters);
+    }
+
+    #[test]
+    fn publish_swaps_and_enforces_monotonic_epochs() {
+        let topo = topology();
+        let config = DataplaneConfig::default();
+        let cell = EpochCell::new(EpochState::build(&topo, &config, 0));
+        assert_eq!(cell.pin().epoch, 0);
+        assert_eq!(cell.swaps(), 0);
+        let pinned = cell.pin();
+        cell.publish(EpochState::build(&topo, &config, 1));
+        // The old pin stays alive and untouched after the swap.
+        assert_eq!(pinned.epoch, 0);
+        assert_eq!(cell.pin().epoch, 1);
+        assert_eq!(cell.swaps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must advance")]
+    fn publish_rejects_stale_epochs() {
+        let topo = topology();
+        let config = DataplaneConfig::default();
+        let cell = EpochCell::new(EpochState::build(&topo, &config, 5));
+        cell.publish(EpochState::build(&topo, &config, 5));
+    }
+
+    #[test]
+    fn degraded_world_removes_devices_and_tables() {
+        let topo = topology();
+        let config = DataplaneConfig::default();
+        let mut world = WorldView::healthy();
+        assert!(!world.is_degraded());
+        world.dead_devices.insert((0, 1));
+        world.wiped_clusters.insert(1);
+        world.unassigned_clusters.insert(2);
+        assert!(world.is_degraded());
+
+        let healthy = EpochState::build(&topo, &config, 0);
+        let degraded = EpochState::build_with_world(&topo, &config, 1, &world);
+        let h0 = healthy.clusters.first().unwrap();
+        let d0 = degraded.clusters.first().unwrap();
+        assert_eq!(d0.ecmp.len(), h0.ecmp.len() - 1);
+        let d1 = degraded.clusters.get(1).unwrap();
+        assert_eq!(d1.tables.routes.len(), 0);
+        // Withdrawn cluster: no VNI maps to it any more.
+        let snapshot = degraded.directory.snapshot();
+        assert!(snapshot.iter().all(|(_, c)| *c != 2));
+        // Healthy directory does use cluster 2.
+        assert!(healthy.directory.snapshot().iter().any(|(_, c)| *c == 2));
+    }
+}

@@ -5,7 +5,15 @@
 //! clusters (Fig 12), flow-hash ECMP attributes packets to devices inside
 //! a cluster, and each cluster's table set serves the walk. Packets the
 //! hardware cannot serve degrade to the XGW-x86 software forwarder, the
-//! PR 2 fallback model, behind a protective punt meter.
+//! PR 2 fallback model, behind a punt-path circuit breaker wrapping the
+//! protective punt meter.
+//!
+//! Table state is epoch-versioned ([`crate::epoch`]): workers pin the
+//! current [`EpochState`] once per batch, so every packet walks an
+//! entirely-old or entirely-new table set even while installs publish new
+//! epochs concurrently. Hardware decisions are digested **per epoch**
+//! ([`RunReport::epoch_digests`]) so the oracle can pin each epoch's
+//! decision multiset independently.
 //!
 //! Determinism contract: [`Dataplane::run_single`] and
 //! [`Dataplane::run_multi`] produce the **same decision digest** for the
@@ -13,19 +21,22 @@
 //! independent of worker partitioning — while their virtual-time Mpps
 //! differ (that difference *is* the measurement).
 
-use sailfish_cluster::lb::{EcmpGroup, VniDirectory};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use sailfish_net::wire::ethernet;
 use sailfish_net::GatewayPacket;
 use sailfish_sim::Topology;
 use sailfish_tables::meter::Meter;
 use sailfish_xgw_h::program::HwDropReason;
-use sailfish_xgw_h::tables::HardwareTables;
 use sailfish_xgw_h::HwDecision;
 use sailfish_xgw_x86::{SoftwareForwarder, SoftwareTables};
 
+use crate::breaker::{Admission, BreakerConfig, BreakerStats, PuntBreaker};
 use crate::cache::{CachedAction, ShardedFlowCache};
 use crate::counters::TableCounters;
 use crate::engine::{self, cost};
+use crate::epoch::{EpochCell, EpochState};
 use crate::oracle::{DropClass, PathDecision};
 use crate::rewrite;
 
@@ -46,13 +57,16 @@ pub struct DataplaneConfig {
     pub punt_rate_bps: u64,
     /// Punt meter burst.
     pub punt_burst_bytes: u64,
+    /// Punt-path circuit breaker over the meter.
+    pub breaker: BreakerConfig,
     /// Flow-cache shards per worker.
     pub cache_shards: usize,
     /// Flow capacity per shard (no-evict).
     pub cache_shard_capacity: usize,
     /// Worker threads in [`Dataplane::run_multi`].
     pub workers: usize,
-    /// Frames per batch (per-batch overhead is charged once).
+    /// Frames per batch (per-batch overhead is charged once; the epoch is
+    /// pinned once per batch).
     pub batch_size: usize,
 }
 
@@ -65,6 +79,7 @@ impl Default for DataplaneConfig {
             hw_vm_stride: 20,
             punt_rate_bps: 400_000_000_000,
             punt_burst_bytes: 1 << 31,
+            breaker: BreakerConfig::default(),
             cache_shards: 8,
             cache_shard_capacity: 4096,
             workers: 4,
@@ -73,28 +88,21 @@ impl Default for DataplaneConfig {
     }
 }
 
-/// One hardware cluster: shared tables plus the device ECMP group.
-#[derive(Debug)]
-struct ClusterState {
-    tables: HardwareTables,
-    ecmp: EcmpGroup,
-}
-
 /// The region-level hardware dataplane.
 #[derive(Debug)]
 pub struct Dataplane {
     config: DataplaneConfig,
-    directory: VniDirectory,
-    clusters: Vec<ClusterState>,
+    cell: EpochCell,
 }
 
 /// Per-worker mutable state.
 struct WorkerState {
     cache: ShardedFlowCache,
     counters: TableCounters,
-    punt_meter: Meter,
+    breaker: PuntBreaker,
     clock_ns: u64,
     digest: u64,
+    epoch_digests: BTreeMap<u64, u64>,
     punted: Vec<GatewayPacket>,
     device_packets: Vec<u64>,
     scratch: Vec<u8>,
@@ -102,7 +110,7 @@ struct WorkerState {
 
 /// What one frame produced inside a worker.
 enum FrameOutcome {
-    /// The frame did not parse.
+    /// The frame did not parse (counted per layer/kind already).
     ParseError,
     /// A final decision was reached on the hardware tier.
     Decided(PathDecision),
@@ -120,6 +128,12 @@ pub struct RunReport {
     /// Order-independent sum of per-packet decision digests. Equal
     /// between single and multi mode on the same frame sequence.
     pub decision_digest: u64,
+    /// Hardware decision digests keyed by the epoch the deciding batch
+    /// had pinned. (Fallback decisions resolve after the pipeline and are
+    /// not epoch-attributed.) With no concurrent installs this holds a
+    /// single entry whose value is the hardware share of
+    /// [`RunReport::decision_digest`].
+    pub epoch_digests: BTreeMap<u64, u64>,
     /// Virtual nanoseconds: slowest worker's pipeline time plus the
     /// serial software-fallback time.
     pub virtual_ns: u64,
@@ -129,6 +143,8 @@ pub struct RunReport {
     pub workers: usize,
     /// Packets attributed per `(cluster, device)`, flattened row-major.
     pub device_packets: Vec<u64>,
+    /// Merged punt-breaker transition/shed stats across workers.
+    pub breaker: BreakerStats,
 }
 
 impl RunReport {
@@ -159,60 +175,13 @@ pub fn software_forwarder(topology: &Topology) -> SoftwareForwarder {
 }
 
 impl Dataplane {
-    /// Builds the hardware tier from a topology: VNIs are assigned to
-    /// clusters so peered VPCs co-locate (their chains must resolve
-    /// without leaving the cluster), routes follow their VNI's cluster,
-    /// and every `hw_vm_stride`-th VM mapping is withheld from the chip.
+    /// Builds the hardware tier from a topology at epoch 0. See
+    /// [`EpochState::build`] for the table-placement rules.
     pub fn build(topology: &Topology, config: DataplaneConfig) -> Self {
-        assert!(config.clusters > 0 && config.devices_per_cluster > 0);
-        let mut directory = VniDirectory::new();
-        for vpc in &topology.vpcs {
-            let anchor = match vpc.peer {
-                Some(peer) => vpc.vni.min(peer),
-                None => vpc.vni,
-            };
-            directory.assign(vpc.vni, anchor.value() as usize % config.clusters);
-        }
-
-        let mut clusters: Vec<ClusterState> = (0..config.clusters)
-            .map(|_| {
-                let mut ecmp = EcmpGroup::new(config.ecmp_max);
-                for d in 0..config.devices_per_cluster {
-                    ecmp.add(d).expect("devices_per_cluster under the cap");
-                }
-                ClusterState {
-                    tables: HardwareTables::default(),
-                    ecmp,
-                }
-            })
-            .collect();
-
-        for (key, target) in &topology.routes {
-            let c = directory
-                .cluster_for(key.vni)
-                .expect("route VNIs come from topology VPCs");
-            clusters[c]
-                .tables
-                .routes
-                .insert(*key, *target)
-                .expect("topology routes are unique");
-        }
-        let stride = config.hw_vm_stride.max(1);
-        for (i, vm) in topology.vms.iter().enumerate() {
-            if i % stride == 0 {
-                continue; // stays on x86
-            }
-            let c = directory.cluster_for(vm.vni).expect("VM VNIs are assigned");
-            clusters[c]
-                .tables
-                .add_vm(vm.vni, vm.ip, vm.nc)
-                .expect("topology VMs are unique");
-        }
-
+        let state = EpochState::build(topology, &config, 0);
         Dataplane {
             config,
-            directory,
-            clusters,
+            cell: EpochCell::new(state),
         }
     }
 
@@ -221,14 +190,25 @@ impl Dataplane {
         &self.config
     }
 
-    /// The VNI → cluster directory.
-    pub fn directory(&self) -> &VniDirectory {
-        &self.directory
+    /// Pins the currently published epoch state.
+    pub fn pin(&self) -> Arc<EpochState> {
+        self.cell.pin()
     }
 
-    /// The table set of one cluster (for audits and regression tests).
-    pub fn cluster_tables(&self, cluster: usize) -> &HardwareTables {
-        &self.clusters[cluster].tables
+    /// Atomically publishes a staged state built off to the side (e.g.
+    /// via [`EpochState::build_with_world`]); returns the new epoch.
+    pub fn publish(&self, state: EpochState) -> u64 {
+        self.cell.publish(state)
+    }
+
+    /// The epoch number a fresh staged build should use.
+    pub fn next_epoch(&self) -> u64 {
+        self.cell.pin().epoch + 1
+    }
+
+    /// How many epoch swaps have been published.
+    pub fn epoch_swaps(&self) -> u64 {
+        self.cell.swaps()
     }
 
     fn new_worker_state(&self) -> WorkerState {
@@ -238,9 +218,13 @@ impl Dataplane {
                 self.config.cache_shard_capacity,
             ),
             counters: TableCounters::default(),
-            punt_meter: Meter::new(self.config.punt_rate_bps, self.config.punt_burst_bytes),
+            breaker: PuntBreaker::new(
+                Meter::new(self.config.punt_rate_bps, self.config.punt_burst_bytes),
+                self.config.breaker.clone(),
+            ),
             clock_ns: 0,
             digest: 0,
+            epoch_digests: BTreeMap::new(),
             punted: Vec::new(),
             device_packets: vec![0; self.config.clusters * self.config.devices_per_cluster],
             scratch: Vec::new(),
@@ -289,10 +273,11 @@ impl Dataplane {
             CachedAction::ToNc { nc, vni } => {
                 st.scratch.clear();
                 st.scratch.extend_from_slice(frame);
-                if rewrite::apply(&mut st.scratch, nc, vni).is_err() {
-                    // A parseable VXLAN frame always rewrites; treat the
-                    // impossible case as a parse error for accounting.
-                    st.counters.parse_errors += 1;
+                if let Err(e) = rewrite::apply(&mut st.scratch, nc, vni) {
+                    // A parseable VXLAN frame always rewrites; a failure
+                    // means the frame lied about its structure in a way
+                    // the parser tolerated. Count it per layer/kind.
+                    st.counters.record_frame_error(e);
                     return FrameOutcome::ParseError;
                 }
                 st.clock_ns += cost::REWRITE_NS;
@@ -316,13 +301,23 @@ impl Dataplane {
                         _ => unreachable!(),
                     }
                 }
-                st.clock_ns += cost::PUNT_HANDOFF_NS;
-                if st.punt_meter.offer(st.clock_ns, frame.len()) {
-                    st.punted.push(*packet);
-                    FrameOutcome::Punted
-                } else {
-                    st.counters.punt_rate_limited += 1;
-                    FrameOutcome::Decided(PathDecision::Drop(DropClass::PuntRateLimited))
+                match st.breaker.admit(st.clock_ns, frame.len()) {
+                    Admission::Admitted => {
+                        st.clock_ns += cost::PUNT_HANDOFF_NS;
+                        st.punted.push(*packet);
+                        FrameOutcome::Punted
+                    }
+                    Admission::ShedMeter => {
+                        // The handoff was attempted and the meter refused.
+                        st.clock_ns += cost::PUNT_HANDOFF_NS;
+                        st.counters.punt_rate_limited += 1;
+                        FrameOutcome::Decided(PathDecision::Drop(DropClass::PuntRateLimited))
+                    }
+                    Admission::ShedOpen => {
+                        // Open breaker: fail fast on-chip, no handoff cost.
+                        st.counters.punt_breaker_open += 1;
+                        FrameOutcome::Decided(PathDecision::Drop(DropClass::PuntRateLimited))
+                    }
                 }
             }
             CachedAction::DropAcl => {
@@ -340,28 +335,47 @@ impl Dataplane {
         }
     }
 
-    /// Processes one frame inside a worker: parse, directory, ECMP
-    /// attribution, flow cache, table walk, rewrite/punt.
-    fn process_frame(&self, frame: &[u8], st: &mut WorkerState) -> FrameOutcome {
+    /// Processes one frame inside a worker against the pinned epoch:
+    /// parse, directory, ECMP attribution, flow cache, table walk,
+    /// rewrite/punt. Hostile bytes degrade to a typed, counted parse
+    /// error — never a panic, never a silent punt.
+    fn process_frame(
+        &self,
+        state: &EpochState,
+        frame: &[u8],
+        st: &mut WorkerState,
+    ) -> FrameOutcome {
         st.clock_ns += cost::PARSE_NS;
-        let packet = match GatewayPacket::parse(frame) {
+        let packet = match GatewayPacket::parse_classified(frame) {
             Ok(p) => p,
-            Err(_) => {
-                st.counters.parse_errors += 1;
+            Err(e) => {
+                st.counters.record_frame_error(e);
                 return FrameOutcome::ParseError;
             }
         };
         st.counters.parsed += 1;
 
-        let Some(cluster_idx) = self.directory.cluster_for(packet.vni) else {
+        let Some(cluster_idx) = state.directory.cluster_for(packet.vni) else {
             // The upstream balancer has no hardware assignment: default
             // route to the software tier.
             return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
         };
-        let cluster = &self.clusters[cluster_idx];
+        let Some(cluster) = state.clusters.get(cluster_idx) else {
+            // Directory points past the cluster set: treat as unassigned.
+            return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
+        };
+        if cluster.epoch_tag != state.epoch {
+            // Torn state: the cluster belongs to a different epoch than
+            // the directory that routed us here. Must never happen; the
+            // counter lets tests prove it doesn't.
+            st.counters.epoch_violations += 1;
+        }
         let tuple = packet.five_tuple();
         if let Ok(device) = cluster.ecmp.pick(&tuple) {
-            st.device_packets[cluster_idx * self.config.devices_per_cluster + device] += 1;
+            let slot = cluster_idx * self.config.devices_per_cluster + device;
+            if let Some(count) = st.device_packets.get_mut(slot) {
+                *count += 1;
+            }
         }
 
         if let Some(action) = st.cache.get(packet.vni, &tuple) {
@@ -381,12 +395,20 @@ impl Dataplane {
     fn run_worker(&self, frames: &[&[u8]]) -> WorkerState {
         let mut st = self.new_worker_state();
         for batch in frames.chunks(self.config.batch_size.max(1)) {
+            // Pin once per batch: every frame in the batch sees exactly
+            // one epoch, even if an install publishes mid-run.
+            let state = self.cell.pin();
             st.clock_ns += cost::BATCH_OVERHEAD_NS;
+            let mut batch_digest = 0u64;
             for frame in batch {
-                if let FrameOutcome::Decided(d) = self.process_frame(frame, &mut st) {
-                    st.digest = st.digest.wrapping_add(d.digest());
+                if let FrameOutcome::Decided(d) = self.process_frame(&state, frame, &mut st) {
+                    let dg = d.digest();
+                    st.digest = st.digest.wrapping_add(dg);
+                    batch_digest = batch_digest.wrapping_add(dg);
                 }
             }
+            let slot = st.epoch_digests.entry(state.epoch).or_insert(0);
+            *slot = slot.wrapping_add(batch_digest);
         }
         st
     }
@@ -400,17 +422,29 @@ impl Dataplane {
     ) -> RunReport {
         let mut counters = TableCounters::default();
         let mut digest = 0u64;
+        let mut epoch_digests: BTreeMap<u64, u64> = BTreeMap::new();
         let mut pipeline_ns = 0u64;
         let mut device_packets = vec![0u64; self.config.clusters * self.config.devices_per_cluster];
         let mut punted = Vec::new();
+        let mut breaker = BreakerStats::default();
         for st in states {
             counters.merge(&st.counters);
             digest = digest.wrapping_add(st.digest);
+            for (epoch, d) in st.epoch_digests {
+                let slot = epoch_digests.entry(epoch).or_insert(0);
+                *slot = slot.wrapping_add(d);
+            }
             pipeline_ns = pipeline_ns.max(st.clock_ns);
             for (acc, d) in device_packets.iter_mut().zip(&st.device_packets) {
                 *acc += d;
             }
             punted.extend(st.punted);
+            let s = st.breaker.stats();
+            breaker.opened += s.opened;
+            breaker.half_opened += s.half_opened;
+            breaker.closed += s.closed;
+            breaker.shed_open += s.shed_open;
+            breaker.shed_meter += s.shed_meter;
         }
 
         // The x86 tier serves punts serially after the pipeline time.
@@ -431,10 +465,12 @@ impl Dataplane {
             packets,
             counters,
             decision_digest: digest,
+            epoch_digests,
             virtual_ns: now_ns,
             fallback_packets,
             workers,
             device_packets,
+            breaker,
         }
     }
 
@@ -453,7 +489,9 @@ impl Dataplane {
         let workers = self.config.workers.max(1);
         let mut parts: Vec<Vec<&[u8]>> = (0..workers).map(|_| Vec::new()).collect();
         for frame in frames {
-            parts[worker_for(frame, workers)].push(frame);
+            if let Some(part) = parts.get_mut(worker_for(frame, workers)) {
+                part.push(frame);
+            }
         }
         let states: Vec<WorkerState> = std::thread::scope(|scope| {
             let handles: Vec<_> = parts
@@ -469,39 +507,42 @@ impl Dataplane {
     }
 
     /// Decides one frame end-to-end without touching caches or the punt
-    /// meter — the oracle's view of the executor. Punts are resolved
-    /// immediately through `fallback`. Returns `None` when the frame does
-    /// not parse.
+    /// breaker — the oracle's view of the executor against the currently
+    /// published epoch. Punts are resolved immediately through
+    /// `fallback`. Returns `None` when the frame does not parse.
     pub fn decide_one(
         &self,
         frame: &[u8],
         fallback: &mut SoftwareForwarder,
         now_ns: u64,
     ) -> Option<PathDecision> {
+        let state = self.cell.pin();
         let packet = GatewayPacket::parse(frame).ok()?;
-        let Some(cluster_idx) = self.directory.cluster_for(packet.vni) else {
+        let cluster = state
+            .directory
+            .cluster_for(packet.vni)
+            .and_then(|idx| state.clusters.get(idx));
+        let Some(cluster) = cluster else {
             return Some(PathDecision::from_software(
                 &fallback.process(&packet, now_ns),
             ));
         };
         let mut scratch = TableCounters::default();
-        Some(
-            match engine::walk(&self.clusters[cluster_idx].tables, &packet, &mut scratch) {
-                HwDecision::ToNc { packet: out, nc } => PathDecision::ToNc { nc, vni: out.vni },
-                HwDecision::ToRegion { region, vni } => PathDecision::ToRegion { region, vni },
-                HwDecision::ToIdc { idc, vni } => PathDecision::ToIdc { idc, vni },
-                HwDecision::PuntToX86 { packet, .. } => {
-                    PathDecision::from_software(&fallback.process(&packet, now_ns))
-                }
-                HwDecision::Drop(HwDropReason::AclDeny) => PathDecision::Drop(DropClass::Acl),
-                HwDecision::Drop(HwDropReason::RoutingLoop) => {
-                    PathDecision::Drop(DropClass::RoutingLoop)
-                }
-                HwDecision::Drop(HwDropReason::PuntRateLimited) => {
-                    unreachable!("walk never rate-limits")
-                }
-            },
-        )
+        Some(match engine::walk(&cluster.tables, &packet, &mut scratch) {
+            HwDecision::ToNc { packet: out, nc } => PathDecision::ToNc { nc, vni: out.vni },
+            HwDecision::ToRegion { region, vni } => PathDecision::ToRegion { region, vni },
+            HwDecision::ToIdc { idc, vni } => PathDecision::ToIdc { idc, vni },
+            HwDecision::PuntToX86 { packet, .. } => {
+                PathDecision::from_software(&fallback.process(&packet, now_ns))
+            }
+            HwDecision::Drop(HwDropReason::AclDeny) => PathDecision::Drop(DropClass::Acl),
+            HwDecision::Drop(HwDropReason::RoutingLoop) => {
+                PathDecision::Drop(DropClass::RoutingLoop)
+            }
+            HwDecision::Drop(HwDropReason::PuntRateLimited) => {
+                unreachable!("walk never rate-limits")
+            }
+        })
     }
 }
 
@@ -530,6 +571,7 @@ fn peek_outer_udp_src(frame: &[u8]) -> Option<u16> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::traffic;
@@ -562,6 +604,7 @@ mod tests {
         let multi = dp.run_multi(&seq, &mut fb2);
 
         assert_eq!(single.decision_digest, multi.decision_digest);
+        assert_eq!(single.epoch_digests, multi.epoch_digests);
         assert_eq!(single.packets, multi.packets);
         assert_eq!(single.counters.parse_errors, 0);
         assert_eq!(single.counters.parsed, seq.len() as u64);
@@ -604,8 +647,23 @@ mod tests {
         assert!(report.counters.punt_no_vm > 0, "{:?}", report.counters);
         assert!(report.counters.fallback_forwarded > 0);
         assert_eq!(report.counters.punt_rate_limited, 0);
+        assert_eq!(report.counters.punt_breaker_open, 0);
         // Cache effectiveness: repeated flows hit after the first miss.
         assert!(report.counters.cache_hits > report.counters.cache_misses);
+    }
+
+    #[test]
+    fn quiescent_run_stays_on_one_untorn_epoch() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(&topology, DataplaneConfig::default());
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+        let mut fb = software_forwarder(&topology);
+        let report = dp.run_single(&seq, &mut fb);
+        assert_eq!(report.counters.epoch_violations, 0);
+        assert_eq!(report.epoch_digests.len(), 1);
+        assert!(report.epoch_digests.contains_key(&0));
+        assert_eq!(dp.epoch_swaps(), 0);
+        assert_eq!(dp.pin().epoch, 0);
     }
 
     #[test]

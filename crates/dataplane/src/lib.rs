@@ -26,14 +26,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod counters;
 pub mod engine;
+pub mod epoch;
+// Hot paths touching raw frame bytes must prove every slice: the lint
+// rejects unchecked indexing so truncated or hostile frames cannot panic
+// the pipeline (per-module `allow`s carry the bounds proofs).
+#[warn(clippy::indexing_slicing)]
 pub mod executor;
 pub mod oracle;
+#[warn(clippy::indexing_slicing)]
 pub mod rewrite;
 pub mod traffic;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, BreakerStats, PuntBreaker};
+pub use chaos::{ChaosConfig, ChaosReport, FaultOutcome, InvariantViolation, SlotRecord};
 pub use counters::TableCounters;
+pub use epoch::{EpochCell, EpochState, WorldView};
 pub use executor::{Dataplane, DataplaneConfig, RunReport};
 pub use oracle::{differential_run, OracleReport, PathDecision};

@@ -7,81 +7,122 @@
 //! both changes patch the header checksum incrementally (RFC 1624 Eqn. 3,
 //! see `sailfish_net::checksum`); over IPv6 the mandatory outer UDP
 //! checksum is refilled across the datagram.
+//!
+//! Every byte access is bounds-checked: a frame that is shorter than its
+//! headers claim (hostile IHL, short buffer, lying UDP length) degrades to
+//! a typed [`FrameError`], never a panic. Header regions are delimited by
+//! the validated length fields, so trailing bytes past the declared packet
+//! end are never interpreted as headers.
 
 use core::net::IpAddr;
 
 use sailfish_net::wire::ethernet::{self, EtherType};
 use sailfish_net::wire::{ipv4, ipv6, udp, vxlan};
-use sailfish_net::{Error, Result, Vni};
+use sailfish_net::{Error, FrameError, FrameLayer, Vni};
 use sailfish_tables::types::NcAddr;
 
 /// Rewrites `frame` in place for delivery to `nc` under `vni`.
 ///
 /// The frame must be a VXLAN-in-UDP packet as produced by
-/// [`sailfish_net::GatewayPacket::emit`]. Fails with `Error::Malformed`
-/// when the NC address family does not match an IPv4 underlay, and with
-/// parse errors when the frame is inconsistent.
-pub fn apply(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
-    let ethertype = ethernet::Frame::new_checked(&frame[..])?.ethertype();
+/// [`sailfish_net::GatewayPacket::emit`]. Fails with a typed
+/// [`FrameError`] naming the offending layer: `Malformed` at the outer IP
+/// layer when the NC address family does not match an IPv4 underlay, and
+/// `Truncated`/`Malformed` when the frame is shorter or less consistent
+/// than its headers claim.
+pub fn apply(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<(), FrameError> {
+    let ethertype = ethernet::Frame::new_checked(&*frame)
+        .map_err(|e| FrameError::new(FrameLayer::OuterEthernet, e))?
+        .ethertype();
     match ethertype {
         EtherType::Ipv4 => apply_v4(frame, nc, vni),
         EtherType::Ipv6 => apply_v6(frame, nc, vni),
-        _ => Err(Error::Unsupported),
+        _ => Err(FrameError::new(
+            FrameLayer::OuterEthernet,
+            Error::Unsupported,
+        )),
     }
 }
 
-fn apply_v4(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
+fn apply_v4(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<(), FrameError> {
     let IpAddr::V4(nc_v4) = nc.ip else {
         // A v6-homed NC cannot terminate a v4 underlay frame.
-        return Err(Error::Malformed);
+        return Err(FrameError::new(FrameLayer::OuterIpv4, Error::Malformed));
     };
-    let ip_start = ethernet::HEADER_LEN;
-    let header_len = {
-        let ip = ipv4::Packet::new_checked(&frame[ip_start..])?;
-        ip.header_len()
+    let ip_bytes = frame
+        .get_mut(ethernet::HEADER_LEN..)
+        .ok_or(FrameError::new(FrameLayer::OuterIpv4, Error::Truncated))?;
+    let (header_len, total_len) = {
+        let ip = ipv4::Packet::new_checked(&*ip_bytes)
+            .map_err(|e| FrameError::new(FrameLayer::OuterIpv4, e))?;
+        (ip.header_len(), ip.total_len() as usize)
     };
     {
-        let mut ip = ipv4::Packet::new_unchecked(&mut frame[ip_start..]);
+        let mut ip = ipv4::Packet::new_unchecked(&mut *ip_bytes);
         ip.decrement_ttl();
         ip.rewrite_dst_addr(nc_v4);
     }
     // Outer UDP checksum stays zero over IPv4 underlays (emit() convention),
-    // so only the VXLAN VNI needs stamping.
-    let vxlan_start = ip_start + header_len + udp::HEADER_LEN;
-    let mut vx = vxlan::Header::new_checked(&mut frame[vxlan_start..])?;
+    // so only the VXLAN VNI needs stamping. The datagram region is delimited
+    // by the validated IP total length, not the buffer end.
+    let udp_bytes = ip_bytes
+        .get_mut(header_len..total_len)
+        .ok_or(FrameError::new(FrameLayer::OuterUdp, Error::Truncated))?;
+    let udp_total = udp::Datagram::new_checked(&*udp_bytes)
+        .map_err(|e| FrameError::new(FrameLayer::OuterUdp, e))?
+        .len() as usize;
+    let vx_bytes = udp_bytes
+        .get_mut(udp::HEADER_LEN..udp_total)
+        .ok_or(FrameError::new(FrameLayer::Vxlan, Error::Truncated))?;
+    let mut vx =
+        vxlan::Header::new_checked(vx_bytes).map_err(|e| FrameError::new(FrameLayer::Vxlan, e))?;
     vx.set_vni(vni);
     Ok(())
 }
 
-fn apply_v6(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<()> {
-    let ip_start = ethernet::HEADER_LEN;
+fn apply_v6(frame: &mut [u8], nc: NcAddr, vni: Vni) -> Result<(), FrameError> {
     let nc_v6 = match nc.ip {
         IpAddr::V6(a) => a,
         // NCs are v4-homed; a v6 underlay reaches them via the mapped form.
         IpAddr::V4(a) => a.to_ipv6_mapped(),
     };
-    let src = {
-        let mut ip = ipv6::Packet::new_checked(&mut frame[ip_start..])?;
+    let ip_bytes = frame
+        .get_mut(ethernet::HEADER_LEN..)
+        .ok_or(FrameError::new(FrameLayer::OuterIpv6, Error::Truncated))?;
+    let (src, payload_len) = {
+        let mut ip = ipv6::Packet::new_checked(&mut *ip_bytes)
+            .map_err(|e| FrameError::new(FrameLayer::OuterIpv6, e))?;
         let hop = ip.hop_limit();
         if hop > 0 {
             ip.set_hop_limit(hop - 1);
         }
         ip.set_dst_addr(nc_v6);
-        ip.src_addr()
+        (ip.src_addr(), ip.payload_len() as usize)
     };
-    let udp_start = ip_start + ipv6::HEADER_LEN;
+    // The datagram region is delimited by the validated IPv6 payload length.
+    let udp_bytes = ip_bytes
+        .get_mut(ipv6::HEADER_LEN..ipv6::HEADER_LEN + payload_len)
+        .ok_or(FrameError::new(FrameLayer::OuterUdp, Error::Truncated))?;
+    let udp_total = udp::Datagram::new_checked(&*udp_bytes)
+        .map_err(|e| FrameError::new(FrameLayer::OuterUdp, e))?
+        .len() as usize;
     {
-        let mut vx = vxlan::Header::new_checked(&mut frame[udp_start + udp::HEADER_LEN..])?;
+        let vx_bytes = udp_bytes
+            .get_mut(udp::HEADER_LEN..udp_total)
+            .ok_or(FrameError::new(FrameLayer::Vxlan, Error::Truncated))?;
+        let mut vx = vxlan::Header::new_checked(vx_bytes)
+            .map_err(|e| FrameError::new(FrameLayer::Vxlan, e))?;
         vx.set_vni(vni);
     }
     // The v6 outer UDP checksum covers the rewritten addresses and VNI:
-    // refill it over the whole datagram.
-    let mut u = udp::Datagram::new_checked(&mut frame[udp_start..])?;
+    // refill it over the whole datagram. The length was validated by
+    // `new_checked` above, so the unchecked view is safe.
+    let mut u = udp::Datagram::new_unchecked(udp_bytes);
     u.fill_checksum_v6(src, nc_v6);
     Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use sailfish_net::packet::GatewayPacketBuilder;
@@ -98,6 +139,13 @@ mod tests {
             "192.168.30.5".parse().unwrap(),
         )
         .build()
+    }
+
+    fn sample_v6() -> GatewayPacket {
+        let mut p = sample_v4();
+        p.outer.src_ip = "fd00::1".parse().unwrap();
+        p.outer.dst_ip = "fd00::2".parse().unwrap();
+        p
     }
 
     #[test]
@@ -125,10 +173,7 @@ mod tests {
 
     #[test]
     fn v6_rewrite_refills_udp_checksum() {
-        let mut p = sample_v4();
-        p.outer.src_ip = "fd00::1".parse().unwrap();
-        p.outer.dst_ip = "fd00::2".parse().unwrap();
-        let mut frame = p.emit().unwrap();
+        let mut frame = sample_v6().emit().unwrap();
         apply(&mut frame, nc("10.1.1.12"), Vni::from_const(300)).unwrap();
 
         let expected_dst: core::net::Ipv6Addr = "10.1.1.12"
@@ -152,7 +197,7 @@ mod tests {
         let mut frame = sample_v4().emit().unwrap();
         assert_eq!(
             apply(&mut frame, nc("2001:db8::1"), Vni::from_const(1)),
-            Err(Error::Malformed)
+            Err(FrameError::new(FrameLayer::OuterIpv4, Error::Malformed))
         );
     }
 
@@ -161,5 +206,71 @@ mod tests {
         let frame = sample_v4().emit().unwrap();
         let mut cut = frame[..40].to_vec();
         assert!(apply(&mut cut, nc("10.1.1.12"), Vni::from_const(1)).is_err());
+    }
+
+    /// Regression: the pre-hardening rewrite sliced `frame[vxlan_start..]`
+    /// unconditionally and panicked whenever the buffer ended between the
+    /// outer IP header and the VXLAN header. Every truncation point must
+    /// now degrade to an error.
+    #[test]
+    fn v4_truncation_at_every_length_is_an_error_not_a_panic() {
+        let frame = sample_v4().emit().unwrap();
+        for cut in 0..frame.len() {
+            let mut short = frame[..cut].to_vec();
+            assert!(
+                apply(&mut short, nc("10.1.1.12"), Vni::from_const(9)).is_err(),
+                "cut at {cut} must fail, not panic or succeed"
+            );
+        }
+    }
+
+    #[test]
+    fn v6_truncation_at_every_length_is_an_error_not_a_panic() {
+        let frame = sample_v6().emit().unwrap();
+        for cut in 0..frame.len() {
+            let mut short = frame[..cut].to_vec();
+            // Shorter buffers invalidate the IPv6 payload-length check, so
+            // every cut must be rejected without panicking.
+            assert!(
+                apply(&mut short, nc("10.1.1.12"), Vni::from_const(9)).is_err(),
+                "cut at {cut} must fail, not panic or succeed"
+            );
+        }
+    }
+
+    /// Regression: a hostile IHL that walks the UDP/VXLAN offsets past the
+    /// buffer end used to panic in the slice math. The IP header itself is
+    /// consistent (IHL == total length == buffer), so only the hardened
+    /// UDP delimiting catches it.
+    #[test]
+    fn v4_hostile_ihl_overruns_are_rejected() {
+        let mut frame = sample_v4().emit().unwrap();
+        // Keep only the Ethernet header plus a 60-byte "IP header" so the
+        // UDP region is empty.
+        frame.truncate(ethernet::HEADER_LEN + 60);
+        frame[ethernet::HEADER_LEN] = 0x4f; // version 4, IHL 15 (60 bytes)
+        frame[ethernet::HEADER_LEN + 2..ethernet::HEADER_LEN + 4]
+            .copy_from_slice(&60u16.to_be_bytes());
+        let got = apply(&mut frame, nc("10.1.1.12"), Vni::from_const(9));
+        assert_eq!(
+            got,
+            Err(FrameError::new(FrameLayer::OuterUdp, Error::Truncated))
+        );
+    }
+
+    /// A lying UDP length field (shorter than header + VXLAN) must be
+    /// caught when delimiting the VXLAN region.
+    #[test]
+    fn v4_lying_udp_length_is_rejected() {
+        let mut frame = sample_v4().emit().unwrap();
+        let ihl = (frame[ethernet::HEADER_LEN] & 0x0f) as usize * 4;
+        let udp_start = ethernet::HEADER_LEN + ihl;
+        // Declare exactly the UDP header: VXLAN no longer fits.
+        frame[udp_start + 4..udp_start + 6].copy_from_slice(&8u16.to_be_bytes());
+        let got = apply(&mut frame, nc("10.1.1.12"), Vni::from_const(9));
+        assert_eq!(
+            got,
+            Err(FrameError::new(FrameLayer::Vxlan, Error::Truncated))
+        );
     }
 }

@@ -145,7 +145,12 @@ fn executor_serves_colliding_vms_exactly() {
         },
     );
     assert!(
-        dp.cluster_tables(0).vm_nc.digest_stats().conflict_entries >= 1,
+        dp.pin().clusters[0]
+            .tables
+            .vm_nc
+            .digest_stats()
+            .conflict_entries
+            >= 1,
         "the colliding pair must occupy the conflict table"
     );
 

@@ -31,13 +31,19 @@ pub mod checksum;
 pub mod error;
 pub mod flow;
 pub mod mac;
+// The wire and packet hot paths parse hostile bytes; panicking slice math
+// is a lint error there (escalated to deny by CI's `-D warnings`). Impl
+// blocks whose bounds are proven by `new_checked` carry explicit
+// allow-lists — everything else must use fallible `get` access.
+#[warn(clippy::indexing_slicing)]
 pub mod packet;
 pub mod prefix;
 pub mod rss;
 pub mod vni;
+#[warn(clippy::indexing_slicing)]
 pub mod wire;
 
-pub use error::{Error, Result};
+pub use error::{Error, FrameError, FrameLayer, Result};
 pub use flow::{FiveTuple, IpProtocol};
 pub use mac::MacAddr;
 pub use packet::GatewayPacket;

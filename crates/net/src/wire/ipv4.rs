@@ -17,6 +17,10 @@ pub struct Packet<T: AsRef<[u8]>> {
     buffer: T,
 }
 
+// Bounds proven: `new_checked` validates version, IHL and total length
+// against the buffer; fixed offsets stay inside the 20-byte minimum
+// header. `new_unchecked` callers own the proof.
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]>> Packet<T> {
     /// Wraps a buffer without validating it.
     pub const fn new_unchecked(buffer: T) -> Self {
@@ -77,6 +81,16 @@ impl<T: AsRef<[u8]>> Packet<T> {
         u16::from_be_bytes([d[4], d[5]])
     }
 
+    /// Whether the packet is a fragment (MF set or nonzero offset). The
+    /// gateway data path rejects fragments: a fragmented VXLAN frame
+    /// cannot carry a parseable UDP header past the first fragment, and
+    /// overlapping-fragment reassembly is a classic hostile-input vector.
+    pub fn is_fragment(&self) -> bool {
+        let d = self.buffer.as_ref();
+        let word = u16::from_be_bytes([d[6], d[7]]);
+        word & 0x2000 != 0 || word & 0x1fff != 0
+    }
+
     /// Time-to-live.
     pub fn ttl(&self) -> u8 {
         self.buffer.as_ref()[8]
@@ -119,6 +133,9 @@ impl<T: AsRef<[u8]>> Packet<T> {
     }
 }
 
+// Bounds proven: setters and the incremental-checksum patches touch only
+// fixed offsets inside the minimum header of emit-sized buffers.
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Writes version 4 and a 20-byte IHL.
     pub fn set_version_and_header_len(&mut self) {
@@ -214,6 +231,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

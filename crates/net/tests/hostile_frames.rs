@@ -1,0 +1,352 @@
+//! Hostile-frame hardening tests for the classified parser.
+//!
+//! Two layers of defense-in-depth checks:
+//!
+//! 1. A **pinned regression corpus**: one hand-mutated frame per distinct
+//!    `FrameError` the hardened parse can produce, asserting the exact
+//!    `(layer, kind)` classification. Any refactor that silently changes
+//!    what a hostile frame degrades to fails here, not in production
+//!    counters.
+//! 2. A **structure-aware fuzz sweep**: 10 000 mutants per seed from
+//!    `sailfish_util::fuzz::FrameMutator`, aimed at the frame's real
+//!    decision points (ethertypes, IHL, length fields, flags, checksums).
+//!    The property is total: the parser never panics — every mutant
+//!    either parses or yields a typed `FrameError`. The workspace forbids
+//!    unsafe code, so a panic is the only way a slicing bug could show.
+
+use sailfish_net::packet::{GatewayPacket, GatewayPacketBuilder};
+use sailfish_net::{Error, FrameError, FrameLayer, IpProtocol, Vni};
+use sailfish_util::fuzz::{FieldSpec, FrameMutator};
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::SeedableRng;
+
+/// Base frame: IPv4 underlay, IPv4 inner UDP flow, 64-byte payload.
+/// Layout (byte offsets): outer eth 0..14, outer IPv4 14..34, outer UDP
+/// 34..42, VXLAN 42..50, inner eth 50..64, inner IPv4 64..84, inner UDP
+/// 84..92, payload 92..156.
+fn base_v4() -> Vec<u8> {
+    GatewayPacketBuilder::new(
+        Vni::from_const(0x1234),
+        "10.1.0.1".parse().unwrap(),
+        "10.2.0.2".parse().unwrap(),
+    )
+    .transport(IpProtocol::Udp, 10_000, 443)
+    .build()
+    .emit()
+    .expect("well-formed")
+}
+
+/// Base frame with an IPv6 underlay (outer UDP checksum mandatory).
+fn base_v6_outer() -> Vec<u8> {
+    GatewayPacketBuilder::new(
+        Vni::from_const(0x1234),
+        "10.1.0.1".parse().unwrap(),
+        "10.2.0.2".parse().unwrap(),
+    )
+    .outer_ips(
+        "2001:db8:ff::1".parse().unwrap(),
+        "2001:db8:ff::2".parse().unwrap(),
+    )
+    .build()
+    .emit()
+    .expect("well-formed")
+}
+
+/// Base frame with an IPv6 inner flow (inner IPv6 header at 64..104).
+fn base_v6_inner() -> Vec<u8> {
+    GatewayPacketBuilder::new(
+        Vni::from_const(0x1234),
+        "2001:db8:a::1".parse().unwrap(),
+        "2001:db8:b::2".parse().unwrap(),
+    )
+    .build()
+    .emit()
+    .expect("well-formed")
+}
+
+/// Recomputes the IPv4 header checksum of the 20-byte header starting at
+/// `start` (after a test mutates a covered field).
+fn refill_ipv4_checksum(frame: &mut [u8], start: usize) {
+    frame[start + 10] = 0;
+    frame[start + 11] = 0;
+    let mut sum = 0u32;
+    for chunk in frame[start..start + 20].chunks(2) {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    let checksum = !(sum as u16);
+    frame[start + 10..start + 12].copy_from_slice(&checksum.to_be_bytes());
+}
+
+fn expect_err(frame: &[u8], layer: FrameLayer, kind: Error, what: &str) {
+    match GatewayPacket::parse_classified(frame) {
+        Err(e) => assert_eq!(
+            e,
+            FrameError::new(layer, kind),
+            "{what}: wrong classification"
+        ),
+        Ok(_) => panic!("{what}: hostile frame parsed successfully"),
+    }
+}
+
+/// The pinned corpus: every distinct `FrameError` the parser emits, each
+/// produced by the smallest mutation that triggers it.
+#[test]
+fn pinned_corpus_covers_every_frame_error() {
+    use Error::*;
+    use FrameLayer::*;
+
+    let base = base_v4();
+    assert!(GatewayPacket::parse_classified(&base).is_ok());
+
+    // --- Outer Ethernet ---
+    expect_err(&base[..10], OuterEthernet, Truncated, "short eth header");
+    {
+        let mut f = base.clone();
+        f[12..14].copy_from_slice(&0x1234u16.to_be_bytes());
+        expect_err(&f, OuterEthernet, Unsupported, "unknown ethertype");
+    }
+
+    // --- Outer IPv4 ---
+    expect_err(&base[..20], OuterIpv4, Truncated, "cut mid IPv4 header");
+    {
+        let mut f = base.clone();
+        f[14] = 0x55; // version 5
+        expect_err(&f, OuterIpv4, Malformed, "bad IP version");
+    }
+    {
+        let mut f = base.clone();
+        f[25] ^= 0xFF;
+        expect_err(&f, OuterIpv4, Checksum, "corrupted header checksum");
+    }
+    {
+        let mut f = base.clone();
+        f[20] |= 0x20; // more-fragments
+        refill_ipv4_checksum(&mut f, 14);
+        expect_err(&f, OuterIpv4, Malformed, "outer fragment");
+    }
+    {
+        let mut f = base.clone();
+        f[23] = 6; // TCP underlay
+        refill_ipv4_checksum(&mut f, 14);
+        expect_err(&f, OuterIpv4, Unsupported, "non-UDP underlay");
+    }
+
+    // --- Outer UDP ---
+    {
+        // Total length lies short: only 4 bytes of UDP survive the slice.
+        let mut f = base.clone();
+        f[16..18].copy_from_slice(&24u16.to_be_bytes());
+        refill_ipv4_checksum(&mut f, 14);
+        expect_err(&f, OuterUdp, Truncated, "lying IPv4 total length");
+    }
+    {
+        let mut f = base.clone();
+        f[38..40].copy_from_slice(&4u16.to_be_bytes()); // < header len
+        expect_err(&f, OuterUdp, Malformed, "lying UDP length");
+    }
+    {
+        let mut f = base.clone();
+        f[36..38].copy_from_slice(&4790u16.to_be_bytes());
+        expect_err(&f, OuterUdp, Unsupported, "non-VXLAN dst port");
+    }
+    {
+        let mut f = base.clone();
+        f[40..42].copy_from_slice(&1u16.to_be_bytes()); // nonzero + wrong
+        expect_err(&f, OuterUdp, Checksum, "wrong outer UDP checksum");
+    }
+
+    // --- VXLAN ---
+    {
+        // UDP delimits 4 bytes of VXLAN header.
+        let mut f = base.clone();
+        f[38..40].copy_from_slice(&12u16.to_be_bytes());
+        expect_err(&f, Vxlan, Truncated, "UDP length cuts VXLAN header");
+    }
+    {
+        let mut f = base.clone();
+        f[42] |= 0x40; // reserved flag bit
+        expect_err(&f, Vxlan, Malformed, "reserved VXLAN flag");
+    }
+    {
+        let mut f = base.clone();
+        f[42] &= !0x08; // I flag cleared
+        expect_err(&f, Vxlan, Malformed, "VNI-valid flag cleared");
+    }
+
+    // --- Inner Ethernet ---
+    {
+        let mut f = base.clone();
+        f[38..40].copy_from_slice(&20u16.to_be_bytes()); // 4B inner eth
+        expect_err(&f, InnerEthernet, Truncated, "UDP length cuts inner eth");
+    }
+    {
+        let mut f = base.clone();
+        f[62..64].copy_from_slice(&0x9999u16.to_be_bytes());
+        expect_err(&f, InnerEthernet, Unsupported, "unknown inner ethertype");
+    }
+
+    // --- Inner IPv4 ---
+    {
+        let mut f = base.clone();
+        f[38..40].copy_from_slice(&40u16.to_be_bytes()); // 10B inner IPv4
+        expect_err(&f, InnerIpv4, Truncated, "UDP length cuts inner IPv4");
+    }
+    {
+        let mut f = base.clone();
+        f[64] = 0x55;
+        expect_err(&f, InnerIpv4, Malformed, "bad inner IP version");
+    }
+    {
+        let mut f = base.clone();
+        f[75] ^= 0xFF;
+        expect_err(&f, InnerIpv4, Checksum, "corrupted inner checksum");
+    }
+    {
+        let mut f = base.clone();
+        f[70] |= 0x20;
+        refill_ipv4_checksum(&mut f, 64);
+        expect_err(&f, InnerIpv4, Malformed, "inner fragment");
+    }
+
+    // --- Inner transport ---
+    {
+        // Inner total length lies short: 4 bytes of L4 for an 8-byte UDP.
+        let mut f = base.clone();
+        f[66..68].copy_from_slice(&24u16.to_be_bytes());
+        refill_ipv4_checksum(&mut f, 64);
+        expect_err(&f, InnerTransport, Truncated, "lying inner total length");
+    }
+    {
+        let mut f = base.clone();
+        f[88..90].copy_from_slice(&4u16.to_be_bytes());
+        expect_err(&f, InnerTransport, Malformed, "lying inner UDP length");
+    }
+
+    // --- Outer IPv6 ---
+    let v6 = base_v6_outer();
+    assert!(GatewayPacket::parse_classified(&v6).is_ok());
+    expect_err(&v6[..30], OuterIpv6, Truncated, "cut mid IPv6 header");
+    {
+        let mut f = v6.clone();
+        f[14] = 0x50;
+        expect_err(&f, OuterIpv6, Malformed, "bad IPv6 version");
+    }
+    {
+        let mut f = v6.clone();
+        f[20] = 6; // next header TCP
+        expect_err(&f, OuterIpv6, Unsupported, "non-UDP IPv6 underlay");
+    }
+    {
+        // Mandatory v6 UDP checksum zeroed out.
+        let mut f = v6.clone();
+        f[60..62].copy_from_slice(&0u16.to_be_bytes());
+        expect_err(&f, OuterUdp, Checksum, "absent mandatory v6 checksum");
+    }
+
+    // --- Inner IPv6 ---
+    let v6i = base_v6_inner();
+    assert!(GatewayPacket::parse_classified(&v6i).is_ok());
+    {
+        let mut f = v6i.clone();
+        f[64] = 0x50;
+        expect_err(&f, InnerIpv6, Malformed, "bad inner IPv6 version");
+    }
+    {
+        let mut f = v6i.clone();
+        f[38..40].copy_from_slice(&46u16.to_be_bytes()); // 16B inner IPv6
+        expect_err(&f, InnerIpv6, Truncated, "UDP length cuts inner IPv6");
+    }
+}
+
+/// Field map over the v4 base frame's decision points: ethertypes,
+/// version/IHL nibbles, every trusted length field, flags, protocols,
+/// checksums and ports.
+fn v4_field_map() -> Vec<FieldSpec> {
+    vec![
+        FieldSpec::new(12, 2),    // outer ethertype
+        FieldSpec::length(14, 1), // outer version/IHL
+        FieldSpec::length(16, 2), // outer total length
+        FieldSpec::new(20, 2),    // outer flags/fragment
+        FieldSpec::new(23, 1),    // outer protocol
+        FieldSpec::new(24, 2),    // outer header checksum
+        FieldSpec::new(36, 2),    // outer UDP dst port
+        FieldSpec::length(38, 2), // outer UDP length
+        FieldSpec::new(40, 2),    // outer UDP checksum
+        FieldSpec::new(42, 1),    // VXLAN flags
+        FieldSpec::new(46, 3),    // VNI
+        FieldSpec::new(62, 2),    // inner ethertype
+        FieldSpec::length(64, 1), // inner version/IHL
+        FieldSpec::length(66, 2), // inner total length
+        FieldSpec::new(70, 2),    // inner flags/fragment
+        FieldSpec::new(73, 1),    // inner protocol
+        FieldSpec::new(74, 2),    // inner header checksum
+        FieldSpec::length(88, 2), // inner UDP length
+    ]
+}
+
+/// 10 000 structure-aware mutants per seed: the parser must classify or
+/// reject every one without panicking, and the mutations must actually
+/// exercise a wide spread of distinct `(layer, kind)` rejections.
+#[test]
+fn fuzz_10k_mutants_per_seed_never_panic() {
+    let bases = [base_v4(), base_v6_outer(), base_v6_inner()];
+    let mutator = FrameMutator::new(v4_field_map());
+    let mut distinct: std::collections::BTreeSet<(FrameLayer, u8)> =
+        std::collections::BTreeSet::new();
+
+    for seed in [0xA5u64, 0x5EED, 0xDEADBEEF] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..10_000u32 {
+            let base = &bases[case as usize % bases.len()];
+            let (mutant, applied) = mutator.mutate(&mut rng, base);
+            match GatewayPacket::parse_classified(&mutant) {
+                Ok(packet) => {
+                    // A surviving mutant must still be a coherent packet:
+                    // re-emitting it must not panic either.
+                    let _ = packet.emit();
+                }
+                Err(e) => {
+                    distinct.insert((e.layer, e.kind as u8));
+                    // The Display path is part of the drop-with-reason
+                    // contract; it must render for every error.
+                    let rendered = e.to_string();
+                    assert!(
+                        rendered.contains(e.layer.label()),
+                        "display lost the layer for {applied:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Structure-aware mutation must reach well past the trivial
+    // truncation class.
+    assert!(
+        distinct.len() >= 10,
+        "only {} distinct (layer, kind) rejections reached: {distinct:?}",
+        distinct.len()
+    );
+}
+
+/// The erased `parse` and the classified parse agree on every mutant:
+/// same acceptance, and the erased error is the classified kind.
+#[test]
+fn erased_and_classified_parse_agree() {
+    let base = base_v4();
+    let mutator = FrameMutator::new(v4_field_map());
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..2_000 {
+        let (mutant, _) = mutator.mutate(&mut rng, &base);
+        match (
+            GatewayPacket::parse(&mutant),
+            GatewayPacket::parse_classified(&mutant),
+        ) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(erased), Err(classified)) => assert_eq!(erased, classified.kind),
+            (a, b) => panic!("parse disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   `experiments/*.json` record format and bench reports.
 //! * [`check`] — a seeded property-testing harness with replayable
 //!   failure reporting (no shrinking; seeds are the repro).
+//! * [`fuzz`] — a structure-aware byte-buffer mutator (field-offset
+//!   maps, truncation/bit-flip/length-corruption/extension) for
+//!   hostile-input testing of the wire parsers.
 //! * [`bench`] — warmup + calibrated samples + median/p99 ns/op, with
 //!   JSON output, replacing the external bench framework.
 //!
@@ -23,6 +26,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod fuzz;
 pub mod json;
 pub mod rng;
 
