@@ -30,6 +30,38 @@ run_step() {
     fi
 }
 
+# Runs a seeded smoke command twice and requires its artifact to come out
+# byte-identical — the workspace-wide determinism contract. Usage:
+#
+#   determinism_gate <name> <artifact> <cmd...>
+#
+# The command runs once (as a normal gated step), the artifact is
+# stashed, the command runs again, and the two artifacts are cmp'd.
+determinism_gate() {
+    local name="$1"
+    local artifact="$2"
+    shift 2
+    run_step "${name}" "$@"
+    if [ ! -f "${artifact}" ]; then
+        echo "==> ${name}-determinism: FAILED (${artifact} missing)"
+        failures=$((failures + 1))
+        return
+    fi
+    local stash
+    stash="/tmp/sailfish_$(echo "${name}" | tr -c 'a-zA-Z0-9' '_')run1"
+    cp "${artifact}" "${stash}"
+    run_step "${name}-rerun" "$@"
+    echo
+    echo "==> ${name}-determinism: comparing the two runs of ${artifact}"
+    if cmp -s "${stash}" "${artifact}"; then
+        echo "==> ${name}-determinism: OK (byte-identical)"
+    else
+        echo "==> ${name}-determinism: FAILED (runs differ)"
+        failures=$((failures + 1))
+    fi
+    rm -f "${stash}"
+}
+
 # 1. Offline release build — proves dependency resolution needs no network.
 run_step "build" cargo build --release --offline
 
@@ -51,87 +83,61 @@ else
 fi
 
 # 5. Static-analyzer smoke: every shipped layout must verify clean and
-#    the known-bad corpus must fire its pinned codes; run twice and cmp
-#    the rendered report (determinism gate).
-run_step "verify-smoke" cargo run --release --offline -q -p sailfish-bench \
-    --bin sailfish-verify
-if [ -f experiments/verify_report.txt ]; then
-    cp experiments/verify_report.txt /tmp/sailfish_verify_run1.txt
-    run_step "verify-determinism" cargo run --release --offline -q -p sailfish-bench \
-        --bin sailfish-verify
-    echo
-    echo "==> verify-determinism: comparing the two reports"
-    if cmp -s /tmp/sailfish_verify_run1.txt experiments/verify_report.txt; then
-        echo "==> verify-determinism: OK (byte-identical)"
-    else
-        echo "==> verify-determinism: FAILED (reports differ)"
-        failures=$((failures + 1))
-    fi
-    rm -f /tmp/sailfish_verify_run1.txt
-fi
+#    the known-bad corpus must fire its pinned codes.
+determinism_gate "verify-smoke" experiments/verify_report.txt \
+    cargo run --release --offline -q -p sailfish-bench --bin sailfish-verify
 
 # 6. Fault-injection smoke: the chaos sweep must run clean (zero
-#    invariant violations, every fault recovered) at tiny scale, twice,
-#    with byte-identical JSON output (determinism gate).
-run_step "chaos-smoke" cargo run --release --offline -q -p sailfish-bench \
+#    invariant violations, every fault recovered) at tiny scale.
+determinism_gate "chaos-smoke" experiments/fault_injection.json \
+    cargo run --release --offline -q -p sailfish-bench \
     --bin fault_injection_sweep -- --tiny
-if [ -f experiments/fault_injection.json ]; then
-    cp experiments/fault_injection.json /tmp/sailfish_fault_injection_run1.json
-    run_step "chaos-determinism" cargo run --release --offline -q -p sailfish-bench \
-        --bin fault_injection_sweep -- --tiny
-    echo
-    echo "==> chaos-determinism: comparing the two runs"
-    if cmp -s /tmp/sailfish_fault_injection_run1.json experiments/fault_injection.json; then
-        echo "==> chaos-determinism: OK (byte-identical)"
-    else
-        echo "==> chaos-determinism: FAILED (runs differ)"
-        failures=$((failures + 1))
-    fi
-    rm -f /tmp/sailfish_fault_injection_run1.json
-fi
 
 # 7. Live-executor chaos smoke: fault schedules replayed against the
 #    packet-level dataplane must hold all three invariants (no black
-#    hole, bounded fallback, oracle agreement after every epoch swap) at
-#    tiny scale, twice, with byte-identical JSON (determinism gate).
-run_step "chaos-dataplane-smoke" cargo run --release --offline -q -p sailfish-bench \
+#    hole, bounded fallback, oracle agreement after every epoch swap).
+determinism_gate "chaos-dataplane-smoke" experiments/chaos_dataplane.json \
+    cargo run --release --offline -q -p sailfish-bench \
     --bin chaos_dataplane_sweep -- --tiny
-if [ -f experiments/chaos_dataplane.json ]; then
-    cp experiments/chaos_dataplane.json /tmp/sailfish_chaos_dataplane_run1.json
-    run_step "chaos-dataplane-determinism" cargo run --release --offline -q -p sailfish-bench \
-        --bin chaos_dataplane_sweep -- --tiny
-    echo
-    echo "==> chaos-dataplane-determinism: comparing the two runs"
-    if cmp -s /tmp/sailfish_chaos_dataplane_run1.json experiments/chaos_dataplane.json; then
-        echo "==> chaos-dataplane-determinism: OK (byte-identical)"
-    else
-        echo "==> chaos-dataplane-determinism: FAILED (runs differ)"
-        failures=$((failures + 1))
-    fi
-    rm -f /tmp/sailfish_chaos_dataplane_run1.json
-fi
 
 # 8. Dataplane smoke: the behavioral executor must hold the differential
-#    oracle at tiny scale, twice, with byte-identical JSON counters
-#    (determinism gate).
-run_step "dataplane-smoke" cargo run --release --offline -q -p sailfish-bench \
+#    oracle at tiny scale.
+determinism_gate "dataplane-smoke" BENCH_dataplane.json \
+    cargo run --release --offline -q -p sailfish-bench \
     --bin dataplane_bench -- --tiny
-if [ -f BENCH_dataplane.json ]; then
-    cp BENCH_dataplane.json /tmp/sailfish_dataplane_run1.json
-    run_step "dataplane-determinism" cargo run --release --offline -q -p sailfish-bench \
-        --bin dataplane_bench -- --tiny
-    echo
-    echo "==> dataplane-determinism: comparing the two runs"
-    if cmp -s /tmp/sailfish_dataplane_run1.json BENCH_dataplane.json; then
-        echo "==> dataplane-determinism: OK (byte-identical)"
+
+# 9. Wall-clock smoke: the batch pipeline must reproduce the scalar
+#    decision digests in every mode (the bench exits non-zero otherwise).
+#    Only the seeded digest artifact is determinism-gated — timings live
+#    in BENCH_wallclock.json and are checked against floors below.
+determinism_gate "wallclock-smoke" experiments/wallclock_digest.json \
+    cargo run --release --offline -q -p sailfish-bench \
+    --bin dataplane_wallclock_bench -- --tiny
+
+# 10. Perf floor: the batch hot path must clear a deliberately
+#     conservative wall-clock bar (shared CI boxes are noisy; the floor
+#     catches order-of-magnitude regressions, not percent drift) and
+#     must never allocate per packet in steady state.
+echo
+echo "==> perf-floor: wall-clock batch floors from BENCH_wallclock.json"
+if [ -f BENCH_wallclock.json ]; then
+    steady=$(sed -n 's/.*"steady_mpps": \([0-9.]*\).*/\1/p' BENCH_wallclock.json)
+    speedup=$(sed -n 's/.*"speedup_vs_scalar": \([0-9.]*\).*/\1/p' BENCH_wallclock.json)
+    allocs=$(sed -n 's/.*"steady_allocs_per_packet": \([0-9]*\).*/\1/p' BENCH_wallclock.json)
+    echo "    steady ${steady:-?} Mpps (floor 1.5) | speedup ${speedup:-?}x (floor 1.0) | allocs/pkt ${allocs:-?} (must be 0)"
+    if awk -v s="${steady:-0}" -v x="${speedup:-0}" -v a="${allocs:-1}" \
+        'BEGIN { exit !(s >= 1.5 && x >= 1.0 && a == 0) }'; then
+        echo "==> perf-floor: OK"
     else
-        echo "==> dataplane-determinism: FAILED (runs differ)"
+        echo "==> perf-floor: FAILED (below conservative floor)"
         failures=$((failures + 1))
     fi
-    rm -f /tmp/sailfish_dataplane_run1.json
+else
+    echo "==> perf-floor: FAILED (BENCH_wallclock.json missing)"
+    failures=$((failures + 1))
 fi
 
-# 9. Dependency policy: no external crates anywhere in the workspace.
+# 11. Dependency policy: no external crates anywhere in the workspace.
 echo
 echo "==> policy: no external crate references in manifests"
 if grep -rn "rand\|proptest\|criterion\|serde\|crossbeam\|parking_lot\|bytes" \

@@ -30,6 +30,7 @@ const BINS: &[&str] = &[
     "fault_injection_sweep",
     "chaos_dataplane_sweep",
     "dataplane_bench",
+    "dataplane_wallclock_bench",
     "ablation_alpm_depth",
     "ablation_folding",
     "ablation_cache_vs_prealloc",

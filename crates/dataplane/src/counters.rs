@@ -6,7 +6,7 @@
 //! and flow-cache effectiveness. The counter set is `Copy` so the virtual
 //! cost model can snapshot it around a single packet walk.
 
-use sailfish_net::{Error, FrameError};
+use sailfish_net::{Error, FrameError, FrameLayer};
 
 /// Stage-by-stage dataplane counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,6 +26,24 @@ pub struct TableCounters {
     pub frame_checksum: u64,
     /// Frames rejected for an out-of-range field value.
     pub frame_out_of_range: u64,
+    /// Frames rejected at the outer Ethernet layer.
+    pub layer_outer_ethernet: u64,
+    /// Frames rejected at the outer IPv4 layer.
+    pub layer_outer_ipv4: u64,
+    /// Frames rejected at the outer IPv6 layer.
+    pub layer_outer_ipv6: u64,
+    /// Frames rejected at the outer UDP layer.
+    pub layer_outer_udp: u64,
+    /// Frames rejected at the VXLAN layer.
+    pub layer_vxlan: u64,
+    /// Frames rejected at the inner Ethernet layer.
+    pub layer_inner_ethernet: u64,
+    /// Frames rejected at the inner IPv4 layer.
+    pub layer_inner_ipv4: u64,
+    /// Frames rejected at the inner IPv6 layer.
+    pub layer_inner_ipv6: u64,
+    /// Frames rejected at the inner transport layer.
+    pub layer_inner_transport: u64,
     /// Packets dropped by the ACL stage.
     pub acl_denied: u64,
     /// Single-step LPM lookups issued against the routing table.
@@ -79,8 +97,8 @@ impl TableCounters {
     }
 
     /// Records a typed parse failure: bumps the `parse_errors` total plus
-    /// the per-kind breakdown counter, so hostile bytes always degrade to
-    /// a counted drop-with-reason.
+    /// the per-kind and per-layer breakdown counters, so hostile bytes
+    /// always degrade to a counted drop-with-reason.
     pub fn record_frame_error(&mut self, err: FrameError) {
         self.parse_errors += 1;
         match err.kind {
@@ -90,10 +108,21 @@ impl TableCounters {
             Error::Checksum => self.frame_checksum += 1,
             Error::OutOfRange => self.frame_out_of_range += 1,
         }
+        match err.layer {
+            FrameLayer::OuterEthernet => self.layer_outer_ethernet += 1,
+            FrameLayer::OuterIpv4 => self.layer_outer_ipv4 += 1,
+            FrameLayer::OuterIpv6 => self.layer_outer_ipv6 += 1,
+            FrameLayer::OuterUdp => self.layer_outer_udp += 1,
+            FrameLayer::Vxlan => self.layer_vxlan += 1,
+            FrameLayer::InnerEthernet => self.layer_inner_ethernet += 1,
+            FrameLayer::InnerIpv4 => self.layer_inner_ipv4 += 1,
+            FrameLayer::InnerIpv6 => self.layer_inner_ipv6 += 1,
+            FrameLayer::InnerTransport => self.layer_inner_transport += 1,
+        }
     }
 
     /// Stable-ordered `(name, value)` view for deterministic JSON output.
-    pub fn fields(&self) -> [(&'static str, u64); 27] {
+    pub fn fields(&self) -> [(&'static str, u64); 36] {
         [
             ("parsed", self.parsed),
             ("parse_errors", self.parse_errors),
@@ -102,6 +131,15 @@ impl TableCounters {
             ("frame_unsupported", self.frame_unsupported),
             ("frame_checksum", self.frame_checksum),
             ("frame_out_of_range", self.frame_out_of_range),
+            ("layer_outer_ethernet", self.layer_outer_ethernet),
+            ("layer_outer_ipv4", self.layer_outer_ipv4),
+            ("layer_outer_ipv6", self.layer_outer_ipv6),
+            ("layer_outer_udp", self.layer_outer_udp),
+            ("layer_vxlan", self.layer_vxlan),
+            ("layer_inner_ethernet", self.layer_inner_ethernet),
+            ("layer_inner_ipv4", self.layer_inner_ipv4),
+            ("layer_inner_ipv6", self.layer_inner_ipv6),
+            ("layer_inner_transport", self.layer_inner_transport),
             ("acl_denied", self.acl_denied),
             ("route_lookups", self.route_lookups),
             ("route_hits", self.route_hits),
@@ -125,7 +163,7 @@ impl TableCounters {
         ]
     }
 
-    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 27] {
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 36] {
         [
             ("parsed", &mut self.parsed),
             ("parse_errors", &mut self.parse_errors),
@@ -134,6 +172,15 @@ impl TableCounters {
             ("frame_unsupported", &mut self.frame_unsupported),
             ("frame_checksum", &mut self.frame_checksum),
             ("frame_out_of_range", &mut self.frame_out_of_range),
+            ("layer_outer_ethernet", &mut self.layer_outer_ethernet),
+            ("layer_outer_ipv4", &mut self.layer_outer_ipv4),
+            ("layer_outer_ipv6", &mut self.layer_outer_ipv6),
+            ("layer_outer_udp", &mut self.layer_outer_udp),
+            ("layer_vxlan", &mut self.layer_vxlan),
+            ("layer_inner_ethernet", &mut self.layer_inner_ethernet),
+            ("layer_inner_ipv4", &mut self.layer_inner_ipv4),
+            ("layer_inner_ipv6", &mut self.layer_inner_ipv6),
+            ("layer_inner_transport", &mut self.layer_inner_transport),
             ("acl_denied", &mut self.acl_denied),
             ("route_lookups", &mut self.route_lookups),
             ("route_hits", &mut self.route_hits),
@@ -204,6 +251,16 @@ mod tests {
             + c.frame_checksum
             + c.frame_out_of_range;
         assert_eq!(c.parse_errors, breakdown);
+        assert_eq!(c.layer_outer_ipv4, 1);
+        assert_eq!(c.layer_vxlan, 1);
+        assert_eq!(c.layer_outer_udp, 1);
+        let by_layer: u64 = c
+            .fields()
+            .iter()
+            .filter(|(n, _)| n.starts_with("layer_"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(c.parse_errors, by_layer, "layer breakdown out of sync");
     }
 
     #[test]

@@ -10,13 +10,18 @@
 //! software path whenever the hardware pipeline cannot serve a packet —
 //! the same fallback model the region simulation uses.
 //!
-//! Two execution modes exist:
+//! Two executors exist over the same epoch-versioned tables:
 //!
-//! - **single-threaded deterministic** ([`executor::Dataplane::run_single`])
-//!   for golden tests and byte-identical benchmark JSON, and
-//! - **multi-worker** ([`executor::Dataplane::run_multi`]) using scoped
-//!   threads, per-worker batching and a sharded flow cache, partitioned by
-//!   outer-UDP flow entropy exactly like an underlay ECMP fabric would.
+//! - the **scalar** [`executor::Dataplane`] (single-threaded deterministic
+//!   [`executor::Dataplane::run_single`] for golden tests and byte-identical
+//!   benchmark JSON, plus scoped-thread [`executor::Dataplane::run_multi`]
+//!   partitioned by outer-UDP flow entropy exactly like an underlay ECMP
+//!   fabric would), and
+//! - the **zero-allocation batch pipeline** ([`batch::BatchExecutor`]),
+//!   which walks contiguous frame lanes through per-stage loops with a
+//!   borrowed-view parser, an evicting S3-FIFO flow cache and a reusable
+//!   rewrite arena. The scalar executor stays the determinism oracle: both
+//!   produce identical decision digests on the same frames.
 //!
 //! The differential oracle ([`oracle::differential_run`]) pins the whole
 //! pipeline against the reference software forwarder: every packet the
@@ -26,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
@@ -42,7 +48,9 @@ pub mod oracle;
 pub mod rewrite;
 pub mod traffic;
 
+pub use batch::BatchExecutor;
 pub use breaker::{Admission, BreakerConfig, BreakerState, BreakerStats, PuntBreaker};
+pub use cache::{CachedAction, FlowCache, FlowOutcome};
 pub use chaos::{ChaosConfig, ChaosReport, FaultOutcome, InvariantViolation, SlotRecord};
 pub use counters::TableCounters;
 pub use epoch::{EpochCell, EpochState, WorldView};

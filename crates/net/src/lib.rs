@@ -21,6 +21,9 @@
 //!
 //! - [`vni::Vni`]: 24-bit VXLAN network identifier (the VPC id),
 //! - [`prefix`]: masked IPv4/IPv6 prefixes with containment tests,
+//! - [`view::FrameView`]: a borrowed, allocation-free validation of a
+//!   full VXLAN frame for the batch hot path, error-identical to
+//!   `GatewayPacket::parse_classified`,
 //! - [`flow::FiveTuple`]: the flow key used by RSS and SNAT,
 //! - [`rss`]: the Toeplitz hash used by NICs for receive-side scaling,
 //! - [`checksum`]: Internet checksum helpers shared by the wire types.
@@ -39,6 +42,8 @@ pub mod mac;
 pub mod packet;
 pub mod prefix;
 pub mod rss;
+#[warn(clippy::indexing_slicing)]
+pub mod view;
 pub mod vni;
 #[warn(clippy::indexing_slicing)]
 pub mod wire;
@@ -48,4 +53,5 @@ pub use flow::{FiveTuple, IpProtocol};
 pub use mac::MacAddr;
 pub use packet::GatewayPacket;
 pub use prefix::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+pub use view::{FlowKey, FrameView};
 pub use vni::Vni;
