@@ -100,6 +100,13 @@ determinism_gate "chaos-dataplane-smoke" experiments/chaos_dataplane.json \
     cargo run --release --offline -q -p sailfish-bench \
     --bin chaos_dataplane_sweep -- --tiny
 
+# 7b. Elastic re-shard smoke: scripted make-before-break migrations
+#     under live traffic and per-phase faults must commit or roll back
+#     cleanly (zero violations, rollback from every pre-commit phase).
+determinism_gate "reshard-smoke" experiments/reshard.json \
+    cargo run --release --offline -q -p sailfish-bench \
+    --bin reshard_sweep -- --tiny
+
 # 8. Dataplane smoke: the behavioral executor must hold the differential
 #    oracle at tiny scale.
 determinism_gate "dataplane-smoke" BENCH_dataplane.json \

@@ -29,6 +29,7 @@ const BINS: &[&str] = &[
     "n_plus_1_hierarchy",
     "fault_injection_sweep",
     "chaos_dataplane_sweep",
+    "reshard_sweep",
     "dataplane_bench",
     "dataplane_wallclock_bench",
     "ablation_alpm_depth",

@@ -277,6 +277,50 @@ pub fn run_schedule(
     }
 }
 
+/// Outcome of one probe-gated re-admission attempt, shared by every
+/// recovery path that ends with `readmit_device`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadmitOutcome {
+    /// Probes passed (or the action was a typed no-op); the device is
+    /// back in rotation.
+    Readmitted,
+    /// The probe gate refused the device — it stays offline.
+    Refused,
+    /// The re-admission itself failed (bad target and the like).
+    Failed,
+}
+
+/// Runs the probe gate for `(cluster, device)` and records a violation on
+/// anything but success. The single place the four recovery paths
+/// (install failure, node death, cluster failure, table corruption)
+/// funnel their re-admission through.
+fn readmit_and_log(
+    region: &mut Region,
+    probes: &[Probe],
+    cluster: usize,
+    device: usize,
+    slot: u64,
+    violations: &mut Vec<InvariantViolation>,
+) -> ReadmitOutcome {
+    match failover::readmit_device(region, probes, cluster, device) {
+        Ok(_) => ReadmitOutcome::Readmitted,
+        Err(RecoveryError::ProbeGateFailed { failures, .. }) => {
+            violations.push(InvariantViolation {
+                slot,
+                what: format!("probe gate refused ({cluster},{device}): {failures} failures"),
+            });
+            ReadmitOutcome::Refused
+        }
+        Err(e) => {
+            violations.push(InvariantViolation {
+                slot,
+                what: format!("readmit({cluster},{device}): {e}"),
+            });
+            ReadmitOutcome::Failed
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn inject(
     region: &mut Region,
@@ -361,9 +405,10 @@ fn inject(
                 }
                 Err(e) => fail(format!("reinstall({cluster},{device}): {e}"), violations),
             }
-            match failover::readmit_device(region, probes, cluster, device) {
-                Ok(_) => record.recovered_at = Some(slot),
-                Err(e) => fail(format!("readmit({cluster},{device}): {e}"), violations),
+            if readmit_and_log(region, probes, cluster, device, slot, violations)
+                == ReadmitOutcome::Readmitted
+            {
+                record.recovered_at = Some(slot);
             }
         }
         FaultKind::TableCorruption { cluster, device } => {
@@ -395,9 +440,10 @@ fn recover(
         FaultKind::NodeDeath { cluster, device } => {
             // Tables survived the outage; the probe gate verifies that
             // before the device rejoins the ECMP group.
-            match failover::readmit_device(region, probes, cluster, device) {
-                Ok(_) => record.recovered_at = Some(slot),
-                Err(e) => fail(format!("readmit({cluster},{device}): {e}"), violations),
+            if readmit_and_log(region, probes, cluster, device, slot, violations)
+                == ReadmitOutcome::Readmitted
+            {
+                record.recovered_at = Some(slot);
             }
         }
         FaultKind::PortDegradation {
@@ -412,19 +458,10 @@ fn recover(
         FaultKind::ClusterFailure { cluster } => {
             let mut ok = true;
             for device in 0..region.config.devices_per_cluster {
-                match failover::readmit_device(region, probes, cluster, device) {
-                    Ok(_) => {}
-                    Err(RecoveryError::ProbeGateFailed { failures, .. }) => {
-                        ok = false;
-                        fail(
-                            format!("probe gate refused ({cluster},{device}): {failures} failures"),
-                            violations,
-                        );
-                    }
-                    Err(e) => {
-                        ok = false;
-                        fail(format!("readmit({cluster},{device}): {e}"), violations);
-                    }
+                if readmit_and_log(region, probes, cluster, device, slot, violations)
+                    != ReadmitOutcome::Readmitted
+                {
+                    ok = false;
                 }
             }
             match failover::restore_cluster(region, cluster) {
@@ -461,9 +498,10 @@ fn recover(
                 }
                 Err(e) => fail(format!("reinstall({cluster},{device}): {e}"), violations),
             }
-            match failover::readmit_device(region, probes, cluster, device) {
-                Ok(_) => record.recovered_at = Some(slot),
-                Err(e) => fail(format!("readmit({cluster},{device}): {e}"), violations),
+            if readmit_and_log(region, probes, cluster, device, slot, violations)
+                == ReadmitOutcome::Readmitted
+            {
+                record.recovered_at = Some(slot);
             }
         }
         FaultKind::HeavyHitterStorm { .. } => {

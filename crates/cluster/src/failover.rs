@@ -148,6 +148,25 @@ fn check_device(region: &Region, cluster: usize, device: usize) -> Result<(), Re
     Ok(())
 }
 
+/// Whether a device is out of service *on purpose*: retired by an elastic
+/// scale-in, or part of a cluster the split plan assigns nothing to (a
+/// spare that was never admitted, or a source cluster drained by a
+/// re-shard). Recovery actions aimed at such a device are no-ops —
+/// `Ok(NotApplicable)`, never an error — so chaos and re-shard schedules
+/// compose without coordinating.
+fn intentionally_out(region: &Region, cluster: usize, device: usize) -> bool {
+    if region.is_retired(cluster, device) {
+        return true;
+    }
+    let primaries = region.plan.clusters_needed();
+    let plan_cluster = if cluster >= primaries {
+        cluster - primaries
+    } else {
+        cluster
+    };
+    !region.plan.assignments.values().any(|c| *c == plan_cluster)
+}
+
 fn check_primary(region: &Region, cluster: usize) -> Result<usize, RecoveryError> {
     let primaries = region.plan.clusters_needed();
     if cluster >= primaries {
@@ -192,6 +211,9 @@ pub fn restore_cluster(region: &mut Region, cluster: usize) -> RecoveryResult {
 /// ECMP re-hashing.
 pub fn fail_device(region: &mut Region, cluster: usize, device: usize) -> RecoveryResult {
     check_device(region, cluster, device)?;
+    if intentionally_out(region, cluster, device) {
+        return Ok(RecoveryOutcome::NotApplicable);
+    }
     if region.hw[cluster].take_device_offline(device) {
         Ok(RecoveryOutcome::NodeOffline {
             remaining: region.hw[cluster].online_devices(),
@@ -213,6 +235,9 @@ pub fn isolate_ports(
     healthy_fraction: f64,
 ) -> RecoveryResult {
     check_device(region, cluster, device)?;
+    if intentionally_out(region, cluster, device) {
+        return Ok(RecoveryOutcome::NotApplicable);
+    }
     let scale = &mut region.capacity_scale[cluster][device];
     *scale = healthy_fraction.clamp(0.0, 1.0);
     Ok(RecoveryOutcome::PortsIsolated {
@@ -229,6 +254,9 @@ pub fn restore_ports(region: &mut Region, cluster: usize, device: usize) -> Reco
 /// [`readmit_device`] after any event that may have touched tables).
 pub fn restore_device(region: &mut Region, cluster: usize, device: usize) -> RecoveryResult {
     check_device(region, cluster, device)?;
+    if intentionally_out(region, cluster, device) {
+        return Ok(RecoveryOutcome::NotApplicable);
+    }
     if region.hw[cluster].ecmp.members().contains(&device) {
         return Ok(RecoveryOutcome::NotApplicable);
     }
@@ -253,6 +281,9 @@ pub fn readmit_device(
     device: usize,
 ) -> RecoveryResult {
     check_device(region, cluster, device)?;
+    if intentionally_out(region, cluster, device) {
+        return Ok(RecoveryOutcome::NotApplicable);
+    }
     let failures = probe::run_device(region, probes, cluster, device);
     if !failures.is_empty() {
         return Err(RecoveryError::ProbeGateFailed {
@@ -469,6 +500,64 @@ mod tests {
         assert!(matches!(
             fail_cluster(&mut region, primaries),
             Err(RecoveryError::UnknownCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn retired_and_never_admitted_devices_are_not_applicable() {
+        let (topology, _flows, mut region) = build();
+        let probes = probe::generate(&topology, 3);
+        // Retire a device (elastic scale-in): every recovery action aimed
+        // at it becomes a typed no-op, not an error.
+        region.retire_device(0, 2);
+        assert_eq!(
+            fail_device(&mut region, 0, 2).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        assert_eq!(
+            restore_device(&mut region, 0, 2).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        assert_eq!(
+            readmit_device(&mut region, &probes, 0, 2).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        assert_eq!(
+            isolate_ports(&mut region, 0, 2, 0.5).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        // It stays out of rotation.
+        assert_eq!(region.hw[0].online_devices(), 2);
+
+        // A spare cluster's devices were never admitted into service (the
+        // plan assigns them nothing): same no-op semantics, and an
+        // out-of-range index is still a typed error.
+        let mut spare_region = Region::build(
+            &topology,
+            RegionConfig {
+                spare_clusters: 1,
+                with_backup: false,
+                capacity: ClusterCapacity {
+                    max_routes: 600,
+                    max_vms: 3_000,
+                },
+                ..RegionConfig::default()
+            },
+        )
+        .unwrap();
+        let spare = spare_region.plan.clusters_needed() - 1;
+        assert!(!spare_region.plan.assignments.values().any(|c| *c == spare));
+        assert_eq!(
+            fail_device(&mut spare_region, spare, 0).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        assert_eq!(
+            readmit_device(&mut spare_region, &probes, spare, 0).unwrap(),
+            RecoveryOutcome::NotApplicable
+        );
+        assert!(matches!(
+            fail_device(&mut spare_region, spare, 99),
+            Err(RecoveryError::UnknownDevice { .. })
         ));
     }
 

@@ -108,10 +108,28 @@ impl EcmpGroup {
     }
 }
 
+/// Picks between two co-owners of a VNI range during a make-before-break
+/// migration's `Dual` phase. The choice is a pure flow-hash function, so
+/// upstream ECMP, the region model, and the packet-level executor all
+/// send a given flow to the *same* owner — no packet can land on a device
+/// that lacks the tables, because both owners hold them.
+pub fn pick_owner(hasher: &Toeplitz, tuple: &FiveTuple, primary: usize, secondary: usize) -> usize {
+    if hasher.hash_tuple(tuple) & 1 == 0 {
+        primary
+    } else {
+        secondary
+    }
+}
+
 /// VNI → cluster directory, maintained by the controller's split plan.
+///
+/// During an elastic re-shard a VNI can temporarily have a *second*
+/// owner (`Dual` phase of the make-before-break sequence): the primary
+/// map keeps the old owner until `promote` retargets it in one step.
 #[derive(Debug, Clone, Default)]
 pub struct VniDirectory {
     map: HashMap<Vni, usize>,
+    dual: HashMap<Vni, usize>,
 }
 
 impl VniDirectory {
@@ -128,6 +146,47 @@ impl VniDirectory {
     /// The cluster serving a VNI.
     pub fn cluster_for(&self, vni: Vni) -> Option<usize> {
         self.map.get(&vni).copied()
+    }
+
+    /// Starts dual ownership: `secondary` co-owns the VNI alongside the
+    /// current primary. Traffic may be hashed to either owner until the
+    /// migration commits (`promote`) or aborts (`abort_dual`).
+    pub fn begin_dual(&mut self, vni: Vni, secondary: usize) {
+        self.dual.insert(vni, secondary);
+    }
+
+    /// Commits a migration: the dual owner becomes the sole primary in
+    /// one atomic directory step. Returns `false` when no dual ownership
+    /// was in effect for the VNI.
+    pub fn promote(&mut self, vni: Vni) -> bool {
+        match self.dual.remove(&vni) {
+            Some(new_owner) => {
+                self.map.insert(vni, new_owner);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Aborts a migration: drops the dual owner, leaving the primary
+    /// untouched. Returns `false` when no dual ownership was in effect.
+    pub fn abort_dual(&mut self, vni: Vni) -> bool {
+        self.dual.remove(&vni).is_some()
+    }
+
+    /// The secondary owner of a VNI during `Dual`, if any.
+    pub fn dual_of(&self, vni: Vni) -> Option<usize> {
+        self.dual.get(&vni).copied()
+    }
+
+    /// Number of VNIs currently under dual ownership.
+    pub fn dual_len(&self) -> usize {
+        self.dual.len()
+    }
+
+    /// Both owners of a VNI: `(primary, Option<secondary>)`.
+    pub fn owners_for(&self, vni: Vni) -> Option<(usize, Option<usize>)> {
+        self.cluster_for(vni).map(|p| (p, self.dual_of(vni)))
     }
 
     /// Number of assigned VNIs.
@@ -232,6 +291,38 @@ mod tests {
         }
         g.remove(2);
         assert_eq!(g.pick(&tuple(0)), Err(LbError::Empty));
+    }
+
+    #[test]
+    fn dual_ownership_promote_and_abort() {
+        let mut d = VniDirectory::new();
+        let v = Vni::from_const(7);
+        d.assign(v, 0);
+        assert_eq!(d.owners_for(v), Some((0, None)));
+        d.begin_dual(v, 3);
+        assert_eq!(d.owners_for(v), Some((0, Some(3))));
+        assert_eq!(d.cluster_for(v), Some(0), "primary unchanged in Dual");
+        assert!(d.promote(v));
+        assert_eq!(d.owners_for(v), Some((3, None)));
+        assert!(!d.promote(v), "promote is one-shot");
+
+        d.begin_dual(v, 1);
+        assert!(d.abort_dual(v));
+        assert_eq!(d.owners_for(v), Some((3, None)), "abort keeps primary");
+        assert!(!d.abort_dual(v));
+    }
+
+    #[test]
+    fn pick_owner_is_stable_and_covers_both() {
+        let h = Toeplitz::default();
+        let mut saw = [false; 2];
+        for i in 0..200 {
+            let t = tuple(i);
+            let o = pick_owner(&h, &t, 0, 1);
+            assert_eq!(o, pick_owner(&h, &t, 0, 1));
+            saw[o] = true;
+        }
+        assert!(saw[0] && saw[1], "both owners should receive flows");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod lb;
 pub mod monitor;
 pub mod probe;
 pub mod region;
+pub mod reshard;
 
 pub use controller::{Controller, SplitPlan};
 pub use region::{Region, RegionConfig, RegionReport};

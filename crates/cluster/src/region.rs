@@ -19,7 +19,10 @@
 //! approaches 10⁻¹⁰ (see DESIGN.md §2; this is a documented substitution
 //! for effects below the fluid model's resolution).
 
+use std::collections::BTreeSet;
+
 use sailfish_net::packet::GatewayPacketBuilder;
+use sailfish_net::rss::Toeplitz;
 use sailfish_sim::topology::Topology;
 use sailfish_sim::workload::Flow;
 use sailfish_tables::alpm::AlpmConfig;
@@ -28,8 +31,10 @@ use sailfish_xgw_h::{HwDecision, XgwH};
 use sailfish_xgw_x86::{CoreLoadReport, FlowRate, FluidEngine, XgwX86Config};
 
 use crate::cluster::{HwCluster, SwCluster};
-use crate::controller::{ClusterCapacity, Controller, InstallError, PlanError, SplitPlan};
-use crate::lb::{EcmpGroup, LbError, VniDirectory};
+use crate::controller::{
+    ClusterCapacity, ClusterLoad, Controller, InstallError, PlanError, SplitPlan,
+};
+use crate::lb::{pick_owner, EcmpGroup, LbError, VniDirectory};
 
 /// Residual (micro-burst) loss ratio of one hardware device at
 /// utilization `u ∈ [0, 1]`.
@@ -43,6 +48,10 @@ pub fn hw_residual_loss_ratio(u: f64) -> f64 {
 pub struct RegionConfig {
     /// Primary XGW-H clusters.
     pub hw_clusters: usize,
+    /// Empty spare clusters built beyond the split plan's needs — the
+    /// headroom an elastic scale-out re-shard migrates VNIs into. Spares
+    /// mirror to backups like any other cluster when `with_backup`.
+    pub spare_clusters: usize,
     /// Devices per cluster.
     pub devices_per_cluster: usize,
     /// Whether to build 1:1 hot-standby backup clusters (§6.1).
@@ -79,6 +88,7 @@ impl Default for RegionConfig {
     fn default() -> Self {
         RegionConfig {
             hw_clusters: 4,
+            spare_clusters: 0,
             devices_per_cluster: 3,
             with_backup: true,
             sw_nodes: 4,
@@ -284,12 +294,25 @@ pub struct Region {
     /// Per-device capacity scale in `[0, 1]` (`[cluster][device]`);
     /// port-level isolation (§6.1) reduces it below 1.
     pub capacity_scale: Vec<Vec<f64>>,
+    /// Devices retired by an elastic scale-in (drained, out of rotation).
+    /// Recovery actions aimed at a retired device are no-ops
+    /// ([`crate::failover::RecoveryOutcome::NotApplicable`]), so chaos
+    /// and re-shard schedules compose.
+    pub retired: BTreeSet<(usize, usize)>,
+    /// Flow hasher shared with the ECMP layer; dual-owner picks during a
+    /// re-shard's `Dual` phase use it so the region model and the
+    /// packet-level executor agree on which owner serves a flow.
+    hasher: Toeplitz,
 }
 
 impl Region {
     /// Plans, builds and installs a region for a topology.
     pub fn build(topology: &Topology, config: RegionConfig) -> Result<Region, BuildError> {
-        let plan = Controller::plan_split(topology, config.capacity, config.hw_clusters)?;
+        let mut plan = Controller::plan_split(topology, config.capacity, config.hw_clusters)?;
+        // Spares are planned-empty clusters: real hardware, zero load.
+        // A scale-out re-shard later migrates VNIs into them.
+        let padded = plan.per_cluster.len() + config.spare_clusters;
+        plan.per_cluster.resize(padded, ClusterLoad::default());
         let clusters = plan.clusters_needed().max(1);
         let total_clusters = if config.with_backup {
             clusters * 2
@@ -345,7 +368,23 @@ impl Region {
             hw,
             sw,
             capacity_scale,
+            retired: BTreeSet::new(),
+            hasher: Toeplitz::default(),
         })
+    }
+
+    /// Retires a device (elastic scale-in): pulls it out of ECMP and
+    /// marks it so later recovery actions treat it as intentionally gone.
+    pub fn retire_device(&mut self, cluster: usize, device: usize) {
+        if let Some(hw) = self.hw.get_mut(cluster) {
+            hw.take_device_offline(device);
+        }
+        self.retired.insert((cluster, device));
+    }
+
+    /// Whether a device was retired by a scale-in (as opposed to failed).
+    pub fn is_retired(&self, cluster: usize, device: usize) -> bool {
+        self.retired.contains(&(cluster, device))
     }
 
     /// Index of the backup cluster for primary `cluster`.
@@ -375,10 +414,15 @@ impl Region {
 
     /// Classifies one flow: which path it takes through the region.
     pub fn classify(&self, flow: &Flow) -> FlowPath {
-        let Some(cluster) = self.directory.cluster_for(flow.vni) else {
+        let Some(mut cluster) = self.directory.cluster_for(flow.vni) else {
             // Directory gap: the VNI's install failed or was rolled back.
             return self.no_hw_path(flow);
         };
+        if let Some(secondary) = self.directory.dual_of(flow.vni) {
+            // Make-before-break `Dual` phase: both owners hold the VNI's
+            // tables, so the flow hash may steer to either one.
+            cluster = pick_owner(&self.hasher, &flow.tuple, cluster, secondary);
+        }
         let Ok(device) = self.hw[cluster].device_for(&flow.tuple) else {
             // Every device of the serving cluster is offline.
             return self.no_hw_path(flow);

@@ -1,0 +1,179 @@
+//! Seeded property tests for the controller's horizontal split and the
+//! incremental re-shard planner.
+//!
+//! Each case generates a topology from a seed and checks the invariants
+//! any valid split must carry — determinism, exactly-once VNI coverage,
+//! peer co-location, capacity respect — and that a [`ReshardPlan`]
+//! between two valid splits moves exactly the peer groups whose
+//! assignment differs, nothing else.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sailfish_cluster::controller::{ClusterCapacity, Controller, SplitPlan};
+use sailfish_cluster::reshard::ReshardPlan;
+use sailfish_net::Vni;
+use sailfish_sim::{Topology, TopologyConfig};
+
+const SEEDS: [u64; 6] = [1, 7, 42, 1337, 0xBEEF, 0xE1A5];
+
+fn topology_for(seed: u64) -> Topology {
+    Topology::generate(TopologyConfig {
+        seed,
+        // Vary the tenancy scale with the seed so the cases exercise
+        // different group counts and weights.
+        vpcs: 120 + (seed as usize % 5) * 40,
+        peering_fraction: 0.2 + (seed % 3) as f64 * 0.1,
+        ..TopologyConfig::default()
+    })
+}
+
+/// Every VNI carrying entries in the topology.
+fn entry_vnis(topology: &Topology) -> BTreeSet<Vni> {
+    topology
+        .routes
+        .iter()
+        .map(|(k, _)| k.vni)
+        .chain(topology.vms.iter().map(|vm| vm.vni))
+        .collect()
+}
+
+/// Per-VNI (route, VM) weights.
+fn weights(topology: &Topology) -> HashMap<Vni, (usize, usize)> {
+    let mut w: HashMap<Vni, (usize, usize)> = HashMap::new();
+    for (key, _) in &topology.routes {
+        w.entry(key.vni).or_default().0 += 1;
+    }
+    for vm in &topology.vms {
+        w.entry(vm.vni).or_default().1 += 1;
+    }
+    w
+}
+
+/// Canonical comparable form of a split.
+fn canonical(plan: &SplitPlan) -> BTreeMap<Vni, usize> {
+    plan.assignments.iter().map(|(v, c)| (*v, *c)).collect()
+}
+
+fn tight() -> ClusterCapacity {
+    ClusterCapacity {
+        max_routes: 600,
+        max_vms: 3_000,
+    }
+}
+
+fn tighter() -> ClusterCapacity {
+    ClusterCapacity {
+        max_routes: 400,
+        max_vms: 2_000,
+    }
+}
+
+#[test]
+fn plan_split_is_deterministic_and_covers_every_vni_once() {
+    for seed in SEEDS {
+        let topology = topology_for(seed);
+        let a = Controller::plan_split(&topology, tight(), 64).expect("split plans");
+        let b = Controller::plan_split(&topology, tight(), 64).expect("split plans");
+        assert_eq!(
+            canonical(&a),
+            canonical(&b),
+            "seed {seed}: nondeterministic"
+        );
+        assert_eq!(a.per_cluster, b.per_cluster, "seed {seed}: load drift");
+
+        // Exactly-once coverage: the assignment keys are precisely the
+        // VNIs that carry entries (a HashMap key appears once by
+        // construction, so coverage equality is the whole property).
+        let assigned: BTreeSet<Vni> = a.assignments.keys().copied().collect();
+        assert_eq!(assigned, entry_vnis(&topology), "seed {seed}: coverage");
+
+        // Peered VPCs stay co-located.
+        for vpc in &topology.vpcs {
+            let Some(peer) = vpc.peer else { continue };
+            if let (Some(c1), Some(c2)) = (a.assignments.get(&vpc.vni), a.assignments.get(&peer)) {
+                assert_eq!(c1, c2, "seed {seed}: peers {:?}/{peer:?} split", vpc.vni);
+            }
+        }
+
+        // Every cluster stays inside capacity, recomputed from scratch.
+        let w = weights(&topology);
+        let mut loads: Vec<(usize, usize)> = vec![(0, 0); a.clusters_needed()];
+        for (vni, cluster) in &a.assignments {
+            let (r, v) = w.get(vni).copied().unwrap_or((0, 0));
+            let slot = loads.get_mut(*cluster).expect("assignment in range");
+            slot.0 += r;
+            slot.1 += v;
+        }
+        let cap = tight();
+        for (c, (routes, vms)) in loads.iter().enumerate() {
+            assert!(
+                *routes <= cap.max_routes && *vms <= cap.max_vms,
+                "seed {seed}: cluster {c} over capacity ({routes} routes, {vms} vms)"
+            );
+        }
+        // The recomputed loads match what the plan recorded.
+        for (c, load) in a.per_cluster.iter().enumerate() {
+            let (routes, vms) = loads.get(c).copied().unwrap_or((0, 0));
+            assert_eq!((load.routes, load.vms), (routes, vms), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn reshard_between_valid_splits_moves_only_differing_groups() {
+    for seed in SEEDS {
+        let topology = topology_for(seed);
+        let current = Controller::plan_split(&topology, tight(), 64).expect("split plans");
+        // A tighter capacity forces a different (wider) split.
+        let target = Controller::plan_split(&topology, tighter(), 64).expect("split plans");
+
+        let generous = ClusterCapacity::default();
+        let plan = ReshardPlan::plan(&topology, &current, &target, generous, &BTreeSet::new())
+            .expect("plan between valid splits");
+
+        let differing: BTreeSet<Vni> = current
+            .assignments
+            .iter()
+            .filter(|(vni, c)| target.assignments.get(*vni) != Some(*c))
+            .map(|(vni, _)| *vni)
+            .collect();
+        let moving: BTreeSet<Vni> = plan
+            .moves
+            .iter()
+            .flat_map(|m| m.vnis.iter().copied())
+            .collect();
+        assert_eq!(moving, differing, "seed {seed}: moves ≠ differing VNIs");
+        assert_eq!(plan.vnis_moving(), moving.len(), "seed {seed}");
+
+        for m in &plan.moves {
+            assert_ne!(m.from, m.to, "seed {seed}: no-op move for {:?}", m.leader);
+            for vni in &m.vnis {
+                assert_eq!(current.assignments.get(vni), Some(&m.from), "seed {seed}");
+                assert_eq!(target.assignments.get(vni), Some(&m.to), "seed {seed}");
+            }
+        }
+
+        // The identity re-shard is empty.
+        let noop = ReshardPlan::plan(&topology, &current, &current, generous, &BTreeSet::new())
+            .expect("identity plan");
+        assert!(noop.moves.is_empty(), "seed {seed}: identity plan moved");
+
+        // Pinning a moving group removes exactly that group.
+        if let Some(first) = plan.moves.first() {
+            let pinned: BTreeSet<Vni> = first.vnis.iter().copied().collect();
+            let repinned = ReshardPlan::plan(&topology, &current, &target, generous, &pinned)
+                .expect("pinned plan");
+            let still_moving: BTreeSet<Vni> = repinned
+                .moves
+                .iter()
+                .flat_map(|m| m.vnis.iter().copied())
+                .collect();
+            assert!(still_moving.is_disjoint(&pinned), "seed {seed}");
+            assert_eq!(
+                still_moving.len(),
+                moving.len() - pinned.len(),
+                "seed {seed}: pinning removed more than the pinned group"
+            );
+        }
+    }
+}

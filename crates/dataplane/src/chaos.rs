@@ -26,8 +26,11 @@
 //! from the same measurements, so tests can assert the operator sees the
 //! degradation before the punt-path circuit breaker opens.
 
+use std::collections::BTreeMap;
+
 use sailfish_cluster::controller::InstallPolicy;
 use sailfish_cluster::monitor::{Alert, WaterLevels};
+use sailfish_net::Vni;
 use sailfish_sim::faults::{FaultEvent, FaultKind, FaultSchedule, InstallFault};
 use sailfish_sim::workload::{self, WorkloadConfig};
 use sailfish_sim::Topology;
@@ -35,10 +38,81 @@ use sailfish_xgw_h::HwDecision;
 
 use crate::counters::TableCounters;
 use crate::engine;
-use crate::epoch::{EpochState, WorldView};
+use crate::epoch::{EpochState, LiveMove, MovePhase, WorldView};
 use crate::executor::{software_forwarder, Dataplane, DataplaneConfig};
 use crate::oracle::differential_run;
 use crate::traffic;
+
+/// One scripted make-before-break migration the harness replays against
+/// the live executor. Each phase dwells for `dwell` slots and advances
+/// Announce → Dual → Commit → Drain; the implied phase transition is
+/// published as a fresh epoch (and is therefore subject to any install
+/// fault active at that slot, exactly like a recovery publish).
+#[derive(Debug, Clone)]
+pub struct ScriptedMove {
+    /// Anchor VNI of the peer group to migrate (min of the pair — the
+    /// key the epoch builder groups by).
+    pub anchor: Vni,
+    /// Source cluster; must be the group's healthy home for the world to
+    /// converge back on rollback.
+    pub from: usize,
+    /// Destination cluster.
+    pub to: usize,
+    /// Slot the Announce phase begins.
+    pub start: u64,
+    /// Slots each phase lasts before advancing (min 1). Drain is
+    /// terminal: once reached the group stays on the destination.
+    pub dwell: u64,
+    /// Roll back instead of advancing past this phase. Only pre-commit
+    /// phases (`Announce`, `Dual`) can abort; the move is withdrawn from
+    /// the world after the phase's window, returning the group home.
+    pub abort_after: Option<MovePhase>,
+}
+
+/// Where a scripted move's make-before-break sequence stands at `slot`,
+/// or `None` before it starts / after a scripted rollback.
+fn move_state_at(mv: &ScriptedMove, slot: u64) -> Option<LiveMove> {
+    if slot < mv.start {
+        return None;
+    }
+    let step = (slot - mv.start) / mv.dwell.max(1);
+    let phase = match step {
+        0 => MovePhase::Announce,
+        1 => MovePhase::Dual,
+        2 => MovePhase::Commit,
+        _ => MovePhase::Drain,
+    };
+    if let Some(limit) = mv.abort_after {
+        if limit < MovePhase::Commit && phase > limit {
+            return None; // rolled back: the group is home again
+        }
+    }
+    Some(LiveMove {
+        from: mv.from,
+        to: mv.to,
+        phase,
+    })
+}
+
+/// What one scripted move actually did across the run, as observed in
+/// the **published** worlds (an install fault can delay or absorb a
+/// phase; the outcome records what traffic really saw).
+#[derive(Debug, Clone)]
+pub struct ScriptedMoveOutcome {
+    /// Anchor VNI of the migrated group.
+    pub anchor: Vni,
+    /// Source cluster.
+    pub from: usize,
+    /// Destination cluster.
+    pub to: usize,
+    /// Phases that reached a published epoch, in first-seen order.
+    pub phases_published: Vec<MovePhase>,
+    /// Whether the move reached `Drain` in a published world.
+    pub committed: bool,
+    /// Whether the move was withdrawn after a pre-commit phase and the
+    /// group returned to its source.
+    pub rolled_back: bool,
+}
 
 /// Harness tuning.
 #[derive(Debug, Clone)]
@@ -58,6 +132,9 @@ pub struct ChaosConfig {
     pub levels: WaterLevels,
     /// Retry/backoff policy for publishes under install faults.
     pub install: InstallPolicy,
+    /// Live migrations to replay alongside the fault schedule. Empty by
+    /// default — the harness then behaves exactly as before.
+    pub reshard: Vec<ScriptedMove>,
 }
 
 impl Default for ChaosConfig {
@@ -70,6 +147,7 @@ impl Default for ChaosConfig {
             fallback_margin: 0.02,
             levels: WaterLevels::default(),
             install: InstallPolicy::default(),
+            reshard: Vec::new(),
         }
     }
 }
@@ -100,6 +178,8 @@ pub struct SlotRecord {
     pub fallback_alert: bool,
     /// Breaker open transitions observed this slot.
     pub breaker_opened: u64,
+    /// Packets a dual-ownership window steered to the secondary owner.
+    pub dual_owner_packets: u64,
 }
 
 /// Outcome of one scheduled fault.
@@ -149,6 +229,8 @@ pub struct ChaosReport {
     pub oracle_checks: u64,
     /// Total oracle mismatches (must be zero).
     pub oracle_mismatches: u64,
+    /// Per-scripted-move outcomes in config order.
+    pub moves: Vec<ScriptedMoveOutcome>,
     /// `(slot, alert)` pairs raised during the run.
     pub alerts: Vec<(u64, Alert)>,
     /// First slot a `FallbackShare` alert fired.
@@ -237,6 +319,23 @@ pub fn run_schedule(
         .iter()
         .map(|f| healthy.directory.cluster_for(f.vni))
         .collect();
+    // Peer-group anchor per flow, so the blast-radius bound can widen to
+    // every owner of a mid-migration group.
+    let anchor_of: BTreeMap<Vni, Vni> = topology
+        .vpcs
+        .iter()
+        .map(|vpc| {
+            let anchor = match vpc.peer {
+                Some(peer) => vpc.vni.min(peer),
+                None => vpc.vni,
+            };
+            (vpc.vni, anchor)
+        })
+        .collect();
+    let flow_anchor: Vec<Option<Vni>> = flows
+        .iter()
+        .map(|f| anchor_of.get(&f.vni).copied())
+        .collect();
     let healthy_punt: Vec<bool> = flows
         .iter()
         .zip(&flow_cluster)
@@ -285,6 +384,18 @@ pub fn run_schedule(
         discarded_installs: 0,
         oracle_checks: 0,
         oracle_mismatches: 0,
+        moves: cfg
+            .reshard
+            .iter()
+            .map(|mv| ScriptedMoveOutcome {
+                anchor: mv.anchor,
+                from: mv.from,
+                to: mv.to,
+                phases_published: Vec::new(),
+                committed: false,
+                rolled_back: false,
+            })
+            .collect(),
         alerts: Vec::new(),
         first_fallback_alert_slot: None,
         first_breaker_open_slot: None,
@@ -298,7 +409,12 @@ pub fn run_schedule(
             .iter()
             .filter(|e| slot >= e.at && slot < e.ends_at())
             .collect();
-        let (target_world, storm, install_fault) = world_of(&active, clusters);
+        let (mut target_world, storm, install_fault) = world_of(&active, clusters);
+        for mv in &cfg.reshard {
+            if let Some(live) = move_state_at(mv, slot) {
+                target_world.moves.insert(mv.anchor, live);
+            }
+        }
 
         // Sync the published epoch to the target world. Install faults
         // gate the publish: a timeout burns every attempt, a partial push
@@ -354,6 +470,26 @@ pub fn run_schedule(
                     dp.publish(staged);
                     published_this_slot = true;
                     published_world = target_world.clone();
+                }
+            }
+        }
+
+        // Record what each scripted move's group actually experienced:
+        // phases only count once they reach a *published* world.
+        for (mv, outcome) in cfg.reshard.iter().zip(report.moves.iter_mut()) {
+            match published_world.moves.get(&mv.anchor) {
+                Some(live) => {
+                    if !outcome.phases_published.contains(&live.phase) {
+                        outcome.phases_published.push(live.phase);
+                    }
+                    if live.phase == MovePhase::Drain {
+                        outcome.committed = true;
+                    }
+                }
+                None => {
+                    if !outcome.phases_published.is_empty() && !outcome.committed {
+                        outcome.rolled_back = true;
+                    }
                 }
             }
         }
@@ -423,6 +559,13 @@ pub fn run_schedule(
                 ),
             });
         }
+        if c.epoch_violations != 0 {
+            report.violations.push(InvariantViolation {
+                slot,
+                invariant: "epoch_consistency",
+                detail: format!("{} packets saw torn epoch tags", c.epoch_violations),
+            });
+        }
 
         // Invariant 2: bounded fallback share. Expected share is the
         // exact blast radius of the *published* degradation plus the
@@ -436,11 +579,29 @@ pub fn run_schedule(
         let expected_punts = sched
             .iter()
             .filter(|i| {
-                healthy_punt.get(**i).copied().unwrap_or(true)
-                    || flow_cluster
-                        .get(**i)
-                        .and_then(|c| *c)
-                        .is_some_and(|c| degraded_clusters.contains(&c))
+                if healthy_punt.get(**i).copied().unwrap_or(true) {
+                    return true;
+                }
+                // A mid-migration group may be served by either owner, so
+                // the bound widens to every cluster the published phase
+                // lets traffic land on.
+                let live = flow_anchor
+                    .get(**i)
+                    .copied()
+                    .flatten()
+                    .and_then(|anchor| published_world.moves.get(&anchor));
+                let owners: [Option<usize>; 2] = match live {
+                    Some(mv) => match mv.phase {
+                        MovePhase::Announce => [Some(mv.from), None],
+                        MovePhase::Dual => [Some(mv.from), Some(mv.to)],
+                        MovePhase::Commit | MovePhase::Drain => [Some(mv.to), None],
+                    },
+                    None => [flow_cluster.get(**i).copied().flatten(), None],
+                };
+                owners
+                    .iter()
+                    .flatten()
+                    .any(|c| degraded_clusters.contains(c))
             })
             .count() as u64;
         let offered = seq.len() as u64;
@@ -499,6 +660,7 @@ pub fn run_schedule(
             degraded: published_world.is_degraded(),
             fallback_alert,
             breaker_opened: run.breaker.opened,
+            dual_owner_packets: c.dual_owner_packets,
         });
     }
 
@@ -641,6 +803,162 @@ mod tests {
             .iter()
             .filter(|s| s.degraded)
             .all(|s| s.punts_shed > 0));
+    }
+
+    /// The anchor whose peer group splits most evenly across the two
+    /// owners under the dual-window flow-hash parity — so dual-window
+    /// assertions always observe traffic on both sides.
+    fn busiest_anchor(topology: &Topology, cfg: &ChaosConfig, clusters: usize) -> (Vni, usize) {
+        use sailfish_net::rss::Toeplitz;
+        let flows = workload::generate_flows(
+            topology,
+            &WorkloadConfig {
+                seed: cfg.traffic_seed,
+                flows: cfg.flows.max(1),
+                internet_share: 0.01,
+                ..WorkloadConfig::default()
+            },
+        );
+        let frames = traffic::frames_for_flows(&flows);
+        let anchor_of: BTreeMap<Vni, Vni> = topology
+            .vpcs
+            .iter()
+            .map(|vpc| {
+                let anchor = match vpc.peer {
+                    Some(peer) => vpc.vni.min(peer),
+                    None => vpc.vni,
+                };
+                (vpc.vni, anchor)
+            })
+            .collect();
+        let hasher = Toeplitz::default();
+        let mut parity: BTreeMap<Vni, (usize, usize)> = BTreeMap::new();
+        for (flow, frame) in flows.iter().zip(&frames) {
+            let Some(a) = anchor_of.get(&flow.vni) else {
+                continue;
+            };
+            let Ok(packet) = sailfish_net::GatewayPacket::parse(frame) else {
+                continue;
+            };
+            let slot = parity.entry(*a).or_insert((0, 0));
+            if hasher.hash_tuple(&packet.five_tuple()) & 1 == 0 {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+        let (anchor, _) = parity
+            .into_iter()
+            .max_by_key(|(a, (even, odd))| (*even.min(odd), even + odd, *a))
+            .expect("workload covers some VPC");
+        let from = anchor.value() as usize % clusters;
+        (anchor, from)
+    }
+
+    #[test]
+    fn scripted_move_commits_and_splits_dual_traffic() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let mut cfg = quick_cfg();
+        let clusters = DataplaneConfig::default().clusters;
+        let (anchor, from) = busiest_anchor(&topology, &cfg, clusters);
+        let to = (from + 1) % clusters;
+        cfg.reshard = vec![ScriptedMove {
+            anchor,
+            from,
+            to,
+            start: 1,
+            dwell: 2,
+            abort_after: None,
+        }];
+        let schedule = FaultSchedule::from_events(10, vec![]);
+        let report = run_schedule(&topology, DataplaneConfig::default(), &cfg, &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        // One publish per phase transition: Announce, Dual, Commit, Drain.
+        assert_eq!(report.epochs_swapped, 4);
+        assert_eq!(report.oracle_checks, 4);
+        let mv = report.moves.first().unwrap();
+        assert!(mv.committed);
+        assert!(!mv.rolled_back);
+        assert_eq!(
+            mv.phases_published,
+            vec![
+                MovePhase::Announce,
+                MovePhase::Dual,
+                MovePhase::Commit,
+                MovePhase::Drain
+            ]
+        );
+        // The dual window (slots 3–4) splits the group's flows across
+        // both owners; outside it no packet is steered to a secondary.
+        let dual_total: u64 = report.slots.iter().map(|s| s.dual_owner_packets).sum();
+        assert!(dual_total > 0, "dual window steered nothing");
+        for s in report.slots.iter().filter(|s| s.slot < 3 || s.slot >= 5) {
+            assert_eq!(s.dual_owner_packets, 0, "slot {}", s.slot);
+        }
+    }
+
+    #[test]
+    fn aborted_move_rolls_back_to_the_source() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let mut cfg = quick_cfg();
+        let clusters = DataplaneConfig::default().clusters;
+        let (anchor, from) = busiest_anchor(&topology, &cfg, clusters);
+        let to = (from + 1) % clusters;
+        cfg.reshard = vec![ScriptedMove {
+            anchor,
+            from,
+            to,
+            start: 1,
+            dwell: 2,
+            abort_after: Some(MovePhase::Dual),
+        }];
+        let schedule = FaultSchedule::from_events(10, vec![]);
+        let report = run_schedule(&topology, DataplaneConfig::default(), &cfg, &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        let mv = report.moves.first().unwrap();
+        assert!(mv.rolled_back);
+        assert!(!mv.committed);
+        assert_eq!(
+            mv.phases_published,
+            vec![MovePhase::Announce, MovePhase::Dual]
+        );
+        // Announce, Dual, then the rollback republish of the home world.
+        assert_eq!(report.epochs_swapped, 3);
+    }
+
+    #[test]
+    fn move_survives_node_death_in_the_dual_window() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let mut cfg = quick_cfg();
+        let clusters = DataplaneConfig::default().clusters;
+        let (anchor, from) = busiest_anchor(&topology, &cfg, clusters);
+        let to = (from + 1) % clusters;
+        cfg.reshard = vec![ScriptedMove {
+            anchor,
+            from,
+            to,
+            start: 1,
+            dwell: 2,
+            abort_after: None,
+        }];
+        // Kill a destination device for the whole dual window: ECMP must
+        // absorb it with no black hole and no oracle drift.
+        let schedule = FaultSchedule::from_events(
+            10,
+            vec![FaultEvent {
+                at: 3,
+                duration: 3,
+                kind: FaultKind::NodeDeath {
+                    cluster: to,
+                    device: 1,
+                },
+            }],
+        );
+        let report = run_schedule(&topology, DataplaneConfig::default(), &cfg, &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        let mv = report.moves.first().unwrap();
+        assert!(mv.committed, "phases: {:?}", mv.phases_published);
+        assert!(report.epochs_swapped >= 4);
     }
 
     #[test]

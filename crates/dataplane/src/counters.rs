@@ -76,6 +76,9 @@ pub struct TableCounters {
     /// pinned epoch — torn table state. Zero in a correct build; the
     /// epoch-consistency tests assert it stays zero.
     pub epoch_violations: u64,
+    /// Packets steered to a migration's secondary owner during a dual-
+    /// ownership window (flow-hash parity picked the destination).
+    pub dual_owner_packets: u64,
     /// Flow-cache hits (walk skipped entirely).
     pub cache_hits: u64,
     /// Flow-cache misses (full table walk taken).
@@ -122,7 +125,7 @@ impl TableCounters {
     }
 
     /// Stable-ordered `(name, value)` view for deterministic JSON output.
-    pub fn fields(&self) -> [(&'static str, u64); 36] {
+    pub fn fields(&self) -> [(&'static str, u64); 37] {
         [
             ("parsed", self.parsed),
             ("parse_errors", self.parse_errors),
@@ -155,6 +158,7 @@ impl TableCounters {
             ("punt_rate_limited", self.punt_rate_limited),
             ("punt_breaker_open", self.punt_breaker_open),
             ("epoch_violations", self.epoch_violations),
+            ("dual_owner_packets", self.dual_owner_packets),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("hw_forwarded", self.hw_forwarded),
@@ -163,7 +167,7 @@ impl TableCounters {
         ]
     }
 
-    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 36] {
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 37] {
         [
             ("parsed", &mut self.parsed),
             ("parse_errors", &mut self.parse_errors),
@@ -196,6 +200,7 @@ impl TableCounters {
             ("punt_rate_limited", &mut self.punt_rate_limited),
             ("punt_breaker_open", &mut self.punt_breaker_open),
             ("epoch_violations", &mut self.epoch_violations),
+            ("dual_owner_packets", &mut self.dual_owner_packets),
             ("cache_hits", &mut self.cache_hits),
             ("cache_misses", &mut self.cache_misses),
             ("hw_forwarded", &mut self.hw_forwarded),

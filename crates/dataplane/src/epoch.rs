@@ -20,11 +20,12 @@
 //! as an `epoch_violations` torn-state event (zero in a correct build —
 //! the counter exists so tests can prove it).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use sailfish_cluster::lb::{EcmpGroup, VniDirectory};
+use sailfish_net::Vni;
 use sailfish_sim::Topology;
 use sailfish_xgw_h::tables::HardwareTables;
 
@@ -43,6 +44,39 @@ pub struct ClusterTables {
     pub ecmp: EcmpGroup,
 }
 
+/// Dataplane-visible phase of a live make-before-break VNI migration.
+///
+/// Mirrors the pre-terminal phases of `sailfish_cluster::reshard`'s move
+/// state machine: the control plane publishes one epoch per transition
+/// and the packet path changes ownership only at `Commit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MovePhase {
+    /// Destination tables are staged and verified; traffic still flows
+    /// to the source only.
+    Announce,
+    /// Both owners hold the tables; per-flow hashing may direct a packet
+    /// to either — no black hole regardless of which one serves it.
+    Dual,
+    /// Directory retargeted to the destination; source tables linger so
+    /// in-flight batches pinned to the prior epoch stay served.
+    Commit,
+    /// Source tables freed; the destination is the only owner.
+    Drain,
+}
+
+/// One in-flight VNI-group migration, keyed in [`WorldView::moves`] by
+/// the peer group's **anchor** VNI (min of the pair, the same grouping
+/// the directory build uses). Every VNI in the group moves together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveMove {
+    /// Current owner the group is moving away from.
+    pub from: usize,
+    /// Destination cluster.
+    pub to: usize,
+    /// Where the make-before-break sequence currently stands.
+    pub phase: MovePhase,
+}
+
 /// Which parts of the region are degraded when (re)building table state.
 ///
 /// The chaos harness translates fault injections into a `WorldView` and
@@ -59,6 +93,10 @@ pub struct WorldView {
     /// failure): their VNIs lose hardware service and default-route to
     /// the software tier.
     pub unassigned_clusters: BTreeSet<usize>,
+    /// Live migrations keyed by peer-group anchor VNI. Empty when no
+    /// re-shard is in flight — the common case, and byte-identical to
+    /// the pre-elasticity world.
+    pub moves: BTreeMap<Vni, LiveMove>,
 }
 
 impl WorldView {
@@ -106,16 +144,36 @@ impl EpochState {
     ) -> Self {
         assert!(config.clusters > 0 && config.devices_per_cluster > 0);
         let mut directory = VniDirectory::new();
+        // VNI → (primary owner, optional second table holder). During a
+        // live move both owners carry the group's tables so either can
+        // serve a flow; outside a move the pair is just (home, None).
+        let mut table_owners: BTreeMap<Vni, (usize, Option<usize>)> = BTreeMap::new();
         for vpc in &topology.vpcs {
             let anchor = match vpc.peer {
                 Some(peer) => vpc.vni.min(peer),
                 None => vpc.vni,
             };
-            let cluster = anchor.value() as usize % config.clusters;
-            if world.unassigned_clusters.contains(&cluster) {
+            let home = anchor.value() as usize % config.clusters;
+            let (primary, dual, extra) = match world.moves.get(&anchor) {
+                Some(mv) => match mv.phase {
+                    MovePhase::Announce => (mv.from, None, Some(mv.to)),
+                    MovePhase::Dual => (mv.from, Some(mv.to), Some(mv.to)),
+                    MovePhase::Commit => (mv.to, None, Some(mv.from)),
+                    MovePhase::Drain => (mv.to, None, None),
+                },
+                None => (home, None, None),
+            };
+            if world.unassigned_clusters.contains(&primary) {
                 continue; // the VNI falls back to the software tier
             }
-            directory.assign(vpc.vni, cluster);
+            directory.assign(vpc.vni, primary);
+            if let Some(s) = dual {
+                if s != primary && !world.unassigned_clusters.contains(&s) {
+                    directory.begin_dual(vpc.vni, s);
+                }
+            }
+            let extra = extra.filter(|c| *c != primary && !world.unassigned_clusters.contains(c));
+            table_owners.insert(vpc.vni, (primary, extra));
         }
 
         let mut clusters: Vec<ClusterTables> = (0..config.clusters)
@@ -136,35 +194,43 @@ impl EpochState {
             .collect();
 
         for (key, target) in &topology.routes {
-            let Some(c) = directory.cluster_for(key.vni) else {
+            let Some(&(primary, extra)) = table_owners.get(&key.vni) else {
                 continue; // VNI withdrawn from hardware
             };
-            if world.wiped_clusters.contains(&c) {
-                continue;
+            for c in std::iter::once(primary).chain(extra) {
+                if world.wiped_clusters.contains(&c) {
+                    continue;
+                }
+                let Some(cluster) = clusters.get_mut(c) else {
+                    continue; // owner outside the cluster set: x86 serves it
+                };
+                cluster
+                    .tables
+                    .routes
+                    .insert(*key, *target)
+                    .expect("topology routes are unique");
             }
-            let cluster = clusters.get_mut(c).expect("directory stays in range");
-            cluster
-                .tables
-                .routes
-                .insert(*key, *target)
-                .expect("topology routes are unique");
         }
         let stride = config.hw_vm_stride.max(1);
         for (i, vm) in topology.vms.iter().enumerate() {
             if i % stride == 0 {
                 continue; // stays on x86
             }
-            let Some(c) = directory.cluster_for(vm.vni) else {
+            let Some(&(primary, extra)) = table_owners.get(&vm.vni) else {
                 continue;
             };
-            if world.wiped_clusters.contains(&c) {
-                continue;
+            for c in std::iter::once(primary).chain(extra) {
+                if world.wiped_clusters.contains(&c) {
+                    continue;
+                }
+                let Some(cluster) = clusters.get_mut(c) else {
+                    continue;
+                };
+                cluster
+                    .tables
+                    .add_vm(vm.vni, vm.ip, vm.nc)
+                    .expect("topology VMs are unique");
             }
-            let cluster = clusters.get_mut(c).expect("directory stays in range");
-            cluster
-                .tables
-                .add_vm(vm.vni, vm.ip, vm.nc)
-                .expect("topology VMs are unique");
         }
 
         EpochState {
@@ -275,6 +341,108 @@ mod tests {
         let config = DataplaneConfig::default();
         let cell = EpochCell::new(EpochState::build(&topo, &config, 5));
         cell.publish(EpochState::build(&topo, &config, 5));
+    }
+
+    #[test]
+    fn live_moves_dual_own_tables_and_retarget_at_commit() {
+        let topo = topology();
+        let config = DataplaneConfig::default();
+        let healthy = EpochState::build(&topo, &config, 0);
+
+        // Pick a peer group that actually owns routes so the table
+        // movement is observable.
+        let routed_vni = topo
+            .routes
+            .iter()
+            .map(|(k, _)| k.vni)
+            .next()
+            .expect("default topology has routes");
+        let vpc = topo
+            .vpcs
+            .iter()
+            .find(|v| v.vni == routed_vni)
+            .expect("routed VNI has a VPC");
+        let anchor = match vpc.peer {
+            Some(peer) => vpc.vni.min(peer),
+            None => vpc.vni,
+        };
+        let from = anchor.value() as usize % config.clusters;
+        let to = (from + 1) % config.clusters;
+        let group: Vec<Vni> = topo
+            .vpcs
+            .iter()
+            .filter(|v| {
+                let a = match v.peer {
+                    Some(peer) => v.vni.min(peer),
+                    None => v.vni,
+                };
+                a == anchor
+            })
+            .map(|v| v.vni)
+            .collect();
+        let moved_routes = topo
+            .routes
+            .iter()
+            .filter(|(k, _)| group.contains(&k.vni))
+            .count();
+        assert!(moved_routes > 0);
+        let healthy_from = healthy.clusters.get(from).unwrap().tables.routes.len();
+        let healthy_to = healthy.clusters.get(to).unwrap().tables.routes.len();
+
+        let staged = |phase: MovePhase, epoch: u64| {
+            let mut world = WorldView::healthy();
+            world.moves.insert(anchor, LiveMove { from, to, phase });
+            EpochState::build_with_world(&topo, &config, epoch, &world)
+        };
+
+        // Announce: traffic stays on the source; destination pre-staged.
+        let announce = staged(MovePhase::Announce, 1);
+        for vni in &group {
+            assert_eq!(announce.directory.cluster_for(*vni), Some(from));
+            assert_eq!(announce.directory.dual_of(*vni), None);
+        }
+        let a_to = announce.clusters.get(to).unwrap().tables.routes.len();
+        assert_eq!(a_to, healthy_to + moved_routes);
+        let a_from = announce.clusters.get(from).unwrap().tables.routes.len();
+        assert_eq!(a_from, healthy_from);
+
+        // Dual: either owner may serve; both hold the tables.
+        let dual = staged(MovePhase::Dual, 2);
+        for vni in &group {
+            assert_eq!(dual.directory.cluster_for(*vni), Some(from));
+            assert_eq!(dual.directory.dual_of(*vni), Some(to));
+        }
+        assert_eq!(
+            dual.clusters.get(to).unwrap().tables.routes.len(),
+            healthy_to + moved_routes
+        );
+
+        // Commit: directory retargets; source tables linger for pinned
+        // batches on the prior epoch.
+        let commit = staged(MovePhase::Commit, 3);
+        for vni in &group {
+            assert_eq!(commit.directory.cluster_for(*vni), Some(to));
+            assert_eq!(commit.directory.dual_of(*vni), None);
+        }
+        assert_eq!(
+            commit.clusters.get(from).unwrap().tables.routes.len(),
+            healthy_from
+        );
+
+        // Drain: the source frees the group's entries.
+        let drain = staged(MovePhase::Drain, 4);
+        for vni in &group {
+            assert_eq!(drain.directory.cluster_for(*vni), Some(to));
+        }
+        assert_eq!(
+            drain.clusters.get(from).unwrap().tables.routes.len(),
+            healthy_from - moved_routes
+        );
+        assert_eq!(
+            drain.clusters.get(to).unwrap().tables.routes.len(),
+            healthy_to + moved_routes
+        );
+        assert!(drain.tags_consistent());
     }
 
     #[test]

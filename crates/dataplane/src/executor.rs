@@ -24,6 +24,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use sailfish_cluster::lb::pick_owner;
+use sailfish_net::rss::Toeplitz;
 use sailfish_net::wire::ethernet;
 use sailfish_net::GatewayPacket;
 use sailfish_sim::Topology;
@@ -99,6 +101,7 @@ pub struct Dataplane {
 struct WorkerState {
     cache: ShardedFlowCache,
     counters: TableCounters,
+    owner_hash: Toeplitz,
     breaker: PuntBreaker,
     clock_ns: u64,
     digest: u64,
@@ -218,6 +221,7 @@ impl Dataplane {
                 self.config.cache_shard_capacity,
             ),
             counters: TableCounters::default(),
+            owner_hash: Toeplitz::default(),
             breaker: PuntBreaker::new(
                 Meter::new(self.config.punt_rate_bps, self.config.punt_burst_bytes),
                 self.config.breaker.clone(),
@@ -355,10 +359,24 @@ impl Dataplane {
         };
         st.counters.parsed += 1;
 
-        let Some(cluster_idx) = state.directory.cluster_for(packet.vni) else {
+        let tuple = packet.five_tuple();
+        let Some(primary) = state.directory.cluster_for(packet.vni) else {
             // The upstream balancer has no hardware assignment: default
             // route to the software tier.
             return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
+        };
+        // During a dual-ownership migration window either owner serves
+        // the VNI; flow-hash parity decides per flow, the same split the
+        // region model uses, so no flow ever black-holes mid-move.
+        let cluster_idx = match state.directory.dual_of(packet.vni) {
+            Some(secondary) => {
+                let owner = pick_owner(&st.owner_hash, &tuple, primary, secondary);
+                if owner != primary {
+                    st.counters.dual_owner_packets += 1;
+                }
+                owner
+            }
+            None => primary,
         };
         let Some(cluster) = state.clusters.get(cluster_idx) else {
             // Directory points past the cluster set: treat as unassigned.
@@ -370,7 +388,6 @@ impl Dataplane {
             // counter lets tests prove it doesn't.
             st.counters.epoch_violations += 1;
         }
-        let tuple = packet.five_tuple();
         if let Ok(device) = cluster.ecmp.pick(&tuple) {
             let slot = cluster_idx * self.config.devices_per_cluster + device;
             if let Some(count) = st.device_packets.get_mut(slot) {
@@ -518,9 +535,18 @@ impl Dataplane {
     ) -> Option<PathDecision> {
         let state = self.cell.pin();
         let packet = GatewayPacket::parse(frame).ok()?;
+        let owner_hash = Toeplitz::default();
         let cluster = state
             .directory
             .cluster_for(packet.vni)
+            .map(|primary| match state.directory.dual_of(packet.vni) {
+                // Mirror the worker's dual-window owner pick so the
+                // oracle walks the very tables the pipeline walked.
+                Some(secondary) => {
+                    pick_owner(&owner_hash, &packet.five_tuple(), primary, secondary)
+                }
+                None => primary,
+            })
             .and_then(|idx| state.clusters.get(idx));
         let Some(cluster) = cluster else {
             return Some(PathDecision::from_software(

@@ -1,0 +1,251 @@
+//! Elasticity triggers: when a region must scale out or back in.
+//!
+//! The paper's gateways grow and shrink with demand — shopping-festival
+//! ramps force more hardware clusters into service, and device
+//! retirements pull capacity out for maintenance (§6.1). This module
+//! names those events as **pure data**: a seeded, deterministic schedule
+//! of [`ScaleTrigger`]s over virtual slots. The sim layer stays free of
+//! cluster types; `sailfish-cluster::reshard` (driven by the bench-layer
+//! sweep) turns the effective capacity at a slot into a target split and
+//! a make-before-break migration plan.
+
+use sailfish_util::rand::rngs::StdRng;
+use sailfish_util::rand::{Rng, SeedableRng};
+
+use crate::workload::festival_profile;
+
+/// Why the region's capacity target changed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TriggerKind {
+    /// Demand ramps by `multiplier` (festival peak): each device
+    /// effectively serves `1/multiplier` of its nominal entry budget, so
+    /// the split must spread across more clusters.
+    FestivalRamp {
+        /// Load multiplier relative to the diurnal baseline (> 1).
+        multiplier: f64,
+    },
+    /// A device leaves service for maintenance; its cluster keeps
+    /// serving on the remaining ECMP members.
+    DeviceRetirement {
+        /// Cluster losing the device.
+        cluster: usize,
+        /// Device index within the cluster.
+        device: usize,
+    },
+    /// Demand returns to baseline: spare clusters may drain and the
+    /// split can contract (scale-in).
+    LoadSubsides,
+}
+
+impl TriggerKind {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TriggerKind::FestivalRamp { .. } => "festival_ramp",
+            TriggerKind::DeviceRetirement { .. } => "device_retirement",
+            TriggerKind::LoadSubsides => "load_subsides",
+        }
+    }
+}
+
+/// One capacity-changing event at a virtual slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleTrigger {
+    /// Slot the trigger fires.
+    pub at: u64,
+    /// What changed.
+    pub kind: TriggerKind,
+}
+
+/// Generator knobs for a seeded elasticity schedule.
+#[derive(Debug, Clone)]
+pub struct ElasticScheduleConfig {
+    /// Virtual slots in the schedule.
+    pub slots: u64,
+    /// RNG seed; equal seeds give byte-identical schedules.
+    pub seed: u64,
+    /// Ramp/subside pairs to emit.
+    pub ramps: usize,
+    /// Device retirements to emit.
+    pub retirements: usize,
+    /// Clusters retirements may target.
+    pub clusters: usize,
+    /// Devices per cluster retirements may target.
+    pub devices_per_cluster: usize,
+}
+
+impl Default for ElasticScheduleConfig {
+    fn default() -> Self {
+        ElasticScheduleConfig {
+            slots: 24,
+            seed: 0xE1A5,
+            ramps: 1,
+            retirements: 1,
+            clusters: 4,
+            devices_per_cluster: 4,
+        }
+    }
+}
+
+/// A deterministic schedule of scale triggers, sorted by slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSchedule {
+    /// Virtual slots covered.
+    pub slots: u64,
+    /// Triggers in firing order.
+    pub triggers: Vec<ScaleTrigger>,
+}
+
+impl ElasticSchedule {
+    /// Generates a seeded schedule: each ramp draws its multiplier from
+    /// the festival profile near the peak day and is paired with a
+    /// `LoadSubsides` later in the run; retirements land on random
+    /// devices in the first half so their re-splits have time to play
+    /// out.
+    pub fn generate(config: &ElasticScheduleConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let slots = config.slots.max(2);
+        let mut triggers = Vec::new();
+        for _ in 0..config.ramps {
+            let at = rng.gen_range(0..slots / 2);
+            let day = 5.5 + rng.gen_range(0.0..1.0);
+            let multiplier = festival_profile(day).max(1.5);
+            triggers.push(ScaleTrigger {
+                at,
+                kind: TriggerKind::FestivalRamp { multiplier },
+            });
+            let back = rng.gen_range(slots / 2..slots);
+            triggers.push(ScaleTrigger {
+                at: back,
+                kind: TriggerKind::LoadSubsides,
+            });
+        }
+        for _ in 0..config.retirements {
+            let at = rng.gen_range(0..slots / 2);
+            let cluster = rng.gen_range(0..config.clusters.max(1));
+            let device = rng.gen_range(0..config.devices_per_cluster.max(1));
+            triggers.push(ScaleTrigger {
+                at,
+                kind: TriggerKind::DeviceRetirement { cluster, device },
+            });
+        }
+        triggers.sort_by_key(|t| t.at);
+        ElasticSchedule { slots, triggers }
+    }
+
+    /// Builds a schedule from explicit triggers (tests, scripted sweeps).
+    pub fn from_triggers(slots: u64, mut triggers: Vec<ScaleTrigger>) -> Self {
+        triggers.sort_by_key(|t| t.at);
+        ElasticSchedule { slots, triggers }
+    }
+
+    /// The demand multiplier in force at `slot`: the latest ramp still
+    /// standing, or 1.0 at baseline (after a `LoadSubsides` or before
+    /// any ramp).
+    pub fn demand_multiplier(&self, slot: u64) -> f64 {
+        let mut multiplier = 1.0;
+        for t in self.triggers.iter().filter(|t| t.at <= slot) {
+            match t.kind {
+                TriggerKind::FestivalRamp { multiplier: m } => multiplier = m,
+                TriggerKind::LoadSubsides => multiplier = 1.0,
+                TriggerKind::DeviceRetirement { .. } => {}
+            }
+        }
+        multiplier
+    }
+
+    /// Devices retired at or before `slot`, in trigger order.
+    pub fn retired_by(&self, slot: u64) -> Vec<(usize, usize)> {
+        self.triggers
+            .iter()
+            .filter(|t| t.at <= slot)
+            .filter_map(|t| match t.kind {
+                TriggerKind::DeviceRetirement { cluster, device } => Some((cluster, device)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Labels of the trigger kinds present (report coverage checks).
+    pub fn kinds_present(&self) -> Vec<&'static str> {
+        let mut labels: Vec<&'static str> = self.triggers.iter().map(|t| t.kind.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_covers_all_kinds() {
+        let cfg = ElasticScheduleConfig::default();
+        let a = ElasticSchedule::generate(&cfg);
+        let b = ElasticSchedule::generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.kinds_present(),
+            vec!["device_retirement", "festival_ramp", "load_subsides"]
+        );
+        let other = ElasticSchedule::generate(&ElasticScheduleConfig {
+            seed: 1,
+            ..cfg.clone()
+        });
+        assert_ne!(a, other);
+        // Triggers are sorted and in range.
+        for pair in a.triggers.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(a.triggers.iter().all(|t| t.at < a.slots));
+    }
+
+    #[test]
+    fn demand_multiplier_ramps_then_returns_to_baseline() {
+        let schedule = ElasticSchedule::from_triggers(
+            10,
+            vec![
+                ScaleTrigger {
+                    at: 2,
+                    kind: TriggerKind::FestivalRamp { multiplier: 3.0 },
+                },
+                ScaleTrigger {
+                    at: 7,
+                    kind: TriggerKind::LoadSubsides,
+                },
+            ],
+        );
+        assert_eq!(schedule.demand_multiplier(0), 1.0);
+        assert_eq!(schedule.demand_multiplier(2), 3.0);
+        assert_eq!(schedule.demand_multiplier(6), 3.0);
+        assert_eq!(schedule.demand_multiplier(7), 1.0);
+        assert_eq!(schedule.demand_multiplier(9), 1.0);
+    }
+
+    #[test]
+    fn retirements_accumulate_over_time() {
+        let schedule = ElasticSchedule::from_triggers(
+            8,
+            vec![
+                ScaleTrigger {
+                    at: 1,
+                    kind: TriggerKind::DeviceRetirement {
+                        cluster: 0,
+                        device: 2,
+                    },
+                },
+                ScaleTrigger {
+                    at: 4,
+                    kind: TriggerKind::DeviceRetirement {
+                        cluster: 1,
+                        device: 0,
+                    },
+                },
+            ],
+        );
+        assert!(schedule.retired_by(0).is_empty());
+        assert_eq!(schedule.retired_by(2), vec![(0, 2)]);
+        assert_eq!(schedule.retired_by(7), vec![(0, 2), (1, 0)]);
+    }
+}

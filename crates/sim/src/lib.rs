@@ -18,13 +18,17 @@
 //! - [`faults`] — deterministic fault-injection schedules over virtual
 //!   time (node death, port degradation, cluster failure, install
 //!   faults, table corruption, heavy-hitter storms), replayed against a
-//!   region by `sailfish-cluster::chaos`.
+//!   region by `sailfish-cluster::chaos`,
+//! - [`elastic`] — seeded scale-out/in triggers (festival ramps, device
+//!   retirements) that the cluster layer turns into target splits and
+//!   make-before-break migration plans.
 //!
 //! Everything is seeded `StdRng`; no wall clock, no global state — every
 //! figure regenerates bit-for-bit.
 
 #![forbid(unsafe_code)]
 
+pub mod elastic;
 pub mod faults;
 pub mod metrics;
 pub mod topology;
