@@ -87,6 +87,14 @@ fi
 determinism_gate "verify-smoke" experiments/verify_report.txt \
     cargo run --release --offline -q -p sailfish-bench --bin sailfish-verify
 
+# 5b. Plan-time world-verifier smoke: staged installs and re-shard plans
+#     must prove clean, the known-bad world corpus must fire its pinned
+#     codes, delta re-verification must stay O(delta), and the chaos
+#     soundness differential must report zero unflagged escapes.
+determinism_gate "verify-world-smoke" experiments/verify_world_report.txt \
+    cargo run --release --offline -q -p sailfish-bench \
+    --bin verify_world_sweep -- --tiny
+
 # 6. Fault-injection smoke: the chaos sweep must run clean (zero
 #    invariant violations, every fault recovered) at tiny scale.
 determinism_gate "chaos-smoke" experiments/fault_injection.json \
@@ -143,6 +151,11 @@ else
     echo "==> perf-floor: FAILED (BENCH_wallclock.json missing)"
     failures=$((failures + 1))
 fi
+
+# 10b. Documentation: every public item documents cleanly — broken
+#      intra-doc links or missing docs on lint-enforced crates fail.
+run_step "doc" env RUSTDOCFLAGS="-D warnings" \
+    cargo doc --no-deps --offline --workspace
 
 # 11. Dependency policy: no external crates anywhere in the workspace.
 echo

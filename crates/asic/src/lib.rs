@@ -24,6 +24,10 @@
 //!   latency) of [`perf`], reproducing Fig 18.
 
 #![forbid(unsafe_code)]
+// Non-test code must not `unwrap()` (see clippy.toml `disallowed-methods`);
+// CI's `-D warnings` escalates this to deny. Test builds carry `cfg(test)`
+// and keep their unwraps.
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 
 pub mod config;
 pub mod cost;
@@ -38,4 +42,9 @@ pub use config::TofinoConfig;
 pub use cost::{MatchKind, MemCost, Storage, TableSpec};
 pub use error::{Error, Result};
 pub use placement::{FoldStep, Layout, PlacedTable};
+pub use verify::world::{
+    certify, structure_diagnostics, trusted_certificate, verify_plan, verify_world, CapacityModel,
+    CapacityVerdict, DeltaStats, EntryBudget, MoveStage, TransitionPlan, WorldCertificate,
+    WorldDiagnostic, WorldModel, WorldMove, WorldOptions, WorldReport, WorldUnit,
+};
 pub use verify::{Diagnostic, LintCode, Report, Severity, VerifyOptions};

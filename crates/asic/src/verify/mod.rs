@@ -39,8 +39,16 @@
 //! are sorted by (severity, code, table, step) and every number is
 //! formatted with a fixed precision, so two runs of the analyzer over
 //! the same layout `cmp` equal — the CI determinism gate relies on this.
+//!
+//! Beyond single layouts, [`world`] lifts the analysis to whole staged
+//! *worlds* (every cluster's load plus the unit→cluster directory) and
+//! to *transitions* between worlds (make-before-break move plans),
+//! proving no-black-hole and capacity invariants before any push — see
+//! the `SF-E007`+/`SF-W007`+ codes.
 
 use core::fmt;
+
+pub mod world;
 
 use crate::config::TofinoConfig;
 use crate::mem::Occupancy;
@@ -99,6 +107,34 @@ pub enum LintCode {
     /// `SF-W006` — every fold boundary is already bridged; the next
     /// dependency rides the packet.
     BridgePressure,
+    /// `SF-E007` — a unit (VNI group) carries entries but no world owns
+    /// it: traffic for it would black-hole at the directory.
+    UncoveredUnit,
+    /// `SF-E008` — the directory and the table holders diverge: the
+    /// primary owner is not among the clusters holding the unit's
+    /// tables, or an owner index is outside the cluster set.
+    DirectoryDivergence,
+    /// `SF-E009` — a cluster's aggregate load in some world of the plan
+    /// exceeds what its devices can legally hold.
+    WorldOverCapacity,
+    /// `SF-E010` — an intermediate world of a move sequence leaves a
+    /// unit's live owner without tables (break-before-make).
+    TransitionBlackHole,
+    /// `SF-E011` — a move's phase sequence violates the make-before-break
+    /// order (Announce → Dual → Commit → Drain, prefixes only).
+    InvalidPhaseOrder,
+    /// `SF-E012` — a delta was verified against a certificate whose
+    /// fingerprint does not match the base world (stale cache).
+    DeltaBaseMismatch,
+    /// `SF-W007` — a cluster's post-plan utilization is at or above the
+    /// headroom water-level in some world of the plan.
+    WorldHeadroom,
+    /// `SF-W008` — one move's dual window co-owns a large share of all
+    /// units: its blast radius on rollback is outsized.
+    BlastRadius,
+    /// `SF-W009` — a move's source equals its destination: it churns
+    /// epochs without changing ownership.
+    RedundantMove,
 }
 
 impl LintCode {
@@ -117,6 +153,15 @@ impl LintCode {
             LintCode::ConflictTableUndersized => "SF-W004",
             LintCode::UnderPlaced => "SF-W005",
             LintCode::BridgePressure => "SF-W006",
+            LintCode::UncoveredUnit => "SF-E007",
+            LintCode::DirectoryDivergence => "SF-E008",
+            LintCode::WorldOverCapacity => "SF-E009",
+            LintCode::TransitionBlackHole => "SF-E010",
+            LintCode::InvalidPhaseOrder => "SF-E011",
+            LintCode::DeltaBaseMismatch => "SF-E012",
+            LintCode::WorldHeadroom => "SF-W007",
+            LintCode::BlastRadius => "SF-W008",
+            LintCode::RedundantMove => "SF-W009",
         }
     }
 
@@ -135,6 +180,15 @@ impl LintCode {
             LintCode::ConflictTableUndersized => "conflict-table-undersized",
             LintCode::UnderPlaced => "under-placed",
             LintCode::BridgePressure => "bridge-pressure",
+            LintCode::UncoveredUnit => "uncovered-unit",
+            LintCode::DirectoryDivergence => "directory-divergence",
+            LintCode::WorldOverCapacity => "world-over-capacity",
+            LintCode::TransitionBlackHole => "transition-black-hole",
+            LintCode::InvalidPhaseOrder => "invalid-phase-order",
+            LintCode::DeltaBaseMismatch => "delta-base-mismatch",
+            LintCode::WorldHeadroom => "world-headroom",
+            LintCode::BlastRadius => "blast-radius",
+            LintCode::RedundantMove => "redundant-move",
         }
     }
 
@@ -146,10 +200,42 @@ impl LintCode {
             | LintCode::GressViolation
             | LintCode::PhvOverflow
             | LintCode::DuplicateTable
-            | LintCode::StageOverflow => Severity::Error,
+            | LintCode::StageOverflow
+            | LintCode::UncoveredUnit
+            | LintCode::DirectoryDivergence
+            | LintCode::WorldOverCapacity
+            | LintCode::TransitionBlackHole
+            | LintCode::InvalidPhaseOrder
+            | LintCode::DeltaBaseMismatch => Severity::Error,
             _ => Severity::Warning,
         }
     }
+
+    /// Every stable code, in code order — the golden tests pin this list
+    /// so a code can never silently change or disappear.
+    pub const ALL: [LintCode; 21] = [
+        LintCode::FoldOrderViolation,
+        LintCode::OverCapacity,
+        LintCode::GressViolation,
+        LintCode::PhvOverflow,
+        LintCode::DuplicateTable,
+        LintCode::StageOverflow,
+        LintCode::UncoveredUnit,
+        LintCode::DirectoryDivergence,
+        LintCode::WorldOverCapacity,
+        LintCode::TransitionBlackHole,
+        LintCode::InvalidPhaseOrder,
+        LintCode::DeltaBaseMismatch,
+        LintCode::TcamHeadroom,
+        LintCode::SramHeadroom,
+        LintCode::PhvPressure,
+        LintCode::ConflictTableUndersized,
+        LintCode::UnderPlaced,
+        LintCode::BridgePressure,
+        LintCode::WorldHeadroom,
+        LintCode::BlastRadius,
+        LintCode::RedundantMove,
+    ];
 }
 
 impl fmt::Display for LintCode {

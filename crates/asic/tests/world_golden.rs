@@ -1,0 +1,148 @@
+//! Golden-diagnostics tests for the plan-time **world** verifier.
+//!
+//! Mirrors `verify_golden.rs` for the world-level codes: the full stable
+//! code list is pinned (codes, slugs, severity classes), every known-bad
+//! world corpus case must emit exactly its pinned codes with a
+//! byte-stable render, and the rendered report must carry the literal
+//! `SF-…` strings downstream tooling greps for.
+
+use sailfish_asic::verify::world::{known_bad_world_corpus, run_world_case};
+use sailfish_asic::verify::{LintCode, Severity};
+
+/// The full stable code list, pinned literally. Adding a code extends
+/// this table; changing or removing one is a contract break this test
+/// makes loud.
+#[test]
+fn stable_code_list_is_pinned() {
+    let expected: [(&str, &str); 21] = [
+        ("SF-E001", "fold-order-violation"),
+        ("SF-E002", "over-capacity"),
+        ("SF-E003", "gress-violation"),
+        ("SF-E004", "phv-overflow"),
+        ("SF-E005", "duplicate-table"),
+        ("SF-E006", "stage-overflow"),
+        ("SF-E007", "uncovered-unit"),
+        ("SF-E008", "directory-divergence"),
+        ("SF-E009", "world-over-capacity"),
+        ("SF-E010", "transition-black-hole"),
+        ("SF-E011", "invalid-phase-order"),
+        ("SF-E012", "delta-base-mismatch"),
+        ("SF-W001", "tcam-headroom"),
+        ("SF-W002", "sram-headroom"),
+        ("SF-W003", "phv-pressure"),
+        ("SF-W004", "conflict-table-undersized"),
+        ("SF-W005", "under-placed"),
+        ("SF-W006", "bridge-pressure"),
+        ("SF-W007", "world-headroom"),
+        ("SF-W008", "blast-radius"),
+        ("SF-W009", "redundant-move"),
+    ];
+    assert_eq!(LintCode::ALL.len(), expected.len());
+    for (code, (want_code, want_slug)) in LintCode::ALL.iter().zip(expected) {
+        assert_eq!(code.code(), want_code);
+        assert_eq!(code.slug(), want_slug);
+        let class = if want_code.starts_with("SF-E") {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        assert_eq!(code.severity(), class, "{want_code} severity class");
+    }
+}
+
+#[test]
+fn world_corpus_reports_are_byte_stable() {
+    let first: Vec<String> = known_bad_world_corpus()
+        .iter()
+        .map(|c| run_world_case(c).render())
+        .collect();
+    let second: Vec<String> = known_bad_world_corpus()
+        .iter()
+        .map(|c| run_world_case(c).render())
+        .collect();
+    assert_eq!(first, second, "rendered world reports differ across runs");
+}
+
+#[test]
+fn world_corpus_emits_exactly_the_pinned_codes() {
+    for case in known_bad_world_corpus() {
+        let report = run_world_case(&case);
+        for code in &case.expect {
+            assert!(
+                report.has(*code),
+                "case '{}' must emit {code}; rendered:\n{}",
+                case.name,
+                report.render(),
+            );
+        }
+    }
+}
+
+/// Error-class cases reject; warning-only cases stay clean-but-noted.
+#[test]
+fn world_corpus_severity_matches_code_class() {
+    for case in known_bad_world_corpus() {
+        let report = run_world_case(&case);
+        let expects_error = case.expect.iter().any(|c| c.severity() == Severity::Error);
+        assert_eq!(
+            !report.is_clean(),
+            expects_error,
+            "case '{}' clean-ness disagrees with its expected codes:\n{}",
+            case.name,
+            report.render(),
+        );
+    }
+}
+
+/// Every world-level code appears in at least one corpus case, so the
+/// corpus stays a complete demo of the world verifier's vocabulary.
+#[test]
+fn world_corpus_covers_every_world_code() {
+    let world_codes = [
+        LintCode::UncoveredUnit,
+        LintCode::DirectoryDivergence,
+        LintCode::WorldOverCapacity,
+        LintCode::TransitionBlackHole,
+        LintCode::InvalidPhaseOrder,
+        LintCode::DeltaBaseMismatch,
+        LintCode::WorldHeadroom,
+        LintCode::BlastRadius,
+        LintCode::RedundantMove,
+    ];
+    let corpus = known_bad_world_corpus();
+    for code in world_codes {
+        assert!(
+            corpus.iter().any(|c| c.expect.contains(&code)),
+            "no corpus case expects {code}",
+        );
+    }
+}
+
+/// Rendered reports carry the literal `SF-…` code strings and the
+/// verdict line, byte-for-byte greppable.
+#[test]
+fn rendered_world_reports_carry_stable_codes() {
+    for case in known_bad_world_corpus() {
+        let report = run_world_case(&case);
+        let rendered = report.render();
+        for code in &case.expect {
+            assert!(
+                rendered.contains(code.code()),
+                "case '{}' report must carry literal {}:\n{rendered}",
+                case.name,
+                code.code(),
+            );
+        }
+        let expects_error = case.expect.iter().any(|c| c.severity() == Severity::Error);
+        let verdict = if expects_error {
+            "verdict: REJECTED"
+        } else {
+            "verdict: CLEAN"
+        };
+        assert!(
+            rendered.contains(verdict),
+            "case '{}' report must end with '{verdict}':\n{rendered}",
+            case.name,
+        );
+    }
+}

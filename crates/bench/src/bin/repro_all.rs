@@ -6,9 +6,12 @@ use std::process::Command;
 use sailfish_bench::record::ExperimentRecord;
 
 const BINS: &[&str] = &[
-    // The static analyzer gates everything else: every layout the suite
-    // is about to exercise must be legal on the modeled hardware.
+    // The static analyzers gate everything else: every layout the suite
+    // is about to exercise must be legal on the modeled hardware, and
+    // every staged world / re-shard plan must prove black-hole-free and
+    // within capacity before any push.
     "sailfish-verify",
+    "verify_world_sweep",
     "table1_routes",
     "table2_initial_memory",
     "table3_optimized_memory",

@@ -180,6 +180,14 @@ pub enum InstallError {
         /// The analyzer's error diagnostics, one per line.
         detail: String,
     },
+    /// The plan-time *world* verifier rejected the install as a whole:
+    /// the staged world leaves a VNI uncovered, diverges directory from
+    /// placement, or overloads a cluster (`SF-E007`+ codes). Nothing was
+    /// staged or pushed.
+    WorldRejected {
+        /// The world verifier's error diagnostics, `; `-joined.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for InstallError {
@@ -202,6 +210,9 @@ impl core::fmt::Display for InstallError {
                     f,
                     "cluster {cluster}: staged load rejected by verify: {detail}"
                 )
+            }
+            InstallError::WorldRejected { detail } => {
+                write!(f, "staged world rejected by verify: {detail}")
             }
         }
     }
@@ -521,6 +532,16 @@ impl Controller {
             "install requires {} clusters",
             plan.clusters_needed()
         );
+        // Plan-time world gate: prove ownership totality, directory
+        // bijectivity and per-cluster capacity over the whole staged
+        // world before anything is staged — a plan that strands a VNI is
+        // a typed refusal here, not a panic or a half-pushed region.
+        let world = crate::worldcheck::verify_staged_world(topology, plan, "install");
+        if !world.is_clean() {
+            return Err(InstallError::WorldRejected {
+                detail: world.error_detail(),
+            });
+        }
         let staged = Self::stage(topology, plan);
         let mut report = InstallReport::default();
 
@@ -641,10 +662,15 @@ impl Controller {
         policy: &InstallPolicy,
         injector: &mut InstallInjector<'_>,
     ) -> Result<InstallReport, InstallError> {
-        let stage = Self::stage(topology, plan)
-            .into_iter()
-            .nth(plan_cluster)
-            .expect("plan_cluster within plan");
+        let Some(stage) = Self::stage(topology, plan).into_iter().nth(plan_cluster) else {
+            return Err(InstallError::LayoutRejected {
+                cluster,
+                detail: format!(
+                    "plan has no cluster {plan_cluster} ({} planned)",
+                    plan.clusters_needed()
+                ),
+            });
+        };
         // Same static gate as a full install: never wipe a live device
         // for a load its pipeline cannot legally hold.
         Self::verify_staged(cluster, &stage)?;

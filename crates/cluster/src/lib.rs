@@ -22,9 +22,16 @@
 //!   paper's future work (§8),
 //! - [`monitor`] — water-level monitoring and alerting (§6.1),
 //! - [`probe`] — the probe-generator validation gate used before
-//!   admitting user traffic to a new cluster (§6.1).
+//!   admitting user traffic to a new cluster (§6.1),
+//! - [`worldcheck`] — the cluster-side adapter for the plan-time world
+//!   verifier: staged installs and re-shard plans are statically proved
+//!   black-hole-free and within capacity before any push.
 
 #![forbid(unsafe_code)]
+// Non-test code must not `unwrap()` (see clippy.toml `disallowed-methods`);
+// CI's `-D warnings` escalates this to deny. Test builds carry `cfg(test)`
+// and keep their unwraps.
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 
 pub mod chaos;
 pub mod cluster;
@@ -36,6 +43,7 @@ pub mod monitor;
 pub mod probe;
 pub mod region;
 pub mod reshard;
+pub mod worldcheck;
 
 pub use controller::{Controller, SplitPlan};
 pub use region::{Region, RegionConfig, RegionReport};

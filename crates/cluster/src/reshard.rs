@@ -106,6 +106,13 @@ pub enum ReshardError {
         /// The step that was requested.
         action: &'static str,
     },
+    /// The plan-time world verifier refused the move before any push:
+    /// some intermediate world of its make-before-break sequence would
+    /// strand a VNI or overload a cluster (`SF-E007`+ codes).
+    StaticallyRejected {
+        /// The verifier's error diagnostics, `; `-joined.
+        detail: String,
+    },
     /// The two-phase push to the destination failed for good; the
     /// destination was left clean.
     Install(InstallError),
@@ -137,6 +144,9 @@ impl core::fmt::Display for ReshardError {
             }
             ReshardError::InvalidTransition { phase, action } => {
                 write!(f, "cannot {action} from phase {}", phase.label())
+            }
+            ReshardError::StaticallyRejected { detail } => {
+                write!(f, "statically rejected by the world verifier: {detail}")
             }
             ReshardError::Install(e) => write!(f, "destination push: {e}"),
             ReshardError::DrainIncomplete { cluster, remaining } => {
@@ -488,6 +498,18 @@ impl MoveMachine {
                 });
             }
         }
+        // Plan-time world gate: every intermediate world of this move's
+        // make-before-break sequence must leave its VNIs covered and
+        // every touched cluster within capacity. O(delta) — the live
+        // base is covered by a trusted certificate.
+        let world =
+            crate::worldcheck::verify_reshard(region, core::slice::from_ref(&self.mv), "announce");
+        if !world.is_clean() {
+            return Err(ReshardError::StaticallyRejected {
+                detail: world.error_detail(),
+            });
+        }
+
         // Static gate before any push: the destination's devices must
         // legally hold current + moving load.
         let config = sailfish_asic::TofinoConfig::tofino_64t();
@@ -644,6 +666,10 @@ pub struct ReshardReport {
     pub outcomes: Vec<MoveOutcome>,
     /// Virtual time consumed by the whole run.
     pub virtual_ns: u64,
+    /// When the plan-time world verifier rejected the whole plan before
+    /// any move was driven: its error diagnostics. `None` on a plan that
+    /// verified clean and ran.
+    pub static_detail: Option<String>,
 }
 
 impl ReshardReport {
@@ -690,6 +716,26 @@ pub fn run_plan(
 ) -> ReshardReport {
     let start_ns = clock.now_ns();
     let mut report = ReshardReport::default();
+    // Whole-plan static verification up front: every intermediate world
+    // of the full move sequence is proved black-hole-free and within
+    // capacity before the first announce. A rejected plan drives
+    // nothing — the outcomes stay `Planned` with the verifier's verdict.
+    let world = crate::worldcheck::verify_reshard(region, &plan.moves, "reshard-plan");
+    if !world.is_clean() {
+        let detail = world.error_detail();
+        for mv in &plan.moves {
+            report.outcomes.push(MoveOutcome {
+                leader: mv.leader,
+                from: mv.from,
+                to: mv.to,
+                phase: MovePhase::Planned,
+                attempts: 0,
+                error: Some(format!("statically rejected: {detail}")),
+            });
+        }
+        report.static_detail = Some(detail);
+        return report;
+    }
     for mv in &plan.moves {
         let mut machine = MoveMachine::new(topology, mv.clone());
         let mut outcome = MoveOutcome {

@@ -25,7 +25,7 @@
 //!    scalar executor byte-for-byte): bump attribution counters, charge
 //!    the virtual clock, rewrite `ToNc` frames into the batch's slab
 //!    arena — a v4 underlay takes the incremental-checksum patch
-//!    ([`patch_v4`], byte-identical to `rewrite::apply` on a validated
+//!    (`patch_v4`, byte-identical to `rewrite::apply` on a validated
 //!    frame), v6 takes the generic path — and queue punts through the
 //!    breaker *by frame index*: the owned punt parse happens in
 //!    [`BatchExecutor::finish`], off the hot path.

@@ -26,8 +26,12 @@
 //! from the same measurements, so tests can assert the operator sees the
 //! degradation before the punt-path circuit breaker opens.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use sailfish_asic::verify::world::{
+    trusted_certificate, verify_plan, EntryBudget, MoveStage, TransitionPlan, WorldModel,
+    WorldMove, WorldOptions,
+};
 use sailfish_cluster::controller::InstallPolicy;
 use sailfish_cluster::monitor::{Alert, WaterLevels};
 use sailfish_net::Vni;
@@ -135,6 +139,13 @@ pub struct ChaosConfig {
     /// Live migrations to replay alongside the fault schedule. Empty by
     /// default — the harness then behaves exactly as before.
     pub reshard: Vec<ScriptedMove>,
+    /// Replay scripted moves the plan-time world verifier rejected
+    /// instead of excluding them. `false` (the production posture) gates
+    /// the overlay on the static verdict; `true` is the soundness
+    /// differential's ungated arm — the rejected move runs, its dynamic
+    /// fallout must be fully explained by the recorded rejection
+    /// ([`ChaosReport::soundness_escapes`]).
+    pub replay_rejected: bool,
 }
 
 impl Default for ChaosConfig {
@@ -148,6 +159,7 @@ impl Default for ChaosConfig {
             levels: WaterLevels::default(),
             install: InstallPolicy::default(),
             reshard: Vec::new(),
+            replay_rejected: false,
         }
     }
 }
@@ -201,6 +213,21 @@ pub struct FaultOutcome {
     pub install_attempts: u32,
 }
 
+/// A scripted move the plan-time world verifier refused before replay.
+#[derive(Debug, Clone)]
+pub struct StaticReject {
+    /// Anchor VNI of the rejected move.
+    pub anchor: Vni,
+    /// Source cluster the script named.
+    pub from: usize,
+    /// Destination cluster the script named.
+    pub to: usize,
+    /// Slot the move would have started.
+    pub start: u64,
+    /// The verifier's error diagnostics, `; `-joined.
+    pub detail: String,
+}
+
 /// One invariant violation (an empty list means the run holds).
 #[derive(Debug, Clone)]
 pub struct InvariantViolation {
@@ -231,6 +258,11 @@ pub struct ChaosReport {
     pub oracle_mismatches: u64,
     /// Per-scripted-move outcomes in config order.
     pub moves: Vec<ScriptedMoveOutcome>,
+    /// Scripted moves the plan-time world verifier refused (in config
+    /// order of the rejected moves). Unless
+    /// [`ChaosConfig::replay_rejected`] is set they never reach a
+    /// published world.
+    pub static_rejects: Vec<StaticReject>,
     /// `(slot, alert)` pairs raised during the run.
     pub alerts: Vec<(u64, Alert)>,
     /// First slot a `FallbackShare` alert fired.
@@ -243,6 +275,26 @@ impl ChaosReport {
     /// Whether all three invariants held across the whole run.
     pub fn holds(&self) -> bool {
         self.violations.is_empty() && self.oracle_mismatches == 0
+    }
+
+    /// The soundness differential: dynamic invariant violations that
+    /// neither an injected fault (active in a window covering the slot)
+    /// nor a statically rejected — and deliberately replayed — move
+    /// explains. A sound plan-time verifier leaves **zero**: everything
+    /// that goes wrong at runtime was either injected on purpose or
+    /// flagged before the first packet.
+    pub fn soundness_escapes(&self, schedule: &FaultSchedule) -> u64 {
+        self.violations
+            .iter()
+            .filter(|v| {
+                let faulted = schedule
+                    .events
+                    .iter()
+                    .any(|e| e.at <= v.slot && v.slot <= e.ends_at());
+                let flagged = self.static_rejects.iter().any(|r| v.slot >= r.start);
+                !faulted && !flagged
+            })
+            .count() as u64
     }
 
     /// Mean MTTR in slots over the faults that recovered.
@@ -358,6 +410,62 @@ pub fn run_schedule(
         .collect();
     drop(healthy);
 
+    // Plan-time gate over the scripted moves: each migration is verified
+    // against the abstract anchor world (one unit per peer-group anchor,
+    // home `anchor % clusters` — the epoch builder's own rule) before it
+    // may reach a published world. A rejected move is excluded from the
+    // replay unless `cfg.replay_rejected` deliberately lets it through
+    // (the soundness differential's ungated arm).
+    let mut rejected = vec![false; cfg.reshard.len()];
+    let mut static_rejects: Vec<StaticReject> = Vec::new();
+    if !cfg.reshard.is_empty() {
+        let mut anchor_world = WorldModel::new("chaos-anchors", clusters);
+        let anchors: BTreeSet<Vni> = anchor_of.values().copied().collect();
+        for anchor in &anchors {
+            anchor_world.add_unit(
+                u64::from(anchor.value()),
+                1,
+                1,
+                anchor.value() as usize % clusters,
+            );
+        }
+        let certificate = trusted_certificate(&anchor_world);
+        // Capacity is not the dataplane harness's concern (the epoch
+        // builder holds whole tables per cluster); the gate proves the
+        // ownership and phase-order invariants.
+        let budget = EntryBudget {
+            max_routes: usize::MAX,
+            max_vms: usize::MAX,
+        };
+        let options = WorldOptions::default();
+        for (i, mv) in cfg.reshard.iter().enumerate() {
+            let stages = match mv.abort_after {
+                Some(MovePhase::Announce) => vec![MoveStage::Announce],
+                Some(MovePhase::Dual) => vec![MoveStage::Announce, MoveStage::Dual],
+                _ => MoveStage::SEQUENCE.to_vec(),
+            };
+            let plan = TransitionPlan {
+                moves: vec![WorldMove {
+                    units: vec![u64::from(mv.anchor.value())],
+                    from: mv.from,
+                    to: mv.to,
+                    stages,
+                }],
+            };
+            let verdict = verify_plan(&anchor_world, &certificate, &plan, &budget, &options);
+            if !verdict.is_clean() {
+                rejected[i] = true;
+                static_rejects.push(StaticReject {
+                    anchor: mv.anchor,
+                    from: mv.from,
+                    to: mv.to,
+                    start: mv.start,
+                    detail: verdict.error_detail(),
+                });
+            }
+        }
+    }
+
     // Oracle probe slice, fixed across the run.
     let probe_idx = traffic::schedule(flows, cfg.probe_frames.max(1), cfg.traffic_seed ^ 0xA11CE);
     let probe: Vec<&[u8]> = probe_idx
@@ -396,6 +504,7 @@ pub fn run_schedule(
                 rolled_back: false,
             })
             .collect(),
+        static_rejects,
         alerts: Vec::new(),
         first_fallback_alert_slot: None,
         first_breaker_open_slot: None,
@@ -410,7 +519,10 @@ pub fn run_schedule(
             .filter(|e| slot >= e.at && slot < e.ends_at())
             .collect();
         let (mut target_world, storm, install_fault) = world_of(&active, clusters);
-        for mv in &cfg.reshard {
+        for (i, mv) in cfg.reshard.iter().enumerate() {
+            if rejected.get(i).copied().unwrap_or(false) && !cfg.replay_rejected {
+                continue; // gated on the static verdict: never published
+            }
             if let Some(live) = move_state_at(mv, slot) {
                 target_world.moves.insert(mv.anchor, live);
             }
@@ -679,6 +791,59 @@ fn record_attempts(faults: &mut [FaultOutcome], event: &FaultEvent, attempts: u3
     }
 }
 
+/// The anchor whose peer group splits most evenly across the two owners
+/// under the dual-window flow-hash parity — so dual-window assertions
+/// (and the chaos sweep's scripted-move arms) always observe traffic on
+/// both sides. Returns the anchor and its home cluster under the epoch
+/// builder's `anchor % clusters` rule. Deterministic for a given
+/// topology and traffic seed.
+pub fn busiest_anchor(topology: &Topology, cfg: &ChaosConfig, clusters: usize) -> (Vni, usize) {
+    use sailfish_net::rss::Toeplitz;
+    let flows = workload::generate_flows(
+        topology,
+        &WorkloadConfig {
+            seed: cfg.traffic_seed,
+            flows: cfg.flows.max(1),
+            internet_share: 0.01,
+            ..WorkloadConfig::default()
+        },
+    );
+    let frames = traffic::frames_for_flows(&flows);
+    let anchor_of: BTreeMap<Vni, Vni> = topology
+        .vpcs
+        .iter()
+        .map(|vpc| {
+            let anchor = match vpc.peer {
+                Some(peer) => vpc.vni.min(peer),
+                None => vpc.vni,
+            };
+            (vpc.vni, anchor)
+        })
+        .collect();
+    let hasher = Toeplitz::default();
+    let mut parity: BTreeMap<Vni, (usize, usize)> = BTreeMap::new();
+    for (flow, frame) in flows.iter().zip(&frames) {
+        let Some(a) = anchor_of.get(&flow.vni) else {
+            continue;
+        };
+        let Ok(packet) = sailfish_net::GatewayPacket::parse(frame) else {
+            continue;
+        };
+        let slot = parity.entry(*a).or_insert((0, 0));
+        if hasher.hash_tuple(&packet.five_tuple()) & 1 == 0 {
+            slot.0 += 1;
+        } else {
+            slot.1 += 1;
+        }
+    }
+    let (anchor, _) = parity
+        .into_iter()
+        .max_by_key(|(a, (even, odd))| (*even.min(odd), even + odd, *a))
+        .expect("workload covers some VPC");
+    let from = anchor.value() as usize % clusters;
+    (anchor, from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -805,56 +970,6 @@ mod tests {
             .all(|s| s.punts_shed > 0));
     }
 
-    /// The anchor whose peer group splits most evenly across the two
-    /// owners under the dual-window flow-hash parity — so dual-window
-    /// assertions always observe traffic on both sides.
-    fn busiest_anchor(topology: &Topology, cfg: &ChaosConfig, clusters: usize) -> (Vni, usize) {
-        use sailfish_net::rss::Toeplitz;
-        let flows = workload::generate_flows(
-            topology,
-            &WorkloadConfig {
-                seed: cfg.traffic_seed,
-                flows: cfg.flows.max(1),
-                internet_share: 0.01,
-                ..WorkloadConfig::default()
-            },
-        );
-        let frames = traffic::frames_for_flows(&flows);
-        let anchor_of: BTreeMap<Vni, Vni> = topology
-            .vpcs
-            .iter()
-            .map(|vpc| {
-                let anchor = match vpc.peer {
-                    Some(peer) => vpc.vni.min(peer),
-                    None => vpc.vni,
-                };
-                (vpc.vni, anchor)
-            })
-            .collect();
-        let hasher = Toeplitz::default();
-        let mut parity: BTreeMap<Vni, (usize, usize)> = BTreeMap::new();
-        for (flow, frame) in flows.iter().zip(&frames) {
-            let Some(a) = anchor_of.get(&flow.vni) else {
-                continue;
-            };
-            let Ok(packet) = sailfish_net::GatewayPacket::parse(frame) else {
-                continue;
-            };
-            let slot = parity.entry(*a).or_insert((0, 0));
-            if hasher.hash_tuple(&packet.five_tuple()) & 1 == 0 {
-                slot.0 += 1;
-            } else {
-                slot.1 += 1;
-            }
-        }
-        let (anchor, _) = parity
-            .into_iter()
-            .max_by_key(|(a, (even, odd))| (*even.min(odd), even + odd, *a))
-            .expect("workload covers some VPC");
-        let from = anchor.value() as usize % clusters;
-        (anchor, from)
-    }
-
     #[test]
     fn scripted_move_commits_and_splits_dual_traffic() {
         let topology = Topology::generate(TopologyConfig::default());
@@ -924,6 +1039,73 @@ mod tests {
         );
         // Announce, Dual, then the rollback republish of the home world.
         assert_eq!(report.epochs_swapped, 3);
+    }
+
+    #[test]
+    fn poison_move_is_statically_rejected_and_gated_out() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let mut cfg = quick_cfg();
+        let clusters = DataplaneConfig::default().clusters;
+        let (anchor, from) = busiest_anchor(&topology, &cfg, clusters);
+        // Destination outside the cluster set: from Commit on the
+        // directory would point into the void.
+        cfg.reshard = vec![ScriptedMove {
+            anchor,
+            from,
+            to: clusters + 3,
+            start: 1,
+            dwell: 2,
+            abort_after: None,
+        }];
+        let schedule = FaultSchedule::from_events(8, vec![]);
+        let report = run_schedule(&topology, DataplaneConfig::default(), &cfg, &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        let reject = report
+            .static_rejects
+            .first()
+            .expect("move must be rejected");
+        assert!(
+            reject.detail.contains("SF-E008"),
+            "unexpected detail: {}",
+            reject.detail
+        );
+        // Gated out: the poison move never reaches a published world.
+        assert_eq!(report.epochs_swapped, 0);
+        assert!(report.moves.first().unwrap().phases_published.is_empty());
+        assert_eq!(report.soundness_escapes(&schedule), 0);
+    }
+
+    #[test]
+    fn replayed_poison_move_violates_only_where_statically_flagged() {
+        // The ungated arm of the soundness differential: replay the same
+        // rejected move and every dynamic invariant violation it causes
+        // must be explained by the recorded static rejection — zero
+        // escapes means the verifier flagged everything that went wrong.
+        let topology = Topology::generate(TopologyConfig::default());
+        let mut cfg = quick_cfg();
+        let clusters = DataplaneConfig::default().clusters;
+        let (anchor, from) = busiest_anchor(&topology, &cfg, clusters);
+        cfg.reshard = vec![ScriptedMove {
+            anchor,
+            from,
+            to: clusters + 3,
+            start: 1,
+            dwell: 2,
+            abort_after: None,
+        }];
+        cfg.replay_rejected = true;
+        let schedule = FaultSchedule::from_events(8, vec![]);
+        let report = run_schedule(&topology, DataplaneConfig::default(), &cfg, &schedule);
+        assert_eq!(report.static_rejects.len(), 1);
+        assert!(
+            !report.holds(),
+            "the replayed poison move must violate invariants at runtime"
+        );
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.slot >= report.static_rejects[0].start));
+        assert_eq!(report.soundness_escapes(&schedule), 0);
     }
 
     #[test]

@@ -30,7 +30,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Non-test code must not `unwrap()` (see clippy.toml `disallowed-methods`);
+// CI's `-D warnings` escalates this to deny. Test builds carry `cfg(test)`
+// and keep their unwraps.
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 
+// The zero-alloc batch hot path handles raw frames at line rate; its
+// slicing lint is `deny` like `rewrite`'s — unchecked indexing on
+// hostile bytes must not compile.
+#[deny(clippy::indexing_slicing)]
 pub mod batch;
 pub mod breaker;
 pub mod cache;
@@ -44,7 +52,7 @@ pub mod epoch;
 #[warn(clippy::indexing_slicing)]
 pub mod executor;
 pub mod oracle;
-#[warn(clippy::indexing_slicing)]
+#[deny(clippy::indexing_slicing)]
 pub mod rewrite;
 pub mod traffic;
 

@@ -42,7 +42,11 @@ pub mod mac;
 pub mod packet;
 pub mod prefix;
 pub mod rss;
-#[warn(clippy::indexing_slicing)]
+// `view` is the borrowed zero-copy parser the batch pipeline trusts with
+// hostile bytes — its slicing lint is `deny`: not even a local `allow` at
+// a call site may reintroduce panicking indexing without a module-level
+// bounds proof.
+#[deny(clippy::indexing_slicing)]
 pub mod view;
 pub mod vni;
 #[warn(clippy::indexing_slicing)]

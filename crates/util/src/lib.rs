@@ -15,7 +15,7 @@
 //! * [`fuzz`] — a structure-aware byte-buffer mutator (field-offset
 //!   maps, truncation/bit-flip/length-corruption/extension) for
 //!   hostile-input testing of the wire parsers.
-//! * [`bench`] — warmup + calibrated samples + median/p99 ns/op, with
+//! * [`mod@bench`] — warmup + calibrated samples + median/p99 ns/op, with
 //!   JSON output, replacing the external bench framework.
 //!
 //! Policy: this workspace builds with `--offline` from an empty cargo
