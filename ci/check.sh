@@ -115,6 +115,14 @@ determinism_gate "reshard-smoke" experiments/reshard.json \
     cargo run --release --offline -q -p sailfish-bench \
     --bin reshard_sweep -- --tiny
 
+# 7c. Stateful SNAT smoke: the hybrid connection-tracking tier must
+#     agree with its naive reference, the port-pool alert must precede
+#     the first dropped connection, and the published offload epoch must
+#     leave the decision digest byte-identical.
+determinism_gate "snat-smoke" experiments/snat.json \
+    cargo run --release --offline -q -p sailfish-bench \
+    --bin snat_sweep -- --tiny
+
 # 8. Dataplane smoke: the behavioral executor must hold the differential
 #    oracle at tiny scale.
 determinism_gate "dataplane-smoke" BENCH_dataplane.json \

@@ -33,6 +33,7 @@ const BINS: &[&str] = &[
     "fault_injection_sweep",
     "chaos_dataplane_sweep",
     "reshard_sweep",
+    "snat_sweep",
     "dataplane_bench",
     "dataplane_wallclock_bench",
     "ablation_alpm_depth",

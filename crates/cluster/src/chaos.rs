@@ -213,7 +213,8 @@ pub fn run_schedule(
             .iter()
             .filter(|e| slot >= e.at && slot < e.ends_at())
             .filter_map(|e| match e.kind {
-                FaultKind::HeavyHitterStorm { multiplier } => Some(multiplier),
+                FaultKind::HeavyHitterStorm { multiplier }
+                | FaultKind::ConnectionStorm { multiplier, .. } => Some(multiplier),
                 _ => None,
             })
             .fold(1.0, f64::max);
@@ -419,6 +420,11 @@ fn inject(
         FaultKind::HeavyHitterStorm { .. } => {
             record.detected_at = Some(slot);
         }
+        FaultKind::ConnectionStorm { .. } => {
+            // Load-only, like a heavy-hitter storm: visible immediately
+            // in the punt/SNAT counters, no table state to corrupt.
+            record.detected_at = Some(slot);
+        }
     }
 }
 
@@ -505,6 +511,9 @@ fn recover(
             }
         }
         FaultKind::HeavyHitterStorm { .. } => {
+            record.recovered_at = Some(slot);
+        }
+        FaultKind::ConnectionStorm { .. } => {
             record.recovered_at = Some(slot);
         }
     }
@@ -614,7 +623,7 @@ mod tests {
             fault_rate: 0.3,
             ..FaultScheduleConfig::default()
         });
-        assert_eq!(schedule.kinds_present().len(), 6);
+        assert_eq!(schedule.kinds_present().len(), 7);
         let report = run_schedule(
             &mut region,
             &topology,

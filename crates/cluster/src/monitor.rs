@@ -26,6 +26,10 @@ pub struct WaterLevels {
     /// above which the controller is alerted (it means hardware is not
     /// serving part of the region).
     pub fallback_level: f64,
+    /// SNAT external port-pool occupancy above which the controller is
+    /// alerted. Strictly below 1.0 so the alert always fires *before*
+    /// the pool exhausts and connection opens start dropping.
+    pub snat_pool_level: f64,
 }
 
 impl Default for WaterLevels {
@@ -35,6 +39,7 @@ impl Default for WaterLevels {
             traffic_level: 0.5, // "50% water level" in §2.3's sizing math
             loss_level: 1e-8,
             fallback_level: 0.01,
+            snat_pool_level: 0.9,
         }
     }
 }
@@ -80,6 +85,17 @@ pub enum Alert {
     FallbackShare {
         /// Share of offered traffic on the fallback path.
         share: f64,
+    },
+    /// The SNAT tier's external port pool is filling up: once it
+    /// exhausts, new connection opens drop. Analogous to
+    /// [`Alert::FallbackShare`], but for connection capacity instead of
+    /// packet capacity.
+    PortPoolExhaustion {
+        /// VNI of the tenant holding the most port blocks (the
+        /// remediation target — quota it or widen the pool).
+        tenant: u32,
+        /// Leased-block fraction of the whole pool.
+        occupancy: f64,
     },
 }
 
@@ -127,6 +143,17 @@ pub fn evaluate(
     }
 
     alerts
+}
+
+/// Evaluates the SNAT port-pool water level for one measurement
+/// interval. Plain data in (occupancy plus the heaviest tenant), alert
+/// out — the SNAT tier lives in the dataplane/bench layers, which feed
+/// this without a [`Region`] in hand.
+pub fn evaluate_snat_pool(occupancy: f64, top_tenant: u32, levels: WaterLevels) -> Option<Alert> {
+    (occupancy >= levels.snat_pool_level).then_some(Alert::PortPoolExhaustion {
+        tenant: top_tenant,
+        occupancy,
+    })
 }
 
 #[cfg(test)]
@@ -261,6 +288,27 @@ mod tests {
         assert!(alerts
             .iter()
             .any(|a| matches!(a, Alert::FallbackShare { .. })));
+    }
+
+    #[test]
+    fn snat_pool_alert_fires_before_exhaustion() {
+        let levels = WaterLevels::default();
+        assert!(
+            levels.snat_pool_level < 1.0,
+            "the alert must precede actual exhaustion"
+        );
+        assert_eq!(evaluate_snat_pool(0.5, 7, levels), None);
+        let alert = evaluate_snat_pool(0.92, 7, levels);
+        assert_eq!(
+            alert,
+            Some(Alert::PortPoolExhaustion {
+                tenant: 7,
+                occupancy: 0.92
+            })
+        );
+        // Festival levels leave the connection-capacity alert alone:
+        // raising packet headroom must not mask pool pressure.
+        assert!(evaluate_snat_pool(0.92, 7, levels.festival()).is_some());
     }
 
     #[test]

@@ -115,6 +115,17 @@ enum SlotState {
     Walked(FlowOutcome, RewriteCtx),
     /// The VNI directory has no cluster: default-route to software.
     DirectoryMiss,
+    /// A SNAT punt served on-chip by a promoted exact-match entry in
+    /// the pinned epoch's offload snapshot: no handoff, no breaker, no
+    /// fallback. `from_cache` preserves the scalar executor's hit/miss
+    /// counter split.
+    SnatOffloaded {
+        /// ECMP device slot for attribution (`FlowOutcome::NO_SLOT` if
+        /// the cluster had no live device).
+        slot: u32,
+        /// Whether the flow was resolved by the probe lane.
+        from_cache: bool,
+    },
 }
 
 /// Reusable per-worker state: cache, lanes, arena, accounting.
@@ -438,6 +449,20 @@ fn run_worker(
                 Ok(view) => {
                     worker.counters.parsed += 1;
                     if let Some(outcome) = worker.cache.get(&view.flow_key()) {
+                        // Same logical point as the scalar executor's
+                        // cache-hit offload check.
+                        if outcome.action == CachedAction::PuntSnat
+                            && state
+                                .snat
+                                .as_deref()
+                                .is_some_and(|o| o.lookup(view.vni, &view.five_tuple()).is_some())
+                        {
+                            worker.slots.push(SlotState::SnatOffloaded {
+                                slot: outcome.slot,
+                                from_cache: true,
+                            });
+                            continue;
+                        }
                         worker
                             .slots
                             .push(SlotState::Hit(outcome, RewriteCtx::of(&view)));
@@ -471,7 +496,19 @@ fn run_worker(
             // must too for the hit/miss split to match.
             if let Some(outcome) = worker.cache.get(&view.flow_key()) {
                 if let Some(slot) = worker.slots.get_mut(pos as usize) {
-                    *slot = SlotState::Hit(outcome, RewriteCtx::of(view));
+                    *slot = if outcome.action == CachedAction::PuntSnat
+                        && state
+                            .snat
+                            .as_deref()
+                            .is_some_and(|o| o.lookup(view.vni, &view.five_tuple()).is_some())
+                    {
+                        SlotState::SnatOffloaded {
+                            slot: outcome.slot,
+                            from_cache: true,
+                        }
+                    } else {
+                        SlotState::Hit(outcome, RewriteCtx::of(view))
+                    };
                 }
                 continue;
             }
@@ -512,7 +549,22 @@ fn run_worker(
             };
             worker.cache.insert(view.flow_key(), outcome);
             if let Some(slot) = worker.slots.get_mut(pos as usize) {
-                *slot = SlotState::Walked(outcome, RewriteCtx::of(view));
+                // Same logical point as the scalar executor's post-walk
+                // offload check (after the cache insert, so later hits
+                // in this batch re-take the offload branch themselves).
+                *slot = if action == CachedAction::PuntSnat
+                    && state
+                        .snat
+                        .as_deref()
+                        .is_some_and(|o| o.lookup(view.vni, &view.five_tuple()).is_some())
+                {
+                    SlotState::SnatOffloaded {
+                        slot: device_slot,
+                        from_cache: false,
+                    }
+                } else {
+                    SlotState::Walked(outcome, RewriteCtx::of(view))
+                };
             }
         }
         worker.pending = pending;
@@ -541,6 +593,26 @@ fn run_worker(
                     RewriteCtx::default(),
                     true,
                 ),
+                Some(&SlotState::SnatOffloaded { slot, from_cache }) => {
+                    // Mirrors the scalar `snat_offload_hit` counter walk
+                    // exactly: hit bookkeeping first (when the probe lane
+                    // resolved the flow), then the on-chip translation.
+                    if from_cache {
+                        worker.counters.cache_hits += 1;
+                        worker.clock_ns += cost::CACHE_HIT_NS;
+                        worker.counters.punt_snat += 1;
+                    }
+                    if slot != FlowOutcome::NO_SLOT {
+                        if let Some(count) = worker.device_packets.get_mut(slot as usize) {
+                            *count += 1;
+                        }
+                    }
+                    worker.counters.snat_translations += 1;
+                    worker.counters.hw_forwarded += 1;
+                    worker.clock_ns += cost::REWRITE_NS;
+                    batch_digest = batch_digest.wrapping_add(PathDecision::ToInternet.digest());
+                    continue;
+                }
                 _ => continue,
             };
             if outcome.slot != FlowOutcome::NO_SLOT {

@@ -334,6 +334,12 @@ fn world_of(active: &[&FaultEvent], clusters: usize) -> (WorldView, f64, Option<
             FaultKind::HeavyHitterStorm { multiplier } => {
                 storm *= multiplier.max(1.0);
             }
+            FaultKind::ConnectionStorm { multiplier, .. } => {
+                // A connection-open storm loads the punt path the same
+                // way a heavy-hitter storm loads the pipeline: every NEW
+                // connection is a fresh SNAT walk until it is tracked.
+                storm *= multiplier.max(1.0);
+            }
         }
     }
     (world, storm, install)

@@ -89,6 +89,16 @@ pub struct TableCounters {
     pub fallback_forwarded: u64,
     /// Punted packets the software fallback then dropped.
     pub fallback_dropped: u64,
+    /// SNAT packets translated in hardware via a promoted exact-match
+    /// entry (the punt the offload saved).
+    pub snat_translations: u64,
+    /// Connections promoted into the SNAT offload at epoch swaps.
+    pub snat_promotions: u64,
+    /// Connections demoted out of the SNAT offload at epoch swaps.
+    pub snat_demotions: u64,
+    /// SNAT connection opens refused because the external port pool had
+    /// no free block.
+    pub snat_port_alloc_failures: u64,
 }
 
 impl TableCounters {
@@ -125,7 +135,7 @@ impl TableCounters {
     }
 
     /// Stable-ordered `(name, value)` view for deterministic JSON output.
-    pub fn fields(&self) -> [(&'static str, u64); 37] {
+    pub fn fields(&self) -> [(&'static str, u64); 41] {
         [
             ("parsed", self.parsed),
             ("parse_errors", self.parse_errors),
@@ -164,10 +174,14 @@ impl TableCounters {
             ("hw_forwarded", self.hw_forwarded),
             ("fallback_forwarded", self.fallback_forwarded),
             ("fallback_dropped", self.fallback_dropped),
+            ("snat_translations", self.snat_translations),
+            ("snat_promotions", self.snat_promotions),
+            ("snat_demotions", self.snat_demotions),
+            ("snat_port_alloc_failures", self.snat_port_alloc_failures),
         ]
     }
 
-    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 37] {
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 41] {
         [
             ("parsed", &mut self.parsed),
             ("parse_errors", &mut self.parse_errors),
@@ -206,6 +220,13 @@ impl TableCounters {
             ("hw_forwarded", &mut self.hw_forwarded),
             ("fallback_forwarded", &mut self.fallback_forwarded),
             ("fallback_dropped", &mut self.fallback_dropped),
+            ("snat_translations", &mut self.snat_translations),
+            ("snat_promotions", &mut self.snat_promotions),
+            ("snat_demotions", &mut self.snat_demotions),
+            (
+                "snat_port_alloc_failures",
+                &mut self.snat_port_alloc_failures,
+            ),
         ]
     }
 

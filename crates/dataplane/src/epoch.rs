@@ -122,6 +122,11 @@ pub struct EpochState {
     pub directory: VniDirectory,
     /// Per-cluster tables and ECMP membership.
     pub clusters: Vec<ClusterTables>,
+    /// The SNAT tier's promoted hot-flow snapshot for this epoch, if
+    /// the region runs a stateful SNAT service. `None` punts every SNAT
+    /// packet to x86. Sealed with its own epoch tag so a rebalance can
+    /// only ship inside the epoch it was computed for.
+    pub snat: Option<Arc<sailfish_snat::SnatOffload>>,
 }
 
 impl EpochState {
@@ -237,13 +242,30 @@ impl EpochState {
             epoch,
             directory,
             clusters,
+            snat: None,
         }
     }
 
-    /// Whether every cluster's epoch tag matches the state's epoch —
-    /// the torn-state self-check installs run before publishing.
+    /// Attaches a sealed SNAT offload snapshot to this (staged, not yet
+    /// published) state. Panics if the snapshot was sealed for a
+    /// different epoch — the control plane must recompute a rebalance
+    /// rather than smuggle a stale promotion set forward.
+    pub fn with_snat(mut self, offload: sailfish_snat::SnatOffload) -> Self {
+        assert_eq!(
+            offload.epoch_tag, self.epoch,
+            "SNAT offload sealed for epoch {} cannot ship in epoch {}",
+            offload.epoch_tag, self.epoch
+        );
+        self.snat = Some(Arc::new(offload));
+        self
+    }
+
+    /// Whether every cluster's epoch tag — and the SNAT snapshot's, when
+    /// one is attached — matches the state's epoch: the torn-state
+    /// self-check installs run before publishing.
     pub fn tags_consistent(&self) -> bool {
         self.clusters.iter().all(|c| c.epoch_tag == self.epoch)
+            && self.snat.as_ref().is_none_or(|s| s.epoch_tag == self.epoch)
     }
 }
 

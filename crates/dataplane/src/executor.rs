@@ -27,7 +27,7 @@ use std::sync::Arc;
 use sailfish_cluster::lb::pick_owner;
 use sailfish_net::rss::Toeplitz;
 use sailfish_net::wire::ethernet;
-use sailfish_net::GatewayPacket;
+use sailfish_net::{FiveTuple, GatewayPacket};
 use sailfish_sim::Topology;
 use sailfish_tables::meter::Meter;
 use sailfish_xgw_h::program::HwDropReason;
@@ -339,6 +339,39 @@ impl Dataplane {
         }
     }
 
+    /// Intercepts a SNAT punt when the pinned epoch carries a promoted
+    /// exact-match entry for this flow: the translation is served
+    /// on-chip and the punt (handoff, breaker, fallback) never happens.
+    /// The decision is `ToInternet`, whose digest deliberately excludes
+    /// the binding — so an offloaded decision compares equal to the one
+    /// the software fallback would have produced, and offload placement
+    /// can never change a run's decision digest.
+    ///
+    /// `punt_snat` stays a *classification* lane (walk bumps it on
+    /// misses, this path mirrors `apply_action`'s cache-hit bump), so
+    /// `punt_snat - snat_translations` is the software-served SNAT load.
+    fn snat_offload_hit(
+        state: &EpochState,
+        action: CachedAction,
+        packet: &GatewayPacket,
+        tuple: &FiveTuple,
+        st: &mut WorkerState,
+        from_cache: bool,
+    ) -> Option<FrameOutcome> {
+        if action != CachedAction::PuntSnat {
+            return None;
+        }
+        let offload = state.snat.as_deref()?;
+        offload.lookup(packet.vni, tuple)?;
+        if from_cache {
+            st.counters.punt_snat += 1;
+        }
+        st.counters.snat_translations += 1;
+        st.counters.hw_forwarded += 1;
+        st.clock_ns += cost::REWRITE_NS;
+        Some(FrameOutcome::Decided(PathDecision::ToInternet))
+    }
+
     /// Processes one frame inside a worker against the pinned epoch:
     /// parse, directory, ECMP attribution, flow cache, table walk,
     /// rewrite/punt. Hostile bytes degrade to a typed, counted parse
@@ -398,6 +431,9 @@ impl Dataplane {
         if let Some(action) = st.cache.get(packet.vni, &tuple) {
             st.counters.cache_hits += 1;
             st.clock_ns += cost::CACHE_HIT_NS;
+            if let Some(out) = Self::snat_offload_hit(state, action, &packet, &tuple, st, true) {
+                return out;
+            }
             return self.apply_action(action, frame, &packet, st, true);
         }
         st.counters.cache_misses += 1;
@@ -406,6 +442,9 @@ impl Dataplane {
         st.clock_ns += engine::walk_cost_ns(&before, &st.counters);
         let action = Self::action_of(&decision);
         st.cache.insert(packet.vni, &tuple, action);
+        if let Some(out) = Self::snat_offload_hit(state, action, &packet, &tuple, st, false) {
+            return out;
+        }
         self.apply_action(action, frame, &packet, st, false)
     }
 
@@ -558,8 +597,19 @@ impl Dataplane {
             HwDecision::ToNc { packet: out, nc } => PathDecision::ToNc { nc, vni: out.vni },
             HwDecision::ToRegion { region, vni } => PathDecision::ToRegion { region, vni },
             HwDecision::ToIdc { idc, vni } => PathDecision::ToIdc { idc, vni },
-            HwDecision::PuntToX86 { packet, .. } => {
-                PathDecision::from_software(&fallback.process(&packet, now_ns))
+            HwDecision::PuntToX86 { packet, reason } => {
+                // Mirror the workers' offload check at the same logical
+                // point: a promoted SNAT flow never reaches the fallback.
+                if reason == sailfish_xgw_h::PuntReason::SnatRequired
+                    && state
+                        .snat
+                        .as_deref()
+                        .is_some_and(|o| o.lookup(packet.vni, &packet.five_tuple()).is_some())
+                {
+                    PathDecision::ToInternet
+                } else {
+                    PathDecision::from_software(&fallback.process(&packet, now_ns))
+                }
             }
             HwDecision::Drop(HwDropReason::AclDeny) => PathDecision::Drop(DropClass::Acl),
             HwDecision::Drop(HwDropReason::RoutingLoop) => {

@@ -56,7 +56,11 @@ impl fmt::Display for IpProtocol {
 }
 
 /// The classic connection 5-tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Totally ordered (field order: addresses, protocol, ports) so
+/// connection-keyed maps — the SNAT conntrack tier keys per-tenant
+/// connections by 5-tuple — iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// Source IP address.
     pub src_ip: IpAddr,

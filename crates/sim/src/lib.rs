@@ -17,8 +17,11 @@
 //!   loss accounting, time series),
 //! - [`faults`] — deterministic fault-injection schedules over virtual
 //!   time (node death, port degradation, cluster failure, install
-//!   faults, table corruption, heavy-hitter storms), replayed against a
-//!   region by `sailfish-cluster::chaos`,
+//!   faults, table corruption, heavy-hitter storms, connection storms),
+//!   replayed against a region by `sailfish-cluster::chaos`,
+//! - [`conn`] — connection-lifecycle event traces (opens, two-way
+//!   payload, FIN closes, asymmetric return paths, festival-open
+//!   connection storms) for the stateful SNAT tier,
 //! - [`elastic`] — seeded scale-out/in triggers (festival ramps, device
 //!   retirements) that the cluster layer turns into target splits and
 //!   make-before-break migration plans.
@@ -28,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod conn;
 pub mod elastic;
 pub mod faults;
 pub mod metrics;

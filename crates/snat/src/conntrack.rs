@@ -1,0 +1,664 @@
+//! Connection tracking with coarse TCP state and UDP idle aging.
+//!
+//! The tracker is the stateful half of the paper's 80/20 split: "the
+//! SNAT table maps the 5-tuple to the public network IP and port"
+//! (§4.2), and that mapping must survive for the lifetime of the
+//! connection. State is keyed `(tenant VNI, 5-tuple)` — tenants reuse
+//! RFC 1918 space, so the tuple alone is ambiguous — and every mutation
+//! happens under an explicit virtual timestamp, never a wall clock.
+//!
+//! The TCP machine is deliberately coarse (the granularity a gateway
+//! needs for port reclamation, not a full RFC 793 replica):
+//!
+//! ```text
+//!   SYN ──▶ NEW ── payload ──▶ ESTABLISHED ── FIN ──▶ FIN
+//!                                                      │ second FIN
+//!                                                      ▼
+//!              port freed ◀── time_wait idle ── TIME_WAIT
+//! ```
+//!
+//! UDP has no signals: entries age out after `udp_idle_ns`. Ports
+//! return to the tenant's block on expiry, and a block returns to the
+//! pool the moment its last port frees — so allocator state is always
+//! derivable from the live connection set, the invariant the naive
+//! reference oracle ([`crate::reference`]) recomputes from scratch.
+
+use core::net::{IpAddr, Ipv4Addr};
+use std::collections::{BTreeMap, BTreeSet};
+
+use sailfish_net::{FiveTuple, IpProtocol, Vni};
+use sailfish_sim::conn::ConnSignal;
+
+use crate::pool::{PoolConfig, PortPool, PublicBinding};
+
+/// Coarse TCP connection phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TcpPhase {
+    /// SYN seen, no payload yet.
+    New,
+    /// Two-way (or at least payload-bearing) traffic observed.
+    Established,
+    /// One FIN seen.
+    Fin,
+    /// Both FINs seen; the binding lingers for `time_wait_ns`.
+    TimeWait,
+}
+
+/// Tracker configuration: pool shape plus aging horizons.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// External pool shape.
+    pub pool: PoolConfig,
+    /// Idle horizon for TCP entries outside TIME_WAIT.
+    pub tcp_idle_ns: u64,
+    /// Idle horizon for UDP entries.
+    pub udp_idle_ns: u64,
+    /// Linger after the second FIN before the port frees.
+    pub time_wait_ns: u64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            pool: PoolConfig::default(),
+            tcp_idle_ns: 300_000_000_000,
+            udp_idle_ns: 30_000_000_000,
+            time_wait_ns: 10_000_000_000,
+        }
+    }
+}
+
+/// SNAT-tier counters, `fields()`-projected for deterministic JSON and
+/// digests, mirroring the `TableCounters` idiom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnatCounters {
+    /// Outbound packets successfully translated (software or hardware).
+    pub translations: u64,
+    /// Translations served by a promoted exact-match offload entry.
+    pub hw_translations: u64,
+    /// Fresh `(IP, port)` bindings allocated (one per connection).
+    pub new_bindings: u64,
+    /// Connections promoted into the offload across all rebalances.
+    pub promotions: u64,
+    /// Connections demoted out of the offload across all rebalances.
+    pub demotions: u64,
+    /// Connection opens refused because the pool had no free block.
+    pub port_alloc_failures: u64,
+    /// Outbound packets to the pool's own external IPs that re-entered.
+    pub hairpins: u64,
+    /// Inbound packets matched back to a private connection.
+    pub inbound_matched: u64,
+    /// Inbound (or hairpin) packets with no matching state.
+    pub inbound_no_state: u64,
+    /// Entries reclaimed by aging.
+    pub expired: u64,
+}
+
+impl SnatCounters {
+    /// Stable-ordered `(name, value)` view.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("translations", self.translations),
+            ("hw_translations", self.hw_translations),
+            ("new_bindings", self.new_bindings),
+            ("promotions", self.promotions),
+            ("demotions", self.demotions),
+            ("port_alloc_failures", self.port_alloc_failures),
+            ("hairpins", self.hairpins),
+            ("inbound_matched", self.inbound_matched),
+            ("inbound_no_state", self.inbound_no_state),
+            ("expired", self.expired),
+        ]
+    }
+}
+
+/// The tracker's normalized decision for one packet — what the
+/// differential oracle compares, binding values included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnatVerdict {
+    /// Outbound packet translated to its public binding.
+    Translated(PublicBinding),
+    /// Outbound packet addressed to a pool IP re-entered and was
+    /// delivered to the binding's private owner.
+    Hairpin {
+        /// The sender's own translated binding.
+        binding: PublicBinding,
+        /// The private connection the packet re-enters toward.
+        internal: FiveTuple,
+    },
+    /// Inbound packet matched back to its private connection.
+    InboundMatched {
+        /// The private (forward) 5-tuple.
+        internal: FiveTuple,
+    },
+    /// No state for this packet (symmetric-NAT filter or scan).
+    DropNoState,
+    /// Connection open refused: no free port block.
+    DropPortExhausted,
+}
+
+/// One tracked connection.
+#[derive(Debug, Clone, Copy)]
+struct ConnEntry {
+    binding: PublicBinding,
+    block: u32,
+    phase: TcpPhase,
+    udp: bool,
+    fins: u8,
+    packets: u64,
+    last_seen_ns: u64,
+}
+
+/// Per-tenant allocation and connection state.
+#[derive(Debug, Default)]
+struct TenantState {
+    /// Free (absolute) ports per leased block; a block keyed here is
+    /// leased by this tenant, possibly with an empty free set.
+    free_ports: BTreeMap<u32, BTreeSet<u16>>,
+    /// Live connections by forward 5-tuple.
+    conns: BTreeMap<FiveTuple, ConnEntry>,
+}
+
+/// The incremental (production-shaped) connection tracker.
+#[derive(Debug)]
+pub struct ConnTracker {
+    config: TrackerConfig,
+    pool: PortPool,
+    tenants: BTreeMap<Vni, TenantState>,
+    /// Public binding → owner, for inbound matching and hairpins. Each
+    /// connection holds a unique binding, so the map is injective.
+    by_binding: BTreeMap<(Ipv4Addr, u16), (Vni, FiveTuple)>,
+    counters: SnatCounters,
+}
+
+impl ConnTracker {
+    /// An empty tracker over a fresh pool.
+    pub fn new(config: TrackerConfig) -> Self {
+        ConnTracker {
+            pool: PortPool::new(config.pool),
+            config,
+            tenants: BTreeMap::new(),
+            by_binding: BTreeMap::new(),
+            counters: SnatCounters::default(),
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// The underlying block pool (occupancy, free snapshots).
+    pub fn pool(&self) -> &PortPool {
+        &self.pool
+    }
+
+    /// Counter view.
+    pub fn counters(&self) -> &SnatCounters {
+        &self.counters
+    }
+
+    /// Mutable counters — the hybrid tier charges its hardware-lane and
+    /// rebalance counters here so one struct tells the whole story.
+    pub fn counters_mut(&mut self) -> &mut SnatCounters {
+        &mut self.counters
+    }
+
+    /// Live connections across all tenants.
+    pub fn live_connections(&self) -> usize {
+        self.tenants.values().map(|t| t.conns.len()).sum()
+    }
+
+    /// The public binding of a live connection, if any.
+    pub fn binding_of(&self, tenant: Vni, tuple: &FiveTuple) -> Option<PublicBinding> {
+        self.tenants
+            .get(&tenant)?
+            .conns
+            .get(tuple)
+            .map(|e| e.binding)
+    }
+
+    /// The coarse phase of a live connection.
+    pub fn phase_of(&self, tenant: Vni, tuple: &FiveTuple) -> Option<TcpPhase> {
+        self.tenants.get(&tenant)?.conns.get(tuple).map(|e| e.phase)
+    }
+
+    /// Deterministic snapshot of every live connection:
+    /// `(tenant, tuple, packets, binding)` in `(tenant, tuple)` order.
+    pub fn connections(&self) -> Vec<(Vni, FiveTuple, u64, PublicBinding)> {
+        let mut out = Vec::new();
+        for (tenant, ts) in &self.tenants {
+            for (tuple, e) in &ts.conns {
+                out.push((*tenant, *tuple, e.packets, e.binding));
+            }
+        }
+        out
+    }
+
+    /// Processes one outbound (private → Internet) packet.
+    pub fn outbound(
+        &mut self,
+        tenant: Vni,
+        tuple: FiveTuple,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        if self.config.pool.is_external_ip(tuple.dst_ip) {
+            // Hairpin/reentry: tenant traffic addressed to the pool's own
+            // address space. Resolve the target binding first; an unbound
+            // destination is a scan, not a translation.
+            let IpAddr::V4(dst4) = tuple.dst_ip else {
+                self.counters.inbound_no_state += 1;
+                return SnatVerdict::DropNoState;
+            };
+            let Some((_, internal)) = self.by_binding.get(&(dst4, tuple.dst_port)).copied() else {
+                self.counters.inbound_no_state += 1;
+                return SnatVerdict::DropNoState;
+            };
+            return match self.bind_and_touch(tenant, tuple, signal, now_ns) {
+                Some(binding) => {
+                    self.counters.hairpins += 1;
+                    SnatVerdict::Hairpin { binding, internal }
+                }
+                None => SnatVerdict::DropPortExhausted,
+            };
+        }
+        match self.bind_and_touch(tenant, tuple, signal, now_ns) {
+            Some(binding) => SnatVerdict::Translated(binding),
+            None => SnatVerdict::DropPortExhausted,
+        }
+    }
+
+    /// Processes one inbound packet addressed to `public`, from
+    /// `(remote_ip, remote_port)` over `protocol`.
+    pub fn inbound(
+        &mut self,
+        public: PublicBinding,
+        remote_ip: IpAddr,
+        remote_port: u16,
+        protocol: IpProtocol,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        let Some((tenant, tuple)) = self.by_binding.get(&(public.ip, public.port)).copied() else {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        };
+        // Symmetric NAT: only the connection's own remote endpoint may
+        // use the binding.
+        if tuple.dst_ip != remote_ip || tuple.dst_port != remote_port || tuple.protocol != protocol
+        {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        }
+        let Some(entry) = self
+            .tenants
+            .get_mut(&tenant)
+            .and_then(|ts| ts.conns.get_mut(&tuple))
+        else {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        };
+        entry.packets += 1;
+        entry.last_seen_ns = now_ns;
+        apply_signal(entry, signal);
+        self.counters.inbound_matched += 1;
+        SnatVerdict::InboundMatched { internal: tuple }
+    }
+
+    /// Reclaims aged-out entries; returns how many were removed. Ports
+    /// free immediately; a block whose last port frees returns to the
+    /// pool in the same call.
+    pub fn expire(&mut self, now_ns: u64) -> usize {
+        let mut removed = 0;
+        let tenants: Vec<Vni> = self.tenants.keys().copied().collect();
+        for tenant in tenants {
+            let Some(ts) = self.tenants.get(&tenant) else {
+                continue;
+            };
+            let dead: Vec<FiveTuple> = ts
+                .conns
+                .iter()
+                .filter(|(_, e)| is_expired(e, now_ns, &self.config))
+                .map(|(k, _)| *k)
+                .collect();
+            for tuple in dead {
+                self.remove_conn(tenant, &tuple);
+                removed += 1;
+            }
+        }
+        self.counters.expired += removed as u64;
+        removed
+    }
+
+    /// Looks up or creates the entry for `(tenant, tuple)`, bumping its
+    /// activity. `None` means the pool is exhausted (counted).
+    fn bind_and_touch(
+        &mut self,
+        tenant: Vni,
+        tuple: FiveTuple,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> Option<PublicBinding> {
+        let ts = self.tenants.entry(tenant).or_default();
+        if let Some(entry) = ts.conns.get_mut(&tuple) {
+            entry.packets += 1;
+            entry.last_seen_ns = now_ns;
+            apply_signal(entry, signal);
+            self.counters.translations += 1;
+            return Some(entry.binding);
+        }
+        // New connection: lowest free (block, port) among leased blocks,
+        // else lease the lowest free block from the pool.
+        let slot = ts
+            .free_ports
+            .iter()
+            .find_map(|(block, ports)| ports.iter().next().map(|p| (*block, *p)));
+        let (block, port) = match slot {
+            Some(slot) => slot,
+            None => match self.pool.alloc_block(tenant) {
+                Some(block) => {
+                    let base = self.config.pool.base_port_of_block(block);
+                    let ports: BTreeSet<u16> =
+                        (0..self.config.pool.block_size).map(|i| base + i).collect();
+                    ts.free_ports.insert(block, ports);
+                    (block, base)
+                }
+                None => {
+                    self.counters.port_alloc_failures += 1;
+                    return None;
+                }
+            },
+        };
+        if let Some(ports) = ts.free_ports.get_mut(&block) {
+            ports.remove(&port);
+        }
+        let binding = PublicBinding {
+            ip: self.config.pool.ip_of_block(block),
+            port,
+        };
+        let mut entry = ConnEntry {
+            binding,
+            block,
+            phase: TcpPhase::New,
+            udp: tuple.protocol == IpProtocol::Udp,
+            fins: 0,
+            packets: 1,
+            last_seen_ns: now_ns,
+        };
+        apply_signal(&mut entry, signal);
+        ts.conns.insert(tuple, entry);
+        self.by_binding
+            .insert((binding.ip, binding.port), (tenant, tuple));
+        self.counters.translations += 1;
+        self.counters.new_bindings += 1;
+        Some(binding)
+    }
+
+    /// Removes one connection, freeing its port (and block, when it was
+    /// the last port in use).
+    fn remove_conn(&mut self, tenant: Vni, tuple: &FiveTuple) {
+        let Some(ts) = self.tenants.get_mut(&tenant) else {
+            return;
+        };
+        let Some(entry) = ts.conns.remove(tuple) else {
+            return;
+        };
+        self.by_binding
+            .remove(&(entry.binding.ip, entry.binding.port));
+        let block_free = match ts.free_ports.get_mut(&entry.block) {
+            Some(ports) => {
+                ports.insert(entry.binding.port);
+                ports.len() == usize::from(self.config.pool.block_size)
+            }
+            None => false,
+        };
+        if block_free {
+            ts.free_ports.remove(&entry.block);
+            self.pool.release_block(entry.block);
+        }
+        if ts.conns.is_empty() && ts.free_ports.is_empty() {
+            self.tenants.remove(&tenant);
+        }
+    }
+}
+
+/// Applies one transport signal to an entry's coarse state machine.
+fn apply_signal(entry: &mut ConnEntry, signal: ConnSignal) {
+    if entry.udp {
+        return;
+    }
+    match signal {
+        ConnSignal::Syn => {}
+        ConnSignal::Payload => {
+            if entry.phase == TcpPhase::New {
+                entry.phase = TcpPhase::Established;
+            }
+        }
+        ConnSignal::Fin => {
+            entry.fins = entry.fins.saturating_add(1);
+            entry.phase = if entry.fins >= 2 {
+                TcpPhase::TimeWait
+            } else {
+                TcpPhase::Fin
+            };
+        }
+    }
+}
+
+/// Whether an entry has aged out at `now_ns`.
+fn is_expired(entry: &ConnEntry, now_ns: u64, config: &TrackerConfig) -> bool {
+    let idle = now_ns.saturating_sub(entry.last_seen_ns);
+    if entry.udp {
+        idle >= config.udp_idle_ns
+    } else if entry.phase == TcpPhase::TimeWait {
+        idle >= config.time_wait_ns
+    } else {
+        idle >= config.tcp_idle_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(v: u32) -> Vni {
+        Vni::from_const(v)
+    }
+
+    fn tuple(host: u8, port: u16) -> FiveTuple {
+        FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, host)),
+            "93.184.216.34".parse().unwrap(),
+            IpProtocol::Tcp,
+            port,
+            443,
+        )
+    }
+
+    fn udp_tuple(host: u8, port: u16) -> FiveTuple {
+        FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, host)),
+            "9.9.9.9".parse().unwrap(),
+            IpProtocol::Udp,
+            port,
+            53,
+        )
+    }
+
+    #[test]
+    fn outbound_allocates_and_reuses_binding() {
+        let mut tracker = ConnTracker::new(TrackerConfig::default());
+        let t = tuple(1, 10_000);
+        let SnatVerdict::Translated(b1) = tracker.outbound(tenant(1), t, ConnSignal::Syn, 0) else {
+            panic!("expected translation");
+        };
+        let SnatVerdict::Translated(b2) = tracker.outbound(tenant(1), t, ConnSignal::Payload, 10)
+        else {
+            panic!("expected translation");
+        };
+        assert_eq!(b1, b2, "binding is stable for the connection");
+        assert_eq!(tracker.counters().translations, 2);
+        assert_eq!(tracker.counters().new_bindings, 1);
+        assert_eq!(tracker.phase_of(tenant(1), &t), Some(TcpPhase::Established));
+        // A different connection gets a different port.
+        let SnatVerdict::Translated(b3) =
+            tracker.outbound(tenant(1), tuple(2, 10_001), ConnSignal::Syn, 20)
+        else {
+            panic!("expected translation");
+        };
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn tcp_state_machine_walks_to_time_wait() {
+        let mut tracker = ConnTracker::new(TrackerConfig::default());
+        let t = tuple(1, 10_000);
+        tracker.outbound(tenant(1), t, ConnSignal::Syn, 0);
+        assert_eq!(tracker.phase_of(tenant(1), &t), Some(TcpPhase::New));
+        tracker.outbound(tenant(1), t, ConnSignal::Payload, 1);
+        assert_eq!(tracker.phase_of(tenant(1), &t), Some(TcpPhase::Established));
+        tracker.outbound(tenant(1), t, ConnSignal::Fin, 2);
+        assert_eq!(tracker.phase_of(tenant(1), &t), Some(TcpPhase::Fin));
+        let b = tracker.binding_of(tenant(1), &t).unwrap();
+        tracker.inbound(b, t.dst_ip, t.dst_port, IpProtocol::Tcp, ConnSignal::Fin, 3);
+        assert_eq!(tracker.phase_of(tenant(1), &t), Some(TcpPhase::TimeWait));
+        // TIME_WAIT lingers, then frees the port.
+        let wait = tracker.config().time_wait_ns;
+        assert_eq!(tracker.expire(3 + wait - 1), 0);
+        assert_eq!(tracker.expire(3 + wait), 1);
+        assert_eq!(tracker.live_connections(), 0);
+        assert_eq!(
+            tracker.pool().occupancy(),
+            0.0,
+            "block released with last port"
+        );
+    }
+
+    #[test]
+    fn inbound_is_symmetric_nat_filtered() {
+        let mut tracker = ConnTracker::new(TrackerConfig::default());
+        let t = tuple(1, 10_000);
+        tracker.outbound(tenant(1), t, ConnSignal::Syn, 0);
+        let b = tracker.binding_of(tenant(1), &t).unwrap();
+        // Right remote: matched.
+        assert_eq!(
+            tracker.inbound(
+                b,
+                t.dst_ip,
+                t.dst_port,
+                IpProtocol::Tcp,
+                ConnSignal::Payload,
+                1
+            ),
+            SnatVerdict::InboundMatched { internal: t }
+        );
+        // Wrong remote port: filtered.
+        assert_eq!(
+            tracker.inbound(b, t.dst_ip, 80, IpProtocol::Tcp, ConnSignal::Payload, 2),
+            SnatVerdict::DropNoState
+        );
+        // Unbound public port: a scan.
+        let scan = PublicBinding {
+            ip: b.ip,
+            port: b.port.wrapping_add(7),
+        };
+        assert_eq!(
+            tracker.inbound(
+                scan,
+                t.dst_ip,
+                t.dst_port,
+                IpProtocol::Tcp,
+                ConnSignal::Payload,
+                3
+            ),
+            SnatVerdict::DropNoState
+        );
+        assert_eq!(tracker.counters().inbound_matched, 1);
+        assert_eq!(tracker.counters().inbound_no_state, 2);
+    }
+
+    #[test]
+    fn udp_ages_out_and_releases_blocks() {
+        let mut tracker = ConnTracker::new(TrackerConfig::default());
+        tracker.outbound(tenant(1), udp_tuple(1, 5_000), ConnSignal::Payload, 0);
+        tracker.outbound(tenant(1), udp_tuple(2, 5_001), ConnSignal::Payload, 5);
+        assert_eq!(tracker.live_connections(), 2);
+        let idle = tracker.config().udp_idle_ns;
+        // First entry ages out alone, then the second; the shared block
+        // only frees with the last port.
+        assert_eq!(tracker.expire(idle), 1);
+        assert!(tracker.pool().occupancy() > 0.0);
+        assert_eq!(tracker.expire(5 + idle), 1);
+        assert_eq!(tracker.pool().occupancy(), 0.0);
+        assert_eq!(tracker.counters().expired, 2);
+    }
+
+    #[test]
+    fn hairpin_reenters_toward_the_bound_owner() {
+        let mut tracker = ConnTracker::new(TrackerConfig::default());
+        let server = tuple(1, 10_000);
+        tracker.outbound(tenant(1), server, ConnSignal::Syn, 0);
+        let b = tracker.binding_of(tenant(1), &server).unwrap();
+        // Another tenant VM talks to the server's *public* binding.
+        let client = FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 1, 9)),
+            IpAddr::V4(b.ip),
+            IpProtocol::Tcp,
+            20_000,
+            b.port,
+        );
+        let verdict = tracker.outbound(tenant(2), client, ConnSignal::Syn, 1);
+        let SnatVerdict::Hairpin { binding, internal } = verdict else {
+            panic!("expected hairpin, got {verdict:?}");
+        };
+        assert_eq!(internal, server);
+        assert_ne!(binding, b, "the client got its own binding");
+        assert_eq!(tracker.counters().hairpins, 1);
+        // A pool-addressed packet with no bound target is a scan.
+        let scan = FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 1, 9)),
+            IpAddr::V4(b.ip),
+            IpProtocol::Tcp,
+            20_001,
+            b.port.wrapping_add(9),
+        );
+        assert_eq!(
+            tracker.outbound(tenant(2), scan, ConnSignal::Syn, 2),
+            SnatVerdict::DropNoState
+        );
+    }
+
+    #[test]
+    fn exhaustion_is_counted_and_recovers() {
+        let config = TrackerConfig {
+            pool: PoolConfig {
+                external_ips: 1,
+                port_lo: 1_024,
+                port_hi: 1_024 + 3,
+                block_size: 2,
+                ..PoolConfig::default()
+            },
+            ..TrackerConfig::default()
+        };
+        let mut tracker = ConnTracker::new(config);
+        // 2 blocks × 2 ports = 4 connections, all one tenant.
+        for i in 0..4u16 {
+            let v = tracker.outbound(tenant(1), tuple(1, 30_000 + i), ConnSignal::Syn, 0);
+            assert!(matches!(v, SnatVerdict::Translated(_)), "{v:?}");
+        }
+        assert_eq!(
+            tracker.outbound(tenant(1), tuple(1, 30_004), ConnSignal::Syn, 1),
+            SnatVerdict::DropPortExhausted
+        );
+        assert_eq!(tracker.counters().port_alloc_failures, 1);
+        assert_eq!(tracker.pool().occupancy(), 1.0);
+        // Aging out a connection makes room again.
+        let idle = tracker.config().tcp_idle_ns;
+        assert!(tracker.expire(idle) >= 1);
+        assert!(matches!(
+            tracker.outbound(tenant(1), tuple(1, 30_004), ConnSignal::Syn, idle + 1),
+            SnatVerdict::Translated(_)
+        ));
+    }
+}

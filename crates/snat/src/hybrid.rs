@@ -1,0 +1,325 @@
+//! Hybrid placement: promote heavy connections into an XGW-H-style
+//! exact-match offload, demote cooled ones, publish each rebalance as a
+//! sealed epoch snapshot.
+//!
+//! The paper's 80/20 observation (§4.2) applies *within* the SNAT tier
+//! too: a small set of elephant connections carries most translated
+//! packets. Those are worth an exact-match entry on the switch; the
+//! long tail stays on XGW-x86. Two invariants keep this safe:
+//!
+//! 1. **Placement never changes a verdict.** The offload entry is a
+//!    cached copy of the tracker's binding, so a hardware-served packet
+//!    translates to exactly the bytes the software path would have
+//!    produced. `tests/snat_oracle.rs` proves this differentially.
+//! 2. **Epoch-consistent publication.** A rebalance yields an immutable
+//!    [`SnatOffload`] stamped with the epoch tag it must ship under;
+//!    `dataplane::epoch::EpochCell::publish` asserts the tag matches,
+//!    so the executor, punt path, and breaker always observe one
+//!    coherent promotion set — never a half-applied swap.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sailfish_net::{FiveTuple, IpProtocol, Vni};
+use sailfish_sim::conn::ConnSignal;
+
+use crate::conntrack::{ConnTracker, SnatCounters, SnatVerdict, TrackerConfig};
+use crate::pool::PublicBinding;
+
+/// Hybrid tier configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// The software tracker underneath.
+    pub tracker: TrackerConfig,
+    /// Exact-match entries the switch grants the SNAT tier (the xgw-h
+    /// layout verifier checks the SRAM this implies actually fits).
+    pub offload_capacity: usize,
+    /// Minimum observed packets before a connection is promotable.
+    pub promote_packets: u64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            tracker: TrackerConfig::default(),
+            offload_capacity: 4_096,
+            promote_packets: 8,
+        }
+    }
+}
+
+/// An immutable promotion snapshot, sealed under an epoch tag. This is
+/// what `dataplane::epoch::EpochState` carries and what the executors
+/// consult before punting a SNAT packet to x86.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnatOffload {
+    /// The epoch this snapshot must be published under.
+    pub epoch_tag: u64,
+    entries: BTreeMap<(Vni, FiveTuple), PublicBinding>,
+}
+
+impl SnatOffload {
+    /// An empty snapshot for `epoch_tag` (fresh epochs start with no
+    /// promotions).
+    pub fn empty(epoch_tag: u64) -> Self {
+        SnatOffload {
+            epoch_tag,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `(tenant, tuple)` is promoted.
+    pub fn contains(&self, tenant: Vni, tuple: &FiveTuple) -> bool {
+        self.entries.contains_key(&(tenant, *tuple))
+    }
+
+    /// The promoted binding, if any.
+    pub fn lookup(&self, tenant: Vni, tuple: &FiveTuple) -> Option<PublicBinding> {
+        self.entries.get(&(tenant, *tuple)).copied()
+    }
+
+    /// Promoted entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic iteration over promoted entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Vni, FiveTuple), &PublicBinding)> {
+        self.entries.iter()
+    }
+}
+
+/// The hybrid SNAT tier: software tracker plus current promotion set.
+#[derive(Debug)]
+pub struct HybridSnat {
+    config: HybridConfig,
+    tracker: ConnTracker,
+    /// The currently-published promotion set (keys of the last sealed
+    /// snapshot); used to attribute packets to the hardware lane and to
+    /// count promotions/demotions across rebalances.
+    offloaded: BTreeSet<(Vni, FiveTuple)>,
+}
+
+impl HybridSnat {
+    /// A hybrid tier with an empty tracker and no promotions.
+    pub fn new(config: HybridConfig) -> Self {
+        HybridSnat {
+            tracker: ConnTracker::new(config.tracker),
+            config,
+            offloaded: BTreeSet::new(),
+        }
+    }
+
+    /// The hybrid configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// The software tracker underneath.
+    pub fn tracker(&self) -> &ConnTracker {
+        &self.tracker
+    }
+
+    /// Counter view (software and hardware lanes share one struct).
+    pub fn counters(&self) -> &SnatCounters {
+        self.tracker.counters()
+    }
+
+    /// Currently promoted connections.
+    pub fn offloaded_len(&self) -> usize {
+        self.offloaded.len()
+    }
+
+    /// Share of successful translations served from the offload.
+    pub fn hw_share(&self) -> f64 {
+        let c = self.tracker.counters();
+        if c.translations == 0 {
+            0.0
+        } else {
+            c.hw_translations as f64 / c.translations as f64
+        }
+    }
+
+    /// Processes one outbound packet. The verdict is the tracker's —
+    /// placement only decides which lane gets charged.
+    pub fn outbound(
+        &mut self,
+        tenant: Vni,
+        tuple: FiveTuple,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        let verdict = self.tracker.outbound(tenant, tuple, signal, now_ns);
+        if matches!(verdict, SnatVerdict::Translated(_))
+            && self.offloaded.contains(&(tenant, tuple))
+        {
+            self.tracker.counters_mut().hw_translations += 1;
+        }
+        verdict
+    }
+
+    /// Processes one inbound packet (always via the tracker — inbound
+    /// state transitions must be observed in software).
+    pub fn inbound(
+        &mut self,
+        public: PublicBinding,
+        remote_ip: core::net::IpAddr,
+        remote_port: u16,
+        protocol: IpProtocol,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        self.tracker
+            .inbound(public, remote_ip, remote_port, protocol, signal, now_ns)
+    }
+
+    /// Ages out idle entries. Dead connections silently leave the
+    /// promotion set's *accounting* at the next rebalance; until then a
+    /// stale offload entry can no longer match (its binding is gone
+    /// from the tracker, and new traffic re-creates state in software
+    /// first).
+    pub fn expire(&mut self, now_ns: u64) -> usize {
+        self.tracker.expire(now_ns)
+    }
+
+    /// Recomputes the promotion set and seals it for `epoch_tag`.
+    ///
+    /// Policy: every live connection with at least
+    /// [`HybridConfig::promote_packets`] observed packets, hottest
+    /// first (ties broken by `(tenant, tuple)` for determinism),
+    /// truncated to [`HybridConfig::offload_capacity`]. Promotions and
+    /// demotions versus the previous set are counted.
+    pub fn rebalance(&mut self, epoch_tag: u64) -> SnatOffload {
+        let mut hot: Vec<(u64, Vni, FiveTuple, PublicBinding)> = self
+            .tracker
+            .connections()
+            .into_iter()
+            .filter(|(_, _, packets, _)| *packets >= self.config.promote_packets)
+            .map(|(tenant, tuple, packets, binding)| (packets, tenant, tuple, binding))
+            .collect();
+        hot.sort_by(|a, b| {
+            (core::cmp::Reverse(a.0), a.1, a.2).cmp(&(core::cmp::Reverse(b.0), b.1, b.2))
+        });
+        hot.truncate(self.config.offload_capacity);
+
+        let mut entries = BTreeMap::new();
+        let mut next = BTreeSet::new();
+        for (_, tenant, tuple, binding) in hot {
+            entries.insert((tenant, tuple), binding);
+            next.insert((tenant, tuple));
+        }
+        let promotions = next.difference(&self.offloaded).count() as u64;
+        let demotions = self.offloaded.difference(&next).count() as u64;
+        {
+            let counters = self.tracker.counters_mut();
+            counters.promotions += promotions;
+            counters.demotions += demotions;
+        }
+        self.offloaded = next;
+        SnatOffload { epoch_tag, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::net::{IpAddr, Ipv4Addr};
+
+    fn tenant(v: u32) -> Vni {
+        Vni::from_const(v)
+    }
+
+    fn tuple(host: u8, port: u16) -> FiveTuple {
+        FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, host)),
+            "93.184.216.34".parse().unwrap(),
+            IpProtocol::Tcp,
+            port,
+            443,
+        )
+    }
+
+    #[test]
+    fn heavy_connections_promote_and_cooled_ones_demote() {
+        let config = HybridConfig {
+            offload_capacity: 2,
+            promote_packets: 4,
+            ..HybridConfig::default()
+        };
+        let mut hybrid = HybridSnat::new(config);
+        // Connection A: hot. B: warm. C: cold.
+        for i in 0..10 {
+            hybrid.outbound(tenant(1), tuple(1, 10_000), ConnSignal::Payload, i);
+        }
+        for i in 0..5 {
+            hybrid.outbound(tenant(1), tuple(2, 10_001), ConnSignal::Payload, i);
+        }
+        hybrid.outbound(tenant(1), tuple(3, 10_002), ConnSignal::Syn, 0);
+        let snap = hybrid.rebalance(1);
+        assert_eq!(snap.epoch_tag, 1);
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains(tenant(1), &tuple(1, 10_000)));
+        assert!(snap.contains(tenant(1), &tuple(2, 10_001)));
+        assert_eq!(hybrid.counters().promotions, 2);
+        // The promoted binding is exactly the tracker's.
+        assert_eq!(
+            snap.lookup(tenant(1), &tuple(1, 10_000)),
+            hybrid.tracker().binding_of(tenant(1), &tuple(1, 10_000))
+        );
+        // Now C heats past both and capacity forces a demotion.
+        for i in 0..40 {
+            hybrid.outbound(tenant(1), tuple(3, 10_002), ConnSignal::Payload, 10 + i);
+        }
+        let snap2 = hybrid.rebalance(2);
+        assert_eq!(snap2.len(), 2);
+        assert!(snap2.contains(tenant(1), &tuple(3, 10_002)));
+        assert_eq!(hybrid.counters().demotions, 1);
+    }
+
+    #[test]
+    fn hardware_lane_is_charged_only_for_promoted_connections() {
+        let config = HybridConfig {
+            offload_capacity: 8,
+            promote_packets: 2,
+            ..HybridConfig::default()
+        };
+        let mut hybrid = HybridSnat::new(config);
+        for i in 0..4 {
+            hybrid.outbound(tenant(1), tuple(1, 10_000), ConnSignal::Payload, i);
+        }
+        assert_eq!(hybrid.counters().hw_translations, 0, "nothing promoted yet");
+        hybrid.rebalance(1);
+        for i in 0..6 {
+            hybrid.outbound(tenant(1), tuple(1, 10_000), ConnSignal::Payload, 10 + i);
+        }
+        // A cold newcomer stays on the software lane.
+        hybrid.outbound(tenant(1), tuple(2, 10_001), ConnSignal::Syn, 20);
+        assert_eq!(hybrid.counters().hw_translations, 6);
+        assert_eq!(hybrid.counters().translations, 11);
+        assert!(hybrid.hw_share() > 0.5);
+    }
+
+    #[test]
+    fn rebalance_is_deterministic_for_equal_heat() {
+        let config = HybridConfig {
+            offload_capacity: 3,
+            promote_packets: 1,
+            ..HybridConfig::default()
+        };
+        let run = || {
+            let mut hybrid = HybridSnat::new(config);
+            for host in [5u8, 3, 9, 1, 7] {
+                for i in 0..4 {
+                    hybrid.outbound(tenant(1), tuple(host, 10_000), ConnSignal::Payload, i);
+                }
+            }
+            let snap = hybrid.rebalance(1);
+            snap.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "ties must break identically");
+    }
+}

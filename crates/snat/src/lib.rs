@@ -1,0 +1,55 @@
+//! # sailfish-snat
+//!
+//! The stateful SNAT / connection-tracking tier — the paper's canonical
+//! "remaining 20%" service that stays on XGW-x86 while XGW-H serves the
+//! stateless 80% (§2.3, §4.2). This crate closes ROADMAP open item 3:
+//! without a stateful service, the 80/20 co-design the whole gateway
+//! rests on is untestable end-to-end.
+//!
+//! Layers, bottom up:
+//!
+//! - [`pool`] — per-tenant **port-block allocation**: contiguous port
+//!   blocks carved from a configurable external-IP pool, allocated
+//!   lowest-free-first and released the moment their last connection
+//!   dies. Deterministic by construction; the property tests pin
+//!   no-overlap, byte-identical alloc/release round-trips and a total
+//!   exhaustion order.
+//! - [`conntrack`] — **connection tracking** keyed by `(tenant VNI,
+//!   5-tuple)`: coarse TCP state (NEW → ESTABLISHED → FIN → TIME_WAIT),
+//!   UDP idle aging, symmetric-NAT inbound matching, and
+//!   hairpin/reentry handling for tenant traffic addressed to the pool's
+//!   own external IPs. All under virtual time.
+//! - [`mod@reference`] — a deliberately **naive full-state reference**
+//!   implementing the same allocation/translation spec by whole-state
+//!   recomputation (linear scans, no incremental maps). It is the
+//!   differential oracle: the hybrid tier must match it verdict for
+//!   verdict, binding for binding.
+//! - [`hybrid`] — the **hybrid placement policy** (HyperNAT/Gryphon-
+//!   style): heavy connections are promoted into an XGW-H exact-match
+//!   offload snapshot ([`SnatOffload`]), cooled flows demoted, each
+//!   rebalance sealed with an epoch tag and published through
+//!   `dataplane::epoch` so the live executor, punt path and breaker
+//!   stay consistent. Placement never changes a verdict — only *where*
+//!   the translation is served — which is exactly what the oracle test
+//!   proves under mid-stream promotion/demotion epochs.
+//!
+//! Everything is seeded and deterministic: same inputs, same verdicts,
+//! same counters, byte for byte.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+
+// The translation hot path (pool, conntrack, hybrid) must never index
+// unchecked — same gate as the dataplane wire/rewrite paths.
+#[deny(clippy::indexing_slicing)]
+pub mod conntrack;
+#[deny(clippy::indexing_slicing)]
+pub mod hybrid;
+#[deny(clippy::indexing_slicing)]
+pub mod pool;
+pub mod reference;
+
+pub use conntrack::{ConnTracker, SnatCounters, SnatVerdict, TcpPhase, TrackerConfig};
+pub use hybrid::{HybridConfig, HybridSnat, SnatOffload};
+pub use pool::{PoolConfig, PortPool, PublicBinding};
+pub use reference::ReferenceSnat;

@@ -1,0 +1,256 @@
+//! Per-tenant port-block allocation from an external-IP pool.
+//!
+//! The SNAT tier maps private connections onto `(external IP, port)`
+//! bindings. Allocating individual ports per connection from a shared
+//! pool would make per-tenant accounting and hardware offload entries
+//! expensive; production NATs instead carve the port space into
+//! **contiguous blocks** and hand whole blocks to tenants (HyperNAT's
+//! sharding follows the same shape). This module implements that
+//! allocator with one deterministic spec:
+//!
+//! - the pool is `external_ips × blocks_per_ip` blocks, identified by a
+//!   dense `u32` block id ordered `(ip index, block index)`;
+//! - allocation always takes the **lowest free block id**;
+//! - a block is released the moment its last port frees, so pool state
+//!   is always a pure function of the live connection set — the
+//!   property the naive reference oracle depends on.
+
+use core::net::{IpAddr, Ipv4Addr};
+use std::collections::{BTreeMap, BTreeSet};
+
+use sailfish_net::Vni;
+
+/// Shape of the external pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// First external IPv4 address; the pool is `external_ips`
+    /// consecutive addresses starting here.
+    pub base_ip: Ipv4Addr,
+    /// External addresses in the pool.
+    pub external_ips: u32,
+    /// Lowest translated port (the well-known range is never leased).
+    pub port_lo: u16,
+    /// Highest translated port, inclusive.
+    pub port_hi: u16,
+    /// Contiguous ports per block.
+    pub block_size: u16,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            // TEST-NET-2 (RFC 5737): documentation addresses, never
+            // routable, so synthetic traces cannot collide with tenant
+            // space.
+            base_ip: Ipv4Addr::new(198, 51, 100, 1),
+            external_ips: 4,
+            port_lo: 1_024,
+            port_hi: 65_535,
+            block_size: 64,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Whole blocks one external address yields.
+    pub fn blocks_per_ip(&self) -> u32 {
+        let span = u32::from(self.port_hi).saturating_sub(u32::from(self.port_lo)) + 1;
+        span / u32::from(self.block_size.max(1))
+    }
+
+    /// Total blocks in the pool.
+    pub fn total_blocks(&self) -> u32 {
+        self.external_ips * self.blocks_per_ip()
+    }
+
+    /// The external address a block id lives on.
+    pub fn ip_of_block(&self, block: u32) -> Ipv4Addr {
+        let idx = block / self.blocks_per_ip().max(1);
+        Ipv4Addr::from(u32::from(self.base_ip) + idx)
+    }
+
+    /// First port of a block id.
+    pub fn base_port_of_block(&self, block: u32) -> u16 {
+        let within = block % self.blocks_per_ip().max(1);
+        self.port_lo + (within * u32::from(self.block_size)) as u16
+    }
+
+    /// Whether `ip` is one of the pool's external addresses — the
+    /// hairpin/reentry classifier.
+    pub fn is_external_ip(&self, ip: IpAddr) -> bool {
+        match ip {
+            IpAddr::V4(v4) => {
+                let base = u32::from(self.base_ip);
+                let v = u32::from(v4);
+                v >= base && v < base + self.external_ips
+            }
+            IpAddr::V6(_) => false,
+        }
+    }
+}
+
+/// One public `(external IP, port)` binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PublicBinding {
+    /// External address.
+    pub ip: Ipv4Addr,
+    /// Translated source port.
+    pub port: u16,
+}
+
+impl core::fmt::Display for PublicBinding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// The block allocator.
+#[derive(Debug, Clone)]
+pub struct PortPool {
+    config: PoolConfig,
+    /// Free block ids; allocation pops the minimum.
+    free: BTreeSet<u32>,
+    /// Live ownership, for the no-overlap invariant and per-tenant
+    /// occupancy accounting.
+    owners: BTreeMap<u32, Vni>,
+}
+
+impl PortPool {
+    /// A pool with every block free.
+    pub fn new(config: PoolConfig) -> Self {
+        PortPool {
+            free: (0..config.total_blocks()).collect(),
+            owners: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The pool's shape.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Leases the lowest free block to `tenant`; `None` when exhausted.
+    pub fn alloc_block(&mut self, tenant: Vni) -> Option<u32> {
+        let block = self.free.iter().next().copied()?;
+        self.free.remove(&block);
+        self.owners.insert(block, tenant);
+        Some(block)
+    }
+
+    /// Returns a block to the free set. Returns `false` when the block
+    /// was not leased (double release — a caller bug the tests assert
+    /// never happens).
+    pub fn release_block(&mut self, block: u32) -> bool {
+        if self.owners.remove(&block).is_none() {
+            return false;
+        }
+        self.free.insert(block)
+    }
+
+    /// The tenant currently holding `block`.
+    pub fn owner(&self, block: u32) -> Option<Vni> {
+        self.owners.get(&block).copied()
+    }
+
+    /// Leased-block fraction of the whole pool.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.config.total_blocks().max(1);
+        self.owners.len() as f64 / f64::from(total)
+    }
+
+    /// Blocks currently leased, per tenant, in VNI order.
+    pub fn blocks_by_tenant(&self) -> BTreeMap<Vni, usize> {
+        let mut by_tenant: BTreeMap<Vni, usize> = BTreeMap::new();
+        for tenant in self.owners.values() {
+            *by_tenant.entry(*tenant).or_insert(0) += 1;
+        }
+        by_tenant
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total blocks in the pool.
+    pub fn total_blocks(&self) -> usize {
+        self.config.total_blocks() as usize
+    }
+
+    /// Ordered snapshot of the free set — the alloc/release round-trip
+    /// property compares these byte for byte.
+    pub fn snapshot_free(&self) -> Vec<u32> {
+        self.free.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(v: u32) -> Vni {
+        Vni::from_const(v)
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let config = PoolConfig::default();
+        assert_eq!(config.blocks_per_ip(), (65_535 - 1_024 + 1) / 64);
+        assert_eq!(config.total_blocks(), 4 * config.blocks_per_ip());
+        // Block 0 sits on the base ip at port_lo.
+        assert_eq!(config.ip_of_block(0), Ipv4Addr::new(198, 51, 100, 1));
+        assert_eq!(config.base_port_of_block(0), 1_024);
+        // The next ip's first block restarts the port cycle.
+        let b = config.blocks_per_ip();
+        assert_eq!(config.ip_of_block(b), Ipv4Addr::new(198, 51, 100, 2));
+        assert_eq!(config.base_port_of_block(b), 1_024);
+    }
+
+    #[test]
+    fn external_ip_classification() {
+        let config = PoolConfig::default();
+        assert!(config.is_external_ip("198.51.100.1".parse().unwrap()));
+        assert!(config.is_external_ip("198.51.100.4".parse().unwrap()));
+        assert!(!config.is_external_ip("198.51.100.5".parse().unwrap()));
+        assert!(!config.is_external_ip("198.51.100.0".parse().unwrap()));
+        assert!(!config.is_external_ip("10.0.0.1".parse().unwrap()));
+        assert!(!config.is_external_ip("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn alloc_takes_lowest_free_and_release_restores() {
+        let mut pool = PortPool::new(PoolConfig::default());
+        let initial = pool.snapshot_free();
+        let a = pool.alloc_block(tenant(1)).unwrap();
+        let b = pool.alloc_block(tenant(2)).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pool.owner(0), Some(tenant(1)));
+        pool.release_block(0);
+        // The freed block is the lowest again.
+        assert_eq!(pool.alloc_block(tenant(3)), Some(0));
+        pool.release_block(0);
+        pool.release_block(1);
+        assert_eq!(pool.snapshot_free(), initial);
+        assert_eq!(pool.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn exhaustion_and_double_release() {
+        let config = PoolConfig {
+            external_ips: 1,
+            port_lo: 1_024,
+            port_hi: 1_024 + 127,
+            block_size: 64,
+            ..PoolConfig::default()
+        };
+        let mut pool = PortPool::new(config);
+        assert_eq!(pool.total_blocks(), 2);
+        assert!(pool.alloc_block(tenant(1)).is_some());
+        assert!(pool.alloc_block(tenant(1)).is_some());
+        assert_eq!(pool.alloc_block(tenant(2)), None);
+        assert_eq!(pool.occupancy(), 1.0);
+        assert!(pool.release_block(1));
+        assert!(!pool.release_block(1), "double release must be flagged");
+    }
+}

@@ -1,0 +1,385 @@
+//! Deliberately naive full-state SNAT reference — the differential
+//! oracle.
+//!
+//! Same observable spec as [`crate::conntrack::ConnTracker`], opposite
+//! implementation strategy: no incremental free sets, no reverse maps,
+//! no per-tenant caches. Every decision is recomputed from the flat
+//! live-connection list by linear scan. That works because the spec
+//! makes allocator state a *pure function of the live connection set*:
+//!
+//! - a tenant's leased blocks are exactly the blocks its live
+//!   connections sit on;
+//! - the pool's free blocks are exactly the blocks no live connection
+//!   (of any tenant) sits on;
+//! - a new connection takes the lowest free `(block, port)` among the
+//!   tenant's leased blocks, else the lowest pool-free block's first
+//!   port.
+//!
+//! If the incremental tracker ever disagrees with this oracle — on a
+//! verdict, a binding value, or exhaustion order — one of them has a
+//! bug, and the slow one is simple enough to trust.
+
+use core::net::IpAddr;
+use std::collections::BTreeSet;
+
+use sailfish_net::{FiveTuple, IpProtocol, Vni};
+use sailfish_sim::conn::ConnSignal;
+
+use crate::conntrack::{SnatCounters, SnatVerdict, TcpPhase, TrackerConfig};
+use crate::pool::PublicBinding;
+
+/// One live connection in the flat reference store.
+#[derive(Debug, Clone, Copy)]
+struct RefConn {
+    tenant: Vni,
+    tuple: FiveTuple,
+    block: u32,
+    binding: PublicBinding,
+    phase: TcpPhase,
+    udp: bool,
+    fins: u8,
+    packets: u64,
+    last_seen_ns: u64,
+}
+
+/// The naive whole-state reference implementation.
+#[derive(Debug)]
+pub struct ReferenceSnat {
+    config: TrackerConfig,
+    conns: Vec<RefConn>,
+    counters: SnatCounters,
+}
+
+impl ReferenceSnat {
+    /// An empty reference tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        ReferenceSnat {
+            config,
+            conns: Vec::new(),
+            counters: SnatCounters::default(),
+        }
+    }
+
+    /// Counter view (same lanes as the incremental tracker).
+    pub fn counters(&self) -> &SnatCounters {
+        &self.counters
+    }
+
+    /// Live connections.
+    pub fn live_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The binding of a live connection, by linear scan.
+    pub fn binding_of(&self, tenant: Vni, tuple: &FiveTuple) -> Option<PublicBinding> {
+        self.conns
+            .iter()
+            .find(|c| c.tenant == tenant && c.tuple == *tuple)
+            .map(|c| c.binding)
+    }
+
+    /// Leased-block fraction, recomputed from the live set.
+    pub fn pool_occupancy(&self) -> f64 {
+        let held: BTreeSet<u32> = self.conns.iter().map(|c| c.block).collect();
+        let total = self.config.pool.total_blocks().max(1);
+        held.len() as f64 / f64::from(total)
+    }
+
+    /// Processes one outbound packet. Mirrors
+    /// [`crate::conntrack::ConnTracker::outbound`] decision for
+    /// decision.
+    pub fn outbound(
+        &mut self,
+        tenant: Vni,
+        tuple: FiveTuple,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        if self.config.pool.is_external_ip(tuple.dst_ip) {
+            let IpAddr::V4(dst4) = tuple.dst_ip else {
+                self.counters.inbound_no_state += 1;
+                return SnatVerdict::DropNoState;
+            };
+            let target = PublicBinding {
+                ip: dst4,
+                port: tuple.dst_port,
+            };
+            let Some(internal) = self
+                .conns
+                .iter()
+                .find(|c| c.binding == target)
+                .map(|c| c.tuple)
+            else {
+                self.counters.inbound_no_state += 1;
+                return SnatVerdict::DropNoState;
+            };
+            return match self.bind_and_touch(tenant, tuple, signal, now_ns) {
+                Some(binding) => {
+                    self.counters.hairpins += 1;
+                    SnatVerdict::Hairpin { binding, internal }
+                }
+                None => SnatVerdict::DropPortExhausted,
+            };
+        }
+        match self.bind_and_touch(tenant, tuple, signal, now_ns) {
+            Some(binding) => SnatVerdict::Translated(binding),
+            None => SnatVerdict::DropPortExhausted,
+        }
+    }
+
+    /// Processes one inbound packet.
+    pub fn inbound(
+        &mut self,
+        public: PublicBinding,
+        remote_ip: IpAddr,
+        remote_port: u16,
+        protocol: IpProtocol,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> SnatVerdict {
+        let Some(idx) = self.conns.iter().position(|c| c.binding == public) else {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        };
+        let Some(conn) = self.conns.get_mut(idx) else {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        };
+        if conn.tuple.dst_ip != remote_ip
+            || conn.tuple.dst_port != remote_port
+            || conn.tuple.protocol != protocol
+        {
+            self.counters.inbound_no_state += 1;
+            return SnatVerdict::DropNoState;
+        }
+        conn.packets += 1;
+        conn.last_seen_ns = now_ns;
+        apply_signal_ref(conn, signal);
+        self.counters.inbound_matched += 1;
+        SnatVerdict::InboundMatched {
+            internal: conn.tuple,
+        }
+    }
+
+    /// Reclaims aged-out entries.
+    pub fn expire(&mut self, now_ns: u64) -> usize {
+        let before = self.conns.len();
+        let config = self.config;
+        self.conns.retain(|c| {
+            let idle = now_ns.saturating_sub(c.last_seen_ns);
+            let horizon = if c.udp {
+                config.udp_idle_ns
+            } else if c.phase == TcpPhase::TimeWait {
+                config.time_wait_ns
+            } else {
+                config.tcp_idle_ns
+            };
+            idle < horizon
+        });
+        let removed = before - self.conns.len();
+        self.counters.expired += removed as u64;
+        removed
+    }
+
+    /// Deterministic snapshot of the live set, in `(tenant, tuple)`
+    /// order — comparable entry-for-entry with the incremental
+    /// tracker's.
+    pub fn connections(&self) -> Vec<(Vni, FiveTuple, u64, PublicBinding)> {
+        let mut out: Vec<(Vni, FiveTuple, u64, PublicBinding)> = self
+            .conns
+            .iter()
+            .map(|c| (c.tenant, c.tuple, c.packets, c.binding))
+            .collect();
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+
+    /// Finds or creates the entry, recomputing the allocation decision
+    /// from scratch.
+    fn bind_and_touch(
+        &mut self,
+        tenant: Vni,
+        tuple: FiveTuple,
+        signal: ConnSignal,
+        now_ns: u64,
+    ) -> Option<PublicBinding> {
+        if let Some(conn) = self
+            .conns
+            .iter_mut()
+            .find(|c| c.tenant == tenant && c.tuple == tuple)
+        {
+            conn.packets += 1;
+            conn.last_seen_ns = now_ns;
+            apply_signal_ref(conn, signal);
+            self.counters.translations += 1;
+            return Some(conn.binding);
+        }
+        let (block, port) = self.alloc_slot(tenant)?;
+        let binding = PublicBinding {
+            ip: self.config.pool.ip_of_block(block),
+            port,
+        };
+        let mut conn = RefConn {
+            tenant,
+            tuple,
+            block,
+            binding,
+            phase: TcpPhase::New,
+            udp: tuple.protocol == IpProtocol::Udp,
+            fins: 0,
+            packets: 1,
+            last_seen_ns: now_ns,
+        };
+        apply_signal_ref(&mut conn, signal);
+        self.conns.push(conn);
+        self.counters.translations += 1;
+        self.counters.new_bindings += 1;
+        Some(binding)
+    }
+
+    /// Recomputes the lowest free `(block, port)` for `tenant` from the
+    /// flat live list. Counts the failure on exhaustion.
+    fn alloc_slot(&mut self, tenant: Vni) -> Option<(u32, u16)> {
+        let pool = self.config.pool;
+        // Lowest free port inside a block the tenant already holds.
+        let owned: BTreeSet<u32> = self
+            .conns
+            .iter()
+            .filter(|c| c.tenant == tenant)
+            .map(|c| c.block)
+            .collect();
+        for &block in &owned {
+            let used: BTreeSet<u16> = self
+                .conns
+                .iter()
+                .filter(|c| c.block == block)
+                .map(|c| c.binding.port)
+                .collect();
+            let base = pool.base_port_of_block(block);
+            for i in 0..pool.block_size {
+                let port = base + i;
+                if !used.contains(&port) {
+                    return Some((block, port));
+                }
+            }
+        }
+        // Lowest block no live connection (of any tenant) holds.
+        let held: BTreeSet<u32> = self.conns.iter().map(|c| c.block).collect();
+        match (0..pool.total_blocks()).find(|b| !held.contains(b)) {
+            Some(block) => Some((block, pool.base_port_of_block(block))),
+            None => {
+                self.counters.port_alloc_failures += 1;
+                None
+            }
+        }
+    }
+}
+
+/// Same coarse state machine as the incremental tracker.
+fn apply_signal_ref(conn: &mut RefConn, signal: ConnSignal) {
+    if conn.udp {
+        return;
+    }
+    match signal {
+        ConnSignal::Syn => {}
+        ConnSignal::Payload => {
+            if conn.phase == TcpPhase::New {
+                conn.phase = TcpPhase::Established;
+            }
+        }
+        ConnSignal::Fin => {
+            conn.fins = conn.fins.saturating_add(1);
+            conn.phase = if conn.fins >= 2 {
+                TcpPhase::TimeWait
+            } else {
+                TcpPhase::Fin
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conntrack::ConnTracker;
+    use crate::pool::PoolConfig;
+    use core::net::Ipv4Addr;
+
+    fn tenant(v: u32) -> Vni {
+        Vni::from_const(v)
+    }
+
+    fn tuple(host: u8, port: u16) -> FiveTuple {
+        FiveTuple::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, host)),
+            "93.184.216.34".parse().unwrap(),
+            IpProtocol::Tcp,
+            port,
+            443,
+        )
+    }
+
+    #[test]
+    fn reference_matches_tracker_on_a_small_trace() {
+        let config = TrackerConfig::default();
+        let mut tracker = ConnTracker::new(config);
+        let mut reference = ReferenceSnat::new(config);
+        for i in 0..20u16 {
+            let t = tuple((i % 5) as u8, 40_000 + i);
+            let vni = tenant(1 + u32::from(i % 3));
+            let a = tracker.outbound(vni, t, ConnSignal::Syn, u64::from(i));
+            let b = reference.outbound(vni, t, ConnSignal::Syn, u64::from(i));
+            assert_eq!(a, b, "packet {i}");
+        }
+        assert_eq!(tracker.connections(), reference.connections());
+        assert_eq!(tracker.counters(), reference.counters());
+    }
+
+    #[test]
+    fn exhaustion_order_matches_tracker() {
+        let config = TrackerConfig {
+            pool: PoolConfig {
+                external_ips: 1,
+                port_lo: 1_024,
+                port_hi: 1_024 + 3,
+                block_size: 2,
+                ..PoolConfig::default()
+            },
+            ..TrackerConfig::default()
+        };
+        let mut tracker = ConnTracker::new(config);
+        let mut reference = ReferenceSnat::new(config);
+        for i in 0..8u16 {
+            let t = tuple(1, 30_000 + i);
+            let a = tracker.outbound(tenant(1), t, ConnSignal::Syn, 0);
+            let b = reference.outbound(tenant(1), t, ConnSignal::Syn, 0);
+            assert_eq!(a, b, "conn {i}");
+            if i >= 4 {
+                assert_eq!(a, SnatVerdict::DropPortExhausted);
+            }
+        }
+        assert_eq!(tracker.counters(), reference.counters());
+    }
+
+    #[test]
+    fn expiry_rebuilds_identical_allocator_state() {
+        let config = TrackerConfig::default();
+        let mut tracker = ConnTracker::new(config);
+        let mut reference = ReferenceSnat::new(config);
+        for i in 0..10u16 {
+            let t = tuple(1, 50_000 + i);
+            tracker.outbound(tenant(7), t, ConnSignal::Syn, u64::from(i) * 1_000);
+            reference.outbound(tenant(7), t, ConnSignal::Syn, u64::from(i) * 1_000);
+        }
+        // Age out the first half only.
+        let cut = config.tcp_idle_ns + 4_000;
+        assert_eq!(tracker.expire(cut), reference.expire(cut));
+        assert_eq!(tracker.connections(), reference.connections());
+        // New allocations reuse the freed low ports identically.
+        let t = tuple(2, 60_000);
+        assert_eq!(
+            tracker.outbound(tenant(7), t, ConnSignal::Syn, cut),
+            reference.outbound(tenant(7), t, ConnSignal::Syn, cut)
+        );
+    }
+}

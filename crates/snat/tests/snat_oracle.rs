@@ -1,0 +1,247 @@
+//! Differential oracle: the hybrid tier (incremental tracker + hot-flow
+//! offload with mid-stream promotion/demotion epochs) must agree with
+//! the deliberately naive full-state reference on **every** packet of a
+//! 100k-packet seeded Zipf connection trace — verdict for verdict,
+//! binding for binding, counter for counter.
+//!
+//! The trace mixes TCP and UDP, symmetric and asymmetric return paths,
+//! FIN closes and idle-aging, a mid-trace connection storm, synthesized
+//! hairpin/reentry probes against live bindings, and periodic offload
+//! rebalances. Placement (which lane serves a translation) is the only
+//! thing allowed to differ — and only in the `hw_*`/rebalance counter
+//! lanes.
+
+use sailfish_net::Vni;
+use sailfish_net::{FiveTuple, IpProtocol};
+use sailfish_sim::conn::{
+    connection_storm, generate_connection_events, ConnDirection, ConnSignal, ConnWorkloadConfig,
+};
+use sailfish_snat::{
+    HybridConfig, HybridSnat, ReferenceSnat, SnatCounters, SnatVerdict, TrackerConfig,
+};
+
+/// Drops the placement-only lanes so hybrid counters compare against
+/// the (placement-free) reference.
+fn software_view(c: &SnatCounters) -> SnatCounters {
+    SnatCounters {
+        hw_translations: 0,
+        promotions: 0,
+        demotions: 0,
+        ..*c
+    }
+}
+
+#[test]
+fn hybrid_matches_reference_over_100k_packets() {
+    let workload = ConnWorkloadConfig {
+        seed: 20_260_808,
+        connections: 6_000,
+        // The Zipf tail gives most connections a single packet; a heavy
+        // head this tall pushes the trace past 100k events and gives the
+        // promotion policy real elephants to chase.
+        max_packets: 4_000,
+        ..ConnWorkloadConfig::default()
+    };
+    let mut events = generate_connection_events(&workload);
+    // A mid-trace connection storm on one tenant (the `ConnectionStorm`
+    // fault the chaos layer injects).
+    let storm = connection_storm(
+        7,
+        Vni::from_const(workload.base_vni),
+        1_500,
+        workload.duration_ns / 2,
+        workload.duration_ns / 10,
+    );
+    events.extend(storm);
+    events.sort_by_key(|e| e.at_ns); // stable: intra-source order kept
+
+    // Idle horizons scaled to the 1-second trace window so aging (and
+    // port reuse after it) is actually exercised mid-trace.
+    let tracker_config = TrackerConfig {
+        tcp_idle_ns: 150_000_000,
+        udp_idle_ns: 30_000_000,
+        time_wait_ns: 10_000_000,
+        ..TrackerConfig::default()
+    };
+    let mut hybrid = HybridSnat::new(HybridConfig {
+        tracker: tracker_config,
+        offload_capacity: 512,
+        promote_packets: 4,
+    });
+    let mut reference = ReferenceSnat::new(tracker_config);
+
+    let mut processed: u64 = 0;
+    let mut compared_inbound: u64 = 0;
+    let mut hairpins_probed: u64 = 0;
+    let mut epochs: u64 = 0;
+
+    for (i, event) in events.iter().enumerate() {
+        match event.direction {
+            ConnDirection::Outbound => {
+                let a = hybrid.outbound(event.tenant, event.tuple, event.signal, event.at_ns);
+                let b = reference.outbound(event.tenant, event.tuple, event.signal, event.at_ns);
+                assert_eq!(a, b, "outbound mismatch at event {i}: {event:?}");
+            }
+            ConnDirection::Inbound => {
+                // The return path targets the forward tuple's public
+                // binding; both sides must agree on whether one exists
+                // and on its exact bytes.
+                let a = hybrid.tracker().binding_of(event.tenant, &event.tuple);
+                let b = reference.binding_of(event.tenant, &event.tuple);
+                assert_eq!(a, b, "binding mismatch before inbound at event {i}");
+                let Some(binding) = a else { continue };
+                let va = hybrid.inbound(
+                    binding,
+                    event.tuple.dst_ip,
+                    event.tuple.dst_port,
+                    event.tuple.protocol,
+                    event.signal,
+                    event.at_ns,
+                );
+                let vb = reference.inbound(
+                    binding,
+                    event.tuple.dst_ip,
+                    event.tuple.dst_port,
+                    event.tuple.protocol,
+                    event.signal,
+                    event.at_ns,
+                );
+                assert_eq!(va, vb, "inbound mismatch at event {i}");
+                assert_eq!(
+                    va,
+                    SnatVerdict::InboundMatched {
+                        internal: event.tuple
+                    }
+                );
+                compared_inbound += 1;
+            }
+        }
+        processed += 1;
+
+        // Periodic aging: both sides must reclaim identically.
+        if i % 2_048 == 0 {
+            assert_eq!(
+                hybrid.expire(event.at_ns),
+                reference.expire(event.at_ns),
+                "expiry divergence at event {i}"
+            );
+        }
+
+        // Mid-stream promotion/demotion epochs. The snapshot's bindings
+        // must be exactly what the reference would translate to.
+        if i % 10_000 == 5_000 {
+            epochs += 1;
+            let snapshot = hybrid.rebalance(epochs);
+            assert_eq!(snapshot.epoch_tag, epochs);
+            for ((tenant, tuple), binding) in snapshot.iter() {
+                assert_eq!(
+                    reference.binding_of(*tenant, tuple),
+                    Some(*binding),
+                    "offloaded binding diverges from reference at epoch {epochs}"
+                );
+            }
+        }
+
+        // Synthesized hairpin probes: a foreign tenant talks to a live
+        // public binding; both sides must re-enter toward the same
+        // private owner. Plus a scan at a never-leased port.
+        if i % 5_000 == 2_500 {
+            let live = hybrid.tracker().connections();
+            assert_eq!(live, reference.connections(), "live set diverged at {i}");
+            if let Some((_, internal, _, binding)) = live.first().copied() {
+                let probe = FiveTuple::new(
+                    "10.250.0.1".parse().unwrap(),
+                    core::net::IpAddr::V4(binding.ip),
+                    IpProtocol::Tcp,
+                    50_000 + (hairpins_probed as u16 % 10_000),
+                    binding.port,
+                );
+                let probe_tenant = Vni::from_const(4_242);
+                let va = hybrid.outbound(probe_tenant, probe, ConnSignal::Syn, event.at_ns);
+                let vb = reference.outbound(probe_tenant, probe, ConnSignal::Syn, event.at_ns);
+                assert_eq!(va, vb, "hairpin mismatch at event {i}");
+                assert!(
+                    matches!(va, SnatVerdict::Hairpin { internal: got, .. } if got == internal),
+                    "hairpin did not re-enter toward the bound owner: {va:?}"
+                );
+                hairpins_probed += 1;
+                processed += 1;
+                // Scan: port_lo - 1 is never leased.
+                let scan = FiveTuple::new(
+                    "10.250.0.2".parse().unwrap(),
+                    core::net::IpAddr::V4(binding.ip),
+                    IpProtocol::Tcp,
+                    50_001,
+                    tracker_config.pool.port_lo - 1,
+                );
+                let sa = hybrid.outbound(probe_tenant, scan, ConnSignal::Syn, event.at_ns);
+                let sb = reference.outbound(probe_tenant, scan, ConnSignal::Syn, event.at_ns);
+                assert_eq!(sa, sb);
+                assert_eq!(sa, SnatVerdict::DropNoState);
+                processed += 1;
+            }
+        }
+    }
+
+    // Final whole-state agreement.
+    assert_eq!(hybrid.tracker().connections(), reference.connections());
+    assert_eq!(
+        software_view(hybrid.counters()),
+        software_view(reference.counters()),
+        "software-lane counters diverged"
+    );
+    assert!(
+        (hybrid.tracker().pool().occupancy() - reference.pool_occupancy()).abs() < 1e-12,
+        "pool occupancy diverged"
+    );
+
+    // The run actually exercised what it claims to.
+    assert!(processed >= 100_000, "only {processed} packets compared");
+    assert!(compared_inbound > 10_000, "too few inbound comparisons");
+    assert!(hairpins_probed >= 10, "too few hairpin probes");
+    assert!(epochs >= 5, "too few promotion/demotion epochs");
+    assert!(
+        hybrid.counters().promotions > 0 && hybrid.counters().demotions > 0,
+        "epochs never promoted/demoted anything"
+    );
+    assert!(
+        hybrid.counters().hw_translations > 0,
+        "offload never served a packet"
+    );
+}
+
+#[test]
+fn oracle_trace_is_reproducible() {
+    // Two fresh replays of the same seeded workload leave byte-identical
+    // counters — the determinism the sweep's two-run `cmp` gate relies on.
+    let run = || {
+        let workload = ConnWorkloadConfig {
+            connections: 500,
+            ..ConnWorkloadConfig::default()
+        };
+        let events = generate_connection_events(&workload);
+        let mut hybrid = HybridSnat::new(HybridConfig::default());
+        for event in &events {
+            match event.direction {
+                ConnDirection::Outbound => {
+                    hybrid.outbound(event.tenant, event.tuple, event.signal, event.at_ns);
+                }
+                ConnDirection::Inbound => {
+                    if let Some(b) = hybrid.tracker().binding_of(event.tenant, &event.tuple) {
+                        hybrid.inbound(
+                            b,
+                            event.tuple.dst_ip,
+                            event.tuple.dst_port,
+                            event.tuple.protocol,
+                            event.signal,
+                            event.at_ns,
+                        );
+                    }
+                }
+            }
+        }
+        hybrid.rebalance(1);
+        hybrid.counters().fields()
+    };
+    assert_eq!(run(), run());
+}

@@ -43,6 +43,16 @@ pub const ALPM_BUCKET_CAPACITY: usize = 24;
 /// Measured average bucket fill at region scale (DESIGN.md §3).
 pub const ALPM_CALIBRATED_FILL: f64 = 0.6;
 
+/// SNAT hot-flow exact-match key: 24-bit VNI + the private 5-tuple
+/// (src 32 + dst 32 + proto 8 + sport 16 + dport 16). Tenants reuse
+/// RFC 1918 space, so the VNI must be part of the key.
+pub const SNAT_EXACT_KEY_BITS: u32 = 24 + 32 + 32 + 8 + 16 + 16;
+
+/// Exact-match entries the production layout grants the SNAT hot-flow
+/// offload. Sized for the 80/20 split: the elephant connections of a
+/// region fit in 64k entries while the long tail punts to XGW-x86.
+pub const SNAT_EXACT_TABLE_ENTRIES: usize = 65_536;
+
 /// The analyzer options encoding XGW-H program knowledge: conflict
 /// tables must reserve at least [`CONFLICT_TABLE_RESERVED`] entries.
 pub fn verify_options() -> VerifyOptions {
@@ -241,6 +251,26 @@ pub fn service_tables() -> Result<Vec<PlacedTable>> {
     Ok(tables)
 }
 
+/// The SNAT hot-flow exact-match table: promoted elephant connections'
+/// `(VNI, 5-tuple) → (public IP, port)` rewrites, served in the ingress
+/// outer pipes where the punt decision is made. 64 action bits carry
+/// the 48-bit binding plus the rewrite opcode.
+pub fn snat_exact_table(entries: usize) -> Result<PlacedTable> {
+    let spec = TableSpec::new(
+        "snat-exact",
+        MatchKind::Exact,
+        SNAT_EXACT_KEY_BITS,
+        64,
+        entries,
+        Storage::SramHash,
+    )?;
+    let mut t = PlacedTable::new(spec, FoldStep::IngressOuter);
+    // Consulted positionally, like the service tables: a hit bypasses
+    // the punt, a miss changes nothing downstream.
+    t.depends_on_previous = false;
+    Ok(t)
+}
+
 /// The full production layout of one XGW-H (folded, majors + services).
 pub fn production_layout(
     config: TofinoConfig,
@@ -248,17 +278,53 @@ pub fn production_layout(
     alpm: &AlpmStats,
     vmnc_entries: usize,
 ) -> Result<Layout> {
+    production_layout_with_snat(config, route_entries, alpm, vmnc_entries, 0)
+}
+
+/// [`production_layout`] plus a SNAT hot-flow offload of `snat_entries`
+/// exact-match entries (0 omits the table entirely).
+pub fn production_layout_with_snat(
+    config: TofinoConfig,
+    route_entries: usize,
+    alpm: &AlpmStats,
+    vmnc_entries: usize,
+    snat_entries: usize,
+) -> Result<Layout> {
     let mut layout = Layout::new(config, true);
     // Services first in lookup order within their steps; the Layout only
     // validates step monotonicity, so interleave by step.
     let mut tables: Vec<PlacedTable> = Vec::new();
     tables.extend(service_tables()?);
     tables.extend(major_tables(route_entries, alpm, vmnc_entries)?);
+    if snat_entries > 0 {
+        tables.push(snat_exact_table(snat_entries)?);
+    }
     tables.sort_by_key(|t| t.step);
     for t in tables {
         layout.push(t);
     }
     Ok(layout)
+}
+
+/// Statically verifies that granting the SNAT offload `snat_entries`
+/// exact-match entries still fits one device carrying
+/// `route_entries`/`vmnc_entries` — the SRAM-budget proof the hybrid
+/// tier's capacity must come with. Callers gate on [`Report::is_clean`].
+pub fn verify_snat_offload(
+    config: &TofinoConfig,
+    route_entries: usize,
+    vmnc_entries: usize,
+    snat_entries: usize,
+) -> Result<Report> {
+    let alpm = estimated_alpm(route_entries);
+    let layout = production_layout_with_snat(
+        config.clone(),
+        route_entries,
+        &alpm,
+        vmnc_entries,
+        snat_entries,
+    )?;
+    Ok(verify_layout(&layout, "snat-offload"))
 }
 
 #[cfg(test)]
@@ -287,6 +353,30 @@ mod tests {
             459_000,
         )
         .expect("production layout builds")
+    }
+
+    #[test]
+    fn snat_offload_fits_the_calibrated_device() {
+        // The production grant fits alongside the majors and services…
+        let report = verify_snat_offload(
+            &TofinoConfig::tofino_64t(),
+            229_300,
+            459_000,
+            SNAT_EXACT_TABLE_ENTRIES,
+        )
+        .expect("layout builds");
+        assert!(report.is_clean(), "{report:?}");
+        // …and the offload-free layout is unchanged by the 0 sentinel.
+        let without = verify_snat_offload(&TofinoConfig::tofino_64t(), 229_300, 459_000, 0)
+            .expect("layout builds");
+        assert!(without.is_clean());
+        // An absurd grant (every connection an elephant) must be caught
+        // by the static analyzer, not discovered on the device.
+        let absurd = verify_snat_offload(&TofinoConfig::tofino_64t(), 229_300, 459_000, 64_000_000);
+        assert!(
+            absurd.map(|r| !r.is_clean()).unwrap_or(true),
+            "a 64M-entry exact table cannot verify clean"
+        );
     }
 
     #[test]
