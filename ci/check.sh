@@ -123,6 +123,13 @@ determinism_gate "snat-smoke" experiments/snat.json \
     cargo run --release --offline -q -p sailfish-bench \
     --bin snat_sweep -- --tiny
 
+# 7d. Three-tier ladder smoke: the DPU middle tier must keep decision
+#     digests byte-identical, absorb the punt stream, fail over with
+#     bounded churn, and fire per-tier alerts before breakers open.
+determinism_gate "tier-smoke" experiments/tier.json \
+    cargo run --release --offline -q -p sailfish-bench \
+    --bin tier_sweep -- --tiny
+
 # 8. Dataplane smoke: the behavioral executor must hold the differential
 #    oracle at tiny scale.
 determinism_gate "dataplane-smoke" BENCH_dataplane.json \

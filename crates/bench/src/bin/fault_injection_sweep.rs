@@ -39,9 +39,9 @@ fn build_region(topology: &Topology) -> Region {
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let (slots, flows_n, rates): (u64, usize, &[f64]) = if tiny {
-        // 14 slots at rate 0.5 = 7 events — exactly one of each fault
+        // 18 slots at rate 0.5 = 9 events — exactly one of each fault
         // kind, so the kind-coverage claim holds at the CI smoke scale.
-        (14, 1_000, &[0.5])
+        (18, 1_000, &[0.5])
     } else {
         (48, 4_000, &[0.125, 0.25, 0.5])
     };
@@ -131,9 +131,9 @@ fn main() {
 
     rec.compare(
         "fault kinds in one schedule",
-        "7",
+        "9",
         format!("{densest_kinds}"),
-        densest_kinds == 7,
+        densest_kinds == 9,
     );
 
     // Graceful degradation: with a whole cluster's devices dead and no

@@ -34,6 +34,7 @@ const BINS: &[&str] = &[
     "chaos_dataplane_sweep",
     "reshard_sweep",
     "snat_sweep",
+    "tier_sweep",
     "dataplane_bench",
     "dataplane_wallclock_bench",
     "ablation_alpm_depth",

@@ -425,6 +425,16 @@ fn inject(
             // in the punt/SNAT counters, no table state to corrupt.
             record.detected_at = Some(slot);
         }
+        FaultKind::DpuNodeDeath { .. } | FaultKind::DpuPoolSaturation { .. } => {
+            // The DPU middle tier sits between the chip and the x86
+            // fallback; the region model here collapses both software
+            // rungs, so these faults shift load inside that aggregate
+            // without changing region routing. The packet-level harness
+            // (`sailfish_dataplane::chaos`) replays them against the
+            // real three-tier ladder; this one records detection so the
+            // schedule's MTTR accounting still covers every kind.
+            record.detected_at = Some(slot);
+        }
     }
 }
 
@@ -514,6 +524,12 @@ fn recover(
             record.recovered_at = Some(slot);
         }
         FaultKind::ConnectionStorm { .. } => {
+            record.recovered_at = Some(slot);
+        }
+        FaultKind::DpuNodeDeath { .. } | FaultKind::DpuPoolSaturation { .. } => {
+            // Consistent-hash spillover re-homes the dead node's flows
+            // (or the saturation shed ends); the window closing is the
+            // recovery.
             record.recovered_at = Some(slot);
         }
     }
@@ -620,10 +636,12 @@ mod tests {
             slots: 24,
             clusters: region.plan.clusters_needed(),
             devices_per_cluster: 3,
-            fault_rate: 0.3,
+            // At least nine events so the round-robin prefix covers every
+            // fault kind once.
+            fault_rate: 0.4,
             ..FaultScheduleConfig::default()
         });
-        assert_eq!(schedule.kinds_present().len(), 7);
+        assert_eq!(schedule.kinds_present().len(), 9);
         let report = run_schedule(
             &mut region,
             &topology,

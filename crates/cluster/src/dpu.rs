@@ -1,0 +1,327 @@
+//! The DPU middle tier: a pool of SmartNIC-class nodes between XGW-H
+//! and XGW-x86.
+//!
+//! Gryphon-style hierarchical co-offloading (PAPERS.md) survives past
+//! the petabit era by inserting a DPU tier into the degradation ladder:
+//! packets the switch cannot serve spill first to a pool of DPU nodes
+//! (each a couple of orders of magnitude faster than an x86 core at
+//! forwarding, but far smaller than the switch) and only degrade to the
+//! XGW-x86 cluster when the pool itself is saturated or dead.
+//!
+//! Flow ownership inside the pool uses **consistent hashing**: each node
+//! projects `vnodes` points onto a 64-bit ring and a flow is owned by
+//! the first live point clockwise of its hash. Killing a node re-homes
+//! *only that node's flows* onto the survivors (bounded churn — the
+//! HyperNAT property that makes DPU state migration tractable), and
+//! restoring it brings ownership back byte-identically. Everything is
+//! deterministic: the ring depends only on the pool configuration, never
+//! on insertion order or wall-clock time.
+
+use std::collections::BTreeSet;
+
+/// Per-node capacity/latency envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpuNode {
+    /// Node index inside the pool.
+    pub id: u16,
+    /// Sustained forwarding capacity in packets per second.
+    pub capacity_pps: u64,
+    /// Per-packet processing latency in nanoseconds (between the
+    /// switch's ~tens of ns and the x86 path's ~µs).
+    pub process_ns: u64,
+}
+
+/// Pool shape and envelopes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpuPoolConfig {
+    /// Nodes in the pool.
+    pub nodes: u16,
+    /// Ring points per node. More points smooth the ownership split;
+    /// 64 keeps the max/min owner imbalance low at pool sizes ≤ 32.
+    pub vnodes: u16,
+    /// Per-node sustained capacity in packets per second.
+    pub capacity_pps: u64,
+    /// Base per-packet latency of node 0 in nanoseconds.
+    pub process_ns: u64,
+    /// Extra latency per node index (heterogeneous pool generations):
+    /// node `i` processes a packet in `process_ns + i × process_step_ns`.
+    pub process_step_ns: u64,
+}
+
+impl Default for DpuPoolConfig {
+    fn default() -> Self {
+        DpuPoolConfig {
+            nodes: 4,
+            vnodes: 64,
+            capacity_pps: 25_000_000,
+            process_ns: 400,
+            process_step_ns: 25,
+        }
+    }
+}
+
+/// SplitMix64 — the ring's point hash. Deterministic, dependency-free,
+/// and well-mixed enough that vnode points spread uniformly.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a VNI and an RSS tuple hash into the 64-bit flow key the ring
+/// is probed with. Tenants reuse RFC 1918 space, so the VNI must be
+/// part of the key or two tenants' flows would collide.
+pub fn flow_key(vni: u32, tuple_hash: u32) -> u64 {
+    splitmix64((u64::from(vni) << 32) | u64::from(tuple_hash))
+}
+
+/// The consistent-hash DPU pool.
+#[derive(Debug, Clone)]
+pub struct DpuPool {
+    config: DpuPoolConfig,
+    nodes: Vec<DpuNode>,
+    /// `(point, node)` sorted by point; ties broken by node id at build
+    /// time so the ring is unique and order-independent.
+    ring: Vec<(u64, u16)>,
+    dead: BTreeSet<u16>,
+}
+
+impl DpuPool {
+    /// Builds the pool and its ring from the configuration. The ring is
+    /// a pure function of the config: two pools built from equal configs
+    /// are identical.
+    pub fn new(config: DpuPoolConfig) -> Self {
+        let nodes: Vec<DpuNode> = (0..config.nodes)
+            .map(|id| DpuNode {
+                id,
+                capacity_pps: config.capacity_pps,
+                process_ns: config.process_ns + u64::from(id) * config.process_step_ns,
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(usize::from(config.nodes) * usize::from(config.vnodes));
+        for node in 0..config.nodes {
+            for replica in 0..config.vnodes {
+                let point = splitmix64((u64::from(node) << 32) | u64::from(replica));
+                ring.push((point, node));
+            }
+        }
+        ring.sort_unstable();
+        DpuPool {
+            config,
+            nodes,
+            ring,
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &DpuPoolConfig {
+        &self.config
+    }
+
+    /// The node envelopes (dead nodes included — death is an ownership
+    /// property, not a removal).
+    pub fn nodes(&self) -> &[DpuNode] {
+        &self.nodes
+    }
+
+    /// The envelope of one node.
+    pub fn node(&self, id: u16) -> Option<&DpuNode> {
+        self.nodes.get(usize::from(id))
+    }
+
+    /// Marks a node dead. Returns whether the state changed.
+    pub fn fail(&mut self, id: u16) -> bool {
+        id < self.config.nodes && self.dead.insert(id)
+    }
+
+    /// Re-admits a node. Returns whether the state changed.
+    pub fn restore(&mut self, id: u16) -> bool {
+        self.dead.remove(&id)
+    }
+
+    /// The currently dead node set.
+    pub fn dead(&self) -> &BTreeSet<u16> {
+        &self.dead
+    }
+
+    /// Live nodes remaining.
+    pub fn live_nodes(&self) -> usize {
+        usize::from(self.config.nodes) - self.dead.len()
+    }
+
+    /// Aggregate live capacity in packets per second.
+    pub fn live_capacity_pps(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| !self.dead.contains(&n.id))
+            .map(|n| n.capacity_pps)
+            .sum()
+    }
+
+    /// The node that would own `key` with every node alive — the flow's
+    /// primary home, independent of the current death set.
+    pub fn primary_owner(&self, key: u64) -> Option<u16> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let start = self.ring.partition_point(|(p, _)| *p < key);
+        self.ring
+            .get(start)
+            .or_else(|| self.ring.first())
+            .map(|(_, n)| *n)
+    }
+
+    /// The live owner of `key`: the first live ring point clockwise of
+    /// the key. `None` when every node is dead — the pool is out of the
+    /// ladder and the flow degrades straight to x86.
+    pub fn owner_of(&self, key: u64) -> Option<u16> {
+        if self.dead.len() >= usize::from(self.config.nodes) || self.ring.is_empty() {
+            return None;
+        }
+        let start = self.ring.partition_point(|(p, _)| *p < key);
+        let n = self.ring.len();
+        for i in 0..n {
+            let (_, node) = self.ring[(start + i) % n];
+            if !self.dead.contains(&node) {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// FNV-1a digest of the ownership map over `samples` deterministic
+    /// probe keys — a byte-identical fingerprint of who owns what.
+    pub fn ownership_digest(&self, samples: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..samples {
+            let owner = self.owner_of(splitmix64(i)).map_or(u16::MAX, |n| n);
+            for b in owner.to_be_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use sailfish_util::check;
+    use sailfish_util::rand::Rng;
+
+    fn sample_keys(n: u64) -> Vec<u64> {
+        (0..n).map(|i| splitmix64(i.wrapping_mul(31) + 7)).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_order_free() {
+        let a = DpuPool::new(DpuPoolConfig::default());
+        let b = DpuPool::new(DpuPoolConfig::default());
+        assert_eq!(a.ring, b.ring);
+        assert_eq!(a.ownership_digest(4_096), b.ownership_digest(4_096));
+    }
+
+    #[test]
+    fn ownership_spreads_across_the_pool() {
+        let pool = DpuPool::new(DpuPoolConfig::default());
+        let mut counts = vec![0u64; usize::from(pool.config().nodes)];
+        for key in sample_keys(8_192) {
+            counts[usize::from(pool.owner_of(key).unwrap())] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(min > 0, "{counts:?}");
+        assert!(max < min * 3, "vnode smoothing too weak: {counts:?}");
+    }
+
+    #[test]
+    fn node_death_moves_only_the_dead_nodes_flows() {
+        // Satellite property: bounded disruption across 6 seeds. Each
+        // seed draws a pool shape and a victim; killing the victim may
+        // move only flows the victim owned, and restoring it restores
+        // ownership byte-identically.
+        check::run("dpu_bounded_disruption", 6, |rng| {
+            let config = DpuPoolConfig {
+                nodes: rng.gen_range(2..10u16),
+                vnodes: 16 + rng.gen_range(0..64u16),
+                ..DpuPoolConfig::default()
+            };
+            let mut pool = DpuPool::new(config);
+            let keys = sample_keys(2_048);
+            let before: Vec<Option<u16>> = keys.iter().map(|k| pool.owner_of(*k)).collect();
+            let digest_before = pool.ownership_digest(4_096);
+
+            let victim = rng.gen_range(0..config.nodes);
+            assert!(pool.fail(victim));
+            assert_eq!(pool.live_nodes(), usize::from(config.nodes) - 1);
+            let after: Vec<Option<u16>> = keys.iter().map(|k| pool.owner_of(*k)).collect();
+            let mut moved = 0u64;
+            for (i, key) in keys.iter().enumerate() {
+                assert_ne!(after[i], Some(victim), "dead node still owns a flow");
+                if before[i] != after[i] {
+                    assert_eq!(
+                        before[i],
+                        Some(victim),
+                        "flow {key:#x} moved but its owner {:?} is alive",
+                        before[i]
+                    );
+                    moved += 1;
+                }
+            }
+            let owned_by_victim = before.iter().filter(|o| **o == Some(victim)).count() as u64;
+            assert_eq!(moved, owned_by_victim, "every orphaned flow re-homes");
+
+            // Fail/restore round-trips byte-identically.
+            assert!(pool.restore(victim));
+            let restored: Vec<Option<u16>> = keys.iter().map(|k| pool.owner_of(*k)).collect();
+            assert_eq!(before, restored);
+            assert_eq!(digest_before, pool.ownership_digest(4_096));
+        });
+    }
+
+    #[test]
+    fn all_dead_pool_leaves_the_ladder() {
+        let mut pool = DpuPool::new(DpuPoolConfig {
+            nodes: 2,
+            ..DpuPoolConfig::default()
+        });
+        assert!(pool.fail(0));
+        assert!(pool.fail(1));
+        assert!(!pool.fail(1), "double fail is a no-op");
+        assert!(!pool.fail(9), "out-of-range node is rejected");
+        assert_eq!(pool.live_nodes(), 0);
+        assert_eq!(pool.live_capacity_pps(), 0);
+        for key in sample_keys(64) {
+            assert_eq!(pool.owner_of(key), None);
+            assert!(pool.primary_owner(key).is_some());
+        }
+        assert!(pool.restore(0));
+        assert!(pool.owner_of(1).is_some());
+    }
+
+    #[test]
+    fn envelopes_follow_the_config() {
+        let pool = DpuPool::new(DpuPoolConfig::default());
+        assert_eq!(pool.nodes().len(), 4);
+        assert_eq!(pool.node(0).unwrap().process_ns, 400);
+        assert_eq!(pool.node(3).unwrap().process_ns, 400 + 3 * 25);
+        assert!(pool.node(4).is_none());
+        assert_eq!(pool.live_capacity_pps(), 4 * 25_000_000);
+        // The DPU envelope sits strictly between the tiers it bridges.
+        for n in pool.nodes() {
+            assert!(n.process_ns > 60, "faster than a switch punt handoff");
+            assert!(n.process_ns < 1_600, "slower than x86 would be wrong");
+        }
+    }
+
+    #[test]
+    fn flow_key_separates_tenants() {
+        // Same tuple hash under different VNIs must not collide.
+        assert_ne!(flow_key(100, 0xDEAD), flow_key(101, 0xDEAD));
+        assert_eq!(flow_key(100, 0xDEAD), flow_key(100, 0xDEAD));
+    }
+}

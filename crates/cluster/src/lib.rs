@@ -18,6 +18,9 @@
 //! - [`chaos`] — the deterministic fault-injection harness: replays
 //!   seeded [`sailfish_sim::faults`] schedules against a region and
 //!   records loss, fallback share, recovery timing, and invariants,
+//! - [`dpu`] — the DPU middle tier of the degradation ladder: a pool of
+//!   SmartNIC-class nodes with per-node capacity/latency envelopes and
+//!   consistent-hash flow ownership (bounded churn on node death),
 //! - [`hierarchy`] — the "N+1" hierarchical cache-cluster design of the
 //!   paper's future work (§8),
 //! - [`monitor`] — water-level monitoring and alerting (§6.1),
@@ -36,6 +39,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod controller;
+pub mod dpu;
 pub mod failover;
 pub mod hierarchy;
 pub mod lb;

@@ -26,6 +26,12 @@ pub struct WaterLevels {
     /// above which the controller is alerted (it means hardware is not
     /// serving part of the region).
     pub fallback_level: f64,
+    /// Share of offered traffic spilled to the DPU middle tier above
+    /// which the controller is alerted. Higher than `fallback_level`:
+    /// the DPU rung is a designed-for overflow path, so a modest spill
+    /// share is business as usual, while *any* sustained x86 share means
+    /// the ladder is two rungs down.
+    pub dpu_share_level: f64,
     /// SNAT external port-pool occupancy above which the controller is
     /// alerted. Strictly below 1.0 so the alert always fires *before*
     /// the pool exhausts and connection opens start dropping.
@@ -39,6 +45,7 @@ impl Default for WaterLevels {
             traffic_level: 0.5, // "50% water level" in §2.3's sizing math
             loss_level: 1e-8,
             fallback_level: 0.01,
+            dpu_share_level: 0.05,
             snat_pool_level: 0.9,
         }
     }
@@ -84,6 +91,14 @@ pub enum Alert {
     /// the region has no serving hardware.
     FallbackShare {
         /// Share of offered traffic on the fallback path.
+        share: f64,
+    },
+    /// Traffic is spilling to the DPU middle tier beyond its designed
+    /// overflow share — one rung down the degradation ladder. Fires at a
+    /// higher threshold than [`Alert::FallbackShare`] because the DPU
+    /// rung is an engineered overflow path, not an outage.
+    DpuShare {
+        /// Share of offered traffic spilled to the DPU tier.
         share: f64,
     },
     /// The SNAT tier's external port pool is filling up: once it
@@ -142,6 +157,27 @@ pub fn evaluate(
         alerts.push(Alert::FallbackShare { share });
     }
 
+    alerts
+}
+
+/// Evaluates the per-tier share alerts for one measurement interval —
+/// the hierarchical generalization of the single `FallbackShare` check.
+/// Plain data in (each software rung's share of offered traffic), alerts
+/// out, like [`evaluate_snat_pool`]: the three-tier ladder lives in the
+/// dataplane/bench layers, which feed this without a [`Region`] in hand.
+///
+/// Ordering contract the chaos harness asserts: each tier's share alert
+/// fires at a *lower* pressure than the point where that tier's circuit
+/// breaker opens, so the operator always hears about a degradation
+/// strictly before the ladder starts failing fast.
+pub fn evaluate_tier_shares(dpu_share: f64, x86_share: f64, levels: WaterLevels) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    if dpu_share >= levels.dpu_share_level {
+        alerts.push(Alert::DpuShare { share: dpu_share });
+    }
+    if x86_share >= levels.fallback_level {
+        alerts.push(Alert::FallbackShare { share: x86_share });
+    }
     alerts
 }
 
@@ -288,6 +324,36 @@ mod tests {
         assert!(alerts
             .iter()
             .any(|a| matches!(a, Alert::FallbackShare { .. })));
+    }
+
+    #[test]
+    fn tier_shares_alert_per_rung() {
+        let levels = WaterLevels::default();
+        // The DPU rung tolerates more share than the x86 rung: a spill
+        // is designed-for overflow, an x86 punt is two rungs down.
+        assert!(levels.dpu_share_level > levels.fallback_level);
+        assert_eq!(evaluate_tier_shares(0.0, 0.0, levels), vec![]);
+        // A modest spill share stays quiet; the same share on x86 alerts.
+        assert_eq!(
+            evaluate_tier_shares(0.02, 0.0, levels),
+            vec![],
+            "designed-for DPU overflow must not page anyone"
+        );
+        assert_eq!(
+            evaluate_tier_shares(0.0, 0.02, levels),
+            vec![Alert::FallbackShare { share: 0.02 }]
+        );
+        // Both rungs loaded: both alerts, DPU first (ladder order).
+        assert_eq!(
+            evaluate_tier_shares(0.10, 0.05, levels),
+            vec![
+                Alert::DpuShare { share: 0.10 },
+                Alert::FallbackShare { share: 0.05 }
+            ]
+        );
+        // Festival levels leave the tier shares alone: raising packet
+        // headroom must not mask a degradation ladder in motion.
+        assert_eq!(evaluate_tier_shares(0.10, 0.05, levels.festival()).len(), 2);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 use core::net::{IpAddr, Ipv4Addr};
 
 use sailfish_net::checksum;
+use sailfish_net::rss::Toeplitz;
 use sailfish_net::view::FrameView;
 use sailfish_net::wire::ethernet;
 use sailfish_net::{Error, FrameError, FrameLayer, GatewayPacket, Vni};
@@ -71,9 +72,22 @@ use crate::breaker::{Admission, BreakerStats, PuntBreaker};
 use crate::cache::{CachedAction, FlowCache, FlowOutcome};
 use crate::counters::TableCounters;
 use crate::engine::{self, cost};
-use crate::executor::{worker_for, Dataplane, RunReport};
+use crate::epoch::EpochState;
+use crate::executor::{worker_for, Dataplane, DataplaneConfig, RunReport};
 use crate::oracle::{DropClass, PathDecision};
 use crate::rewrite;
+
+/// Builds the DPU middle-tier breaker for a worker, when the config
+/// carries a tier — shared by construction and `begin_run` reset.
+fn tier_breaker(config: &DataplaneConfig) -> Option<PuntBreaker> {
+    config.tier.as_ref().map(|t| {
+        PuntBreaker::named(
+            "dpu",
+            Meter::new(t.dpu_rate_bps, t.dpu_burst_bytes),
+            t.dpu_breaker.clone(),
+        )
+    })
+}
 
 use std::collections::BTreeMap;
 
@@ -133,15 +147,21 @@ struct BatchWorker {
     cache: FlowCache,
     counters: TableCounters,
     breaker: PuntBreaker,
+    /// DPU middle-tier admission breaker; `None` without a configured
+    /// tier (the historical two-rung ladder).
+    dpu_breaker: Option<PuntBreaker>,
+    owner_hash: Toeplitz,
     clock_ns: u64,
     digest: u64,
     /// `(epoch, digest)` accumulated batch-by-batch; a linear scan over
     /// the handful of live epochs avoids `BTreeMap` node allocation on
     /// the hot path.
     epoch_digests: Vec<(u64, u64)>,
-    /// Global frame indices admitted for punt, in decision order; the
-    /// owned parse happens at resolution time in `finish`.
-    punted: Vec<u32>,
+    /// Global frame indices admitted for punt, in decision order, tagged
+    /// with the serving tier — `Some((node, process_ns))` for a DPU
+    /// spill, `None` for x86; the owned parse happens at resolution time
+    /// in `finish`.
+    punted: Vec<(u32, Option<(u16, u64)>)>,
     device_packets: Vec<u64>,
     /// Miss lane: `(position in batch, view)` for probe misses only —
     /// empty once the cache is warm.
@@ -163,6 +183,8 @@ impl BatchWorker {
                 Meter::new(config.punt_rate_bps, config.punt_burst_bytes),
                 config.breaker.clone(),
             ),
+            dpu_breaker: tier_breaker(config),
+            owner_hash: Toeplitz::default(),
             clock_ns: 0,
             digest: 0,
             epoch_digests: Vec::with_capacity(4),
@@ -182,6 +204,7 @@ impl BatchWorker {
             Meter::new(config.punt_rate_bps, config.punt_burst_bytes),
             config.breaker.clone(),
         );
+        self.dpu_breaker = tier_breaker(config);
         self.clock_ns = 0;
         self.digest = 0;
         self.epoch_digests.clear();
@@ -297,7 +320,9 @@ impl BatchExecutor {
         let mut device_packets =
             vec![0u64; self.workers.first().map_or(0, |w| w.device_packets.len())];
         let mut breaker = BreakerStats::default();
+        let mut dpu_breaker = BreakerStats::default();
         let mut fallback_packets = 0u64;
+        let mut dpu_packets = 0u64;
         for worker in &self.workers {
             counters.merge(&worker.counters);
             digest = digest.wrapping_add(worker.digest);
@@ -315,12 +340,22 @@ impl BatchExecutor {
             breaker.closed += s.closed;
             breaker.shed_open += s.shed_open;
             breaker.shed_meter += s.shed_meter;
+            if let Some(db) = &worker.dpu_breaker {
+                let s = db.stats();
+                dpu_breaker.opened += s.opened;
+                dpu_breaker.half_opened += s.half_opened;
+                dpu_breaker.closed += s.closed;
+                dpu_breaker.shed_open += s.shed_open;
+                dpu_breaker.shed_meter += s.shed_meter;
+            }
         }
 
+        // Both software rungs resolve through the same forwarder — the
+        // DPU spill just costs the owning node's latency instead of the
+        // x86 cost — exactly like the scalar finalize.
         let mut now_ns = pipeline_ns;
         for worker in &self.workers {
-            fallback_packets += worker.punted.len() as u64;
-            for &idx in &worker.punted {
+            for &(idx, tier_tag) in &worker.punted {
                 // Guaranteed parseable: only view-validated frames punt.
                 let Some(frame) = frames.get(idx as usize) else {
                     continue;
@@ -328,13 +363,30 @@ impl BatchExecutor {
                 let Ok(packet) = GatewayPacket::parse_classified(frame) else {
                     continue;
                 };
-                now_ns += cost::X86_PROCESS_NS;
-                let decision = PathDecision::from_software(&fallback.process(&packet, now_ns));
-                if matches!(decision, PathDecision::Drop(_)) {
-                    counters.fallback_dropped += 1;
-                } else {
-                    counters.fallback_forwarded += 1;
-                }
+                let decision = match tier_tag {
+                    Some((_node, process_ns)) => {
+                        dpu_packets += 1;
+                        now_ns += process_ns;
+                        let d = PathDecision::from_software(&fallback.process(&packet, now_ns));
+                        if matches!(d, PathDecision::Drop(_)) {
+                            counters.dpu_dropped += 1;
+                        } else {
+                            counters.dpu_forwarded += 1;
+                        }
+                        d
+                    }
+                    None => {
+                        fallback_packets += 1;
+                        now_ns += cost::X86_PROCESS_NS;
+                        let d = PathDecision::from_software(&fallback.process(&packet, now_ns));
+                        if matches!(d, PathDecision::Drop(_)) {
+                            counters.fallback_dropped += 1;
+                        } else {
+                            counters.fallback_forwarded += 1;
+                        }
+                        d
+                    }
+                };
                 digest = digest.wrapping_add(decision.digest());
             }
         }
@@ -346,9 +398,11 @@ impl BatchExecutor {
             epoch_digests,
             virtual_ns: now_ns,
             fallback_packets,
+            dpu_packets,
             workers: self.workers.len(),
             device_packets,
             breaker,
+            dpu_breaker,
         }
     }
 
@@ -620,18 +674,68 @@ fn run_worker(
                     *count += 1;
                 }
             }
-            batch_digest = batch_digest
-                .wrapping_add(apply_outcome(worker, idx, frame, outcome, ctx, from_cache));
+            batch_digest = batch_digest.wrapping_add(apply_outcome(
+                &state, worker, idx, frame, outcome, ctx, from_cache,
+            ));
         }
         worker.digest = worker.digest.wrapping_add(batch_digest);
         worker.note_epoch_digest(state.epoch, batch_digest);
     }
 }
 
+/// Tries the DPU middle tier for one punt-classified frame — the batch
+/// mirror of the scalar executor's `try_spill_dpu`, keyed off the same
+/// Toeplitz tuple hash so both executors place every flow identically.
+/// `Some(())` means the spill was queued; `None` falls through to x86
+/// admission (no tier, dead pool, or a shed re-route).
+fn try_spill_dpu(
+    state: &EpochState,
+    worker: &mut BatchWorker,
+    idx: u32,
+    frame: &[u8],
+) -> Option<()> {
+    let map = state.tier.as_deref()?;
+    // Punt-classified frames passed the view parser in stage 1, so this
+    // re-parse cannot fail; it runs only on the (cold) punt lane and
+    // stays allocation-free like every view parse.
+    let view = FrameView::parse(frame).ok()?;
+    let tuple_hash = worker.owner_hash.hash_tuple(&view.five_tuple());
+    let crate::tier::TierDecision::SpillDpu {
+        node,
+        process_ns,
+        rehomed,
+    } = map.place(view.vni.value(), tuple_hash)
+    else {
+        return None;
+    };
+    let dpu_breaker = worker.dpu_breaker.as_mut()?;
+    match dpu_breaker.admit(worker.clock_ns, map.byte_cost(frame.len())) {
+        Admission::Admitted => {
+            worker.clock_ns += cost::PUNT_HANDOFF_NS;
+            worker.counters.dpu_spilled += 1;
+            if rehomed {
+                worker.counters.dpu_rehomed += 1;
+            }
+            worker.punted.push((idx, Some((node, process_ns))));
+            Some(())
+        }
+        Admission::ShedMeter => {
+            worker.counters.dpu_shed_meter += 1;
+            None
+        }
+        Admission::ShedOpen => {
+            worker.counters.dpu_breaker_open += 1;
+            None
+        }
+    }
+}
+
 /// Applies one frame's outcome: arena rewrite, punt admission, counter
 /// attribution. Returns the decided digest contribution (0 for punts
 /// and errors — punts resolve at the fallback tier).
+#[allow(clippy::too_many_arguments)]
 fn apply_outcome(
+    state: &EpochState,
     worker: &mut BatchWorker,
     idx: u32,
     frame: &[u8],
@@ -662,10 +766,13 @@ fn apply_outcome(
                     _ => unreachable!(),
                 }
             }
+            if try_spill_dpu(state, worker, idx, frame).is_some() {
+                return 0;
+            }
             match worker.breaker.admit(worker.clock_ns, frame.len()) {
                 Admission::Admitted => {
                     worker.clock_ns += cost::PUNT_HANDOFF_NS;
-                    worker.punted.push(idx);
+                    worker.punted.push((idx, None));
                     0
                 }
                 Admission::ShedMeter => {

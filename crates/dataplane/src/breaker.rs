@@ -1,6 +1,6 @@
-//! Punt-path circuit breaker.
+//! Per-tier circuit breakers for the degradation ladder.
 //!
-//! The punt meter protects the x86 tier from a sustained hardware-miss
+//! The punt meter protects a software tier from a sustained hardware-miss
 //! storm, but a raw token bucket keeps charging the handoff cost for
 //! every packet it rejects. The breaker wraps the meter with the classic
 //! three-state machine: after enough *consecutive* meter rejections it
@@ -8,6 +8,16 @@
 //! the meter again through a **half-open** trial phase before closing.
 //! All transitions run on the worker's deterministic virtual clock, so
 //! single-worker runs and replays are byte-identical.
+//!
+//! A worker runs one **named instance per protected tier** — the x86
+//! fallback (`"x86"`) and the DPU middle tier (`"dpu"`) each get their
+//! own meter, state machine, and stats, fully independent of each other
+//! ([`PuntBreaker::named`]). Half-open trial packets that *are* admitted
+//! drain the token bucket like any other punt; when a later trial in the
+//! same probe cycle fails, the breaker credits those tokens back before
+//! reopening, so a failed probe can never leave the bucket partially
+//! drained across reopen cycles (which would make every subsequent probe
+//! fail spuriously and latch the breaker open).
 
 use sailfish_tables::meter::Meter;
 
@@ -88,26 +98,46 @@ enum State {
     HalfOpen { remaining: u32 },
 }
 
-/// The token-bucket-backed three-state breaker guarding the punt path.
+/// The token-bucket-backed three-state breaker guarding one tier's punt
+/// path. Instances are named so a worker can run several side by side
+/// (x86 fallback, DPU pool) with independent deterministic state.
 #[derive(Debug)]
 pub struct PuntBreaker {
+    name: &'static str,
     meter: Meter,
     config: BreakerConfig,
     state: State,
     consecutive_rejects: u32,
+    /// Bytes drained by admitted trials of the current half-open probe
+    /// cycle; credited back to the meter if the cycle fails.
+    half_open_drained: u64,
     stats: BreakerStats,
 }
 
 impl PuntBreaker {
-    /// Creates a closed breaker over `meter`.
+    /// Creates a closed breaker over `meter` with the default name
+    /// (`"x86"`, the historical single-instance punt path).
     pub fn new(meter: Meter, config: BreakerConfig) -> Self {
+        Self::named("x86", meter, config)
+    }
+
+    /// Creates a closed breaker named `name` over `meter`. Each named
+    /// instance carries its own meter, state machine, and stats.
+    pub fn named(name: &'static str, meter: Meter, config: BreakerConfig) -> Self {
         PuntBreaker {
+            name,
             meter,
             config,
             state: State::Closed,
             consecutive_rejects: 0,
+            half_open_drained: 0,
             stats: BreakerStats::default(),
         }
+    }
+
+    /// The tier this breaker guards.
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// The current position.
@@ -141,10 +171,12 @@ impl PuntBreaker {
         if self.meter.offer(now_ns, bytes) {
             self.consecutive_rejects = 0;
             if let State::HalfOpen { remaining } = self.state {
+                self.half_open_drained = self.half_open_drained.saturating_add(bytes as u64);
                 let left = remaining.saturating_sub(1);
                 if left == 0 {
                     self.state = State::Closed;
                     self.stats.closed += 1;
+                    self.half_open_drained = 0;
                 } else {
                     self.state = State::HalfOpen { remaining: left };
                 }
@@ -152,17 +184,26 @@ impl PuntBreaker {
             return Admission::Admitted;
         }
 
-        self.stats.shed_meter += 1;
         match self.state {
             State::HalfOpen { .. } => {
-                // A failed trial reopens immediately.
+                // A failed trial reopens immediately. The cycle's earlier
+                // admitted trials already drained the bucket; credit them
+                // back so the failed probe leaves the meter exactly as it
+                // found it — otherwise each reopen starts the next probe
+                // with a shallower bucket and the breaker latches open.
+                // The shed is attributed to the open transition (the
+                // admission returned), not to the meter.
+                self.meter.credit(self.half_open_drained);
+                self.half_open_drained = 0;
                 self.state = State::Open {
                     until_ns: now_ns + self.config.open_ns,
                 };
                 self.stats.opened += 1;
+                self.stats.shed_open += 1;
                 Admission::ShedOpen
             }
             State::Closed => {
+                self.stats.shed_meter += 1;
                 self.consecutive_rejects += 1;
                 if self.consecutive_rejects >= self.config.open_threshold.max(1) {
                     self.state = State::Open {
@@ -277,6 +318,67 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.stats().closed, 1);
         assert_eq!(b.stats().half_opened, 1);
+    }
+
+    #[test]
+    fn named_instances_keep_independent_state() {
+        let mut x86 = PuntBreaker::named("x86", generous(), config());
+        let mut dpu = PuntBreaker::named("dpu", starved(), config());
+        assert_eq!(x86.name(), "x86");
+        assert_eq!(dpu.name(), "dpu");
+        // Drive both on the same virtual clock: the starved tier opens,
+        // the generous one never notices.
+        for t in 0..8u64 {
+            x86.admit(t, 1500);
+            dpu.admit(t, 1500);
+        }
+        assert_eq!(x86.state(), BreakerState::Closed);
+        assert_eq!(x86.stats(), BreakerStats::default());
+        assert_eq!(dpu.state(), BreakerState::Open);
+        assert!(dpu.stats().opened >= 1);
+        // The default constructor keeps the historical x86 identity.
+        assert_eq!(PuntBreaker::new(generous(), config()).name(), "x86");
+    }
+
+    #[test]
+    fn failed_probe_refunds_the_trial_drain() {
+        // 8 kbit/s = 1000 B/s, burst 3000 B, 3 trials: after a refill the
+        // probe admits two 1500-byte trials (draining the bucket to zero)
+        // and the third fails. The failed cycle must credit the 3000
+        // drained bytes back, so the *next* probe cycle starts from the
+        // same full bucket instead of failing instantly forever.
+        let meter = Meter::new(8_000, 3_000);
+        let mut b = PuntBreaker::new(
+            meter,
+            BreakerConfig {
+                open_threshold: 1,
+                open_ns: 1_000,
+                half_open_trials: 3,
+            },
+        );
+        assert_eq!(b.admit(0, 1500), Admission::Admitted);
+        assert_eq!(b.admit(0, 1500), Admission::Admitted);
+        assert_eq!(b.admit(0, 1500), Admission::ShedMeter);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // 4 s refills past the burst cap: the bucket is full again.
+        let t1 = 4_000_000_000u64;
+        assert_eq!(b.admit(t1, 1500), Admission::Admitted);
+        assert_eq!(b.admit(t1, 1500), Admission::Admitted);
+        // Third trial finds an empty bucket: the cycle fails and reopens,
+        // crediting the 3000 bytes its first two trials drained.
+        assert_eq!(b.admit(t1, 1500), Admission::ShedOpen);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().shed_open, 1, "failed probe sheds as open");
+
+        // Immediately after the cool-down — with *no* meaningful refill
+        // time elapsed — the next probe cycle sees the same full bucket
+        // and makes identical progress. Without the refund it would
+        // start 3000 bytes short and shed its first trial.
+        let t2 = t1 + 1_000;
+        assert_eq!(b.admit(t2, 1500), Admission::Admitted);
+        assert_eq!(b.admit(t2, 1500), Admission::Admitted);
+        assert_eq!(b.stats().half_opened, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! 3. checks three invariants:
 //!    - **no black hole** — the accounting identity holds exactly: every
 //!      parsed packet is forwarded, intentionally dropped, or served by
-//!      the fallback;
+//!      a software rung (DPU middle tier or x86 fallback);
 //!    - **bounded fallback share** — punts never exceed the degradation's
 //!      blast radius (per-frame classification against the published
 //!      world) plus a small margin;
@@ -22,9 +22,15 @@
 //!      differential oracle must find zero mismatches between the
 //!      executor and the reference software forwarder.
 //!
-//! [`sailfish_cluster::monitor::Alert::FallbackShare`] alerts are raised
-//! from the same measurements, so tests can assert the operator sees the
-//! degradation before the punt-path circuit breaker opens.
+//! Per-tier share alerts ([`sailfish_cluster::monitor::Alert::DpuShare`]
+//! and [`sailfish_cluster::monitor::Alert::FallbackShare`]) are raised
+//! from the same measurements, so tests can assert the operator sees each
+//! rung's degradation before that rung's circuit breaker opens. When the
+//! dataplane runs the three-tier ladder ([`DataplaneConfig::tier`]), the
+//! two DPU fault kinds — node death and pool saturation — land in the
+//! [`WorldView`] like any other degradation and recover through the same
+//! staged-epoch publishes, so consistent-hash re-homing and saturation
+//! shedding are chaos-verified alongside the classic six kinds.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -33,7 +39,7 @@ use sailfish_asic::verify::world::{
     WorldMove, WorldOptions,
 };
 use sailfish_cluster::controller::InstallPolicy;
-use sailfish_cluster::monitor::{Alert, WaterLevels};
+use sailfish_cluster::monitor::{evaluate_tier_shares, Alert, WaterLevels};
 use sailfish_net::Vni;
 use sailfish_sim::faults::{FaultEvent, FaultKind, FaultSchedule, InstallFault};
 use sailfish_sim::workload::{self, WorkloadConfig};
@@ -132,7 +138,7 @@ pub struct ChaosConfig {
     /// Slack over the computed blast-radius share before the bounded-
     /// fallback invariant trips.
     pub fallback_margin: f64,
-    /// Alert thresholds (only `fallback_level` is used here).
+    /// Alert thresholds (the per-tier share levels are used here).
     pub levels: WaterLevels,
     /// Retry/backoff policy for publishes under install faults.
     pub install: InstallPolicy,
@@ -171,10 +177,15 @@ pub struct SlotRecord {
     pub slot: u64,
     /// Frames offered this slot.
     pub offered: u64,
-    /// Packets the software fallback served.
+    /// Packets the x86 software fallback served.
     pub fallback_packets: u64,
     /// `fallback_packets / offered`.
     pub fallback_share: f64,
+    /// Packets the DPU middle tier served (zero without a configured
+    /// tier).
+    pub dpu_packets: u64,
+    /// `dpu_packets / offered`.
+    pub dpu_share: f64,
     /// Blast-radius share the published degradation explains.
     pub expected_fallback_share: f64,
     /// Packets the accounting identity could not explain (invariant 1;
@@ -188,8 +199,18 @@ pub struct SlotRecord {
     pub degraded: bool,
     /// Whether a `FallbackShare` alert fired.
     pub fallback_alert: bool,
-    /// Breaker open transitions observed this slot.
+    /// Whether a `DpuShare` alert fired.
+    pub dpu_alert: bool,
+    /// x86 punt-breaker open transitions observed this slot.
     pub breaker_opened: u64,
+    /// DPU-tier breaker open transitions observed this slot.
+    pub dpu_breaker_opened: u64,
+    /// Punts served by a ring successor because the flow's primary DPU
+    /// owner was dead (consistent-hash re-homing in action).
+    pub dpu_rehomed: u64,
+    /// Punts the DPU tier shed (meter or open breaker) that re-routed to
+    /// the x86 rung.
+    pub dpu_shed: u64,
     /// Packets a dual-ownership window steered to the secondary owner.
     pub dual_owner_packets: u64,
 }
@@ -267,8 +288,12 @@ pub struct ChaosReport {
     pub alerts: Vec<(u64, Alert)>,
     /// First slot a `FallbackShare` alert fired.
     pub first_fallback_alert_slot: Option<u64>,
-    /// First slot the punt breaker opened.
+    /// First slot the x86 punt breaker opened.
     pub first_breaker_open_slot: Option<u64>,
+    /// First slot a `DpuShare` alert fired.
+    pub first_dpu_alert_slot: Option<u64>,
+    /// First slot the DPU-tier breaker opened.
+    pub first_dpu_breaker_open_slot: Option<u64>,
 }
 
 impl ChaosReport {
@@ -309,8 +334,14 @@ impl ChaosReport {
 }
 
 /// The world the faults active at one slot imply, plus the traffic storm
-/// multiplier and any install fault blocking publishes.
-fn world_of(active: &[&FaultEvent], clusters: usize) -> (WorldView, f64, Option<InstallFault>) {
+/// multiplier and any install fault blocking publishes. `dpu_nodes` is
+/// the configured pool size (0 without a tier — the DPU fault kinds then
+/// land in the view but the epoch builder ignores them).
+fn world_of(
+    active: &[&FaultEvent],
+    clusters: usize,
+    dpu_nodes: usize,
+) -> (WorldView, f64, Option<InstallFault>) {
     let mut world = WorldView::healthy();
     let mut storm = 1.0f64;
     let mut install: Option<InstallFault> = None;
@@ -340,6 +371,16 @@ fn world_of(active: &[&FaultEvent], clusters: usize) -> (WorldView, f64, Option<
                 // connection is a fresh SNAT walk until it is tracked.
                 storm *= multiplier.max(1.0);
             }
+            FaultKind::DpuNodeDeath { node } => {
+                world.dead_dpus.insert((node % dpu_nodes.max(1)) as u16);
+            }
+            FaultKind::DpuPoolSaturation { .. } => {
+                // The epoch's tier map keeps placement but inflates the
+                // DPU admission byte cost, shedding overload to x86 —
+                // the severity knob shapes experiment meters, not the
+                // world view.
+                world.dpu_saturated = true;
+            }
         }
     }
     (world, storm, install)
@@ -353,6 +394,10 @@ pub fn run_schedule(
     schedule: &FaultSchedule,
 ) -> ChaosReport {
     let clusters = dp_config.clusters;
+    let dpu_nodes = dp_config
+        .tier
+        .as_ref()
+        .map_or(0usize, |t| usize::from(t.pool.nodes));
     let dp = Dataplane::build(topology, dp_config);
 
     // Traffic pool: Zipf flows, one wire frame per flow.
@@ -514,6 +559,8 @@ pub fn run_schedule(
         alerts: Vec::new(),
         first_fallback_alert_slot: None,
         first_breaker_open_slot: None,
+        first_dpu_alert_slot: None,
+        first_dpu_breaker_open_slot: None,
     };
 
     let mut published_world = WorldView::healthy();
@@ -524,7 +571,7 @@ pub fn run_schedule(
             .iter()
             .filter(|e| slot >= e.at && slot < e.ends_at())
             .collect();
-        let (mut target_world, storm, install_fault) = world_of(&active, clusters);
+        let (mut target_world, storm, install_fault) = world_of(&active, clusters, dpu_nodes);
         for (i, mv) in cfg.reshard.iter().enumerate() {
             if rejected.get(i).copied().unwrap_or(false) && !cfg.replay_rejected {
                 continue; // gated on the static verdict: never published
@@ -664,8 +711,12 @@ pub fn run_schedule(
         // violation instead of underflowing.
         let decided = c.hw_forwarded + c.acl_denied + c.loop_drops + c.punted();
         let unaccounted = c.parsed.abs_diff(decided);
-        let punt_served =
-            c.fallback_forwarded + c.fallback_dropped + c.punt_rate_limited + c.punt_breaker_open;
+        let punt_served = c.dpu_forwarded
+            + c.dpu_dropped
+            + c.fallback_forwarded
+            + c.fallback_dropped
+            + c.punt_rate_limited
+            + c.punt_breaker_open;
         let punt_residue = c.punted().abs_diff(punt_served);
         if unaccounted != 0 || punt_residue != 0 || c.parse_errors != 0 {
             report.violations.push(InvariantViolation {
@@ -744,26 +795,40 @@ pub fn run_schedule(
             });
         }
 
-        // Alerts and breaker observations.
+        // Per-tier alerts and breaker observations: the monitor sees one
+        // share per software rung and must alarm on each strictly before
+        // the matching breaker opens.
         let fallback_share = if offered == 0 {
             0.0
         } else {
             run.fallback_packets as f64 / offered as f64
         };
-        let fallback_alert = fallback_share >= cfg.levels.fallback_level;
-        if fallback_alert {
-            report.alerts.push((
-                slot,
-                Alert::FallbackShare {
-                    share: fallback_share,
-                },
-            ));
-            if report.first_fallback_alert_slot.is_none() {
-                report.first_fallback_alert_slot = Some(slot);
-            }
+        let dpu_share = if offered == 0 {
+            0.0
+        } else {
+            run.dpu_packets as f64 / offered as f64
+        };
+        let tier_alerts = evaluate_tier_shares(dpu_share, fallback_share, cfg.levels);
+        let dpu_alert = tier_alerts
+            .iter()
+            .any(|a| matches!(a, Alert::DpuShare { .. }));
+        let fallback_alert = tier_alerts
+            .iter()
+            .any(|a| matches!(a, Alert::FallbackShare { .. }));
+        for alert in tier_alerts {
+            report.alerts.push((slot, alert));
+        }
+        if dpu_alert && report.first_dpu_alert_slot.is_none() {
+            report.first_dpu_alert_slot = Some(slot);
+        }
+        if fallback_alert && report.first_fallback_alert_slot.is_none() {
+            report.first_fallback_alert_slot = Some(slot);
         }
         if run.breaker.opened > 0 && report.first_breaker_open_slot.is_none() {
             report.first_breaker_open_slot = Some(slot);
+        }
+        if run.dpu_breaker.opened > 0 && report.first_dpu_breaker_open_slot.is_none() {
+            report.first_dpu_breaker_open_slot = Some(slot);
         }
 
         report.slots.push(SlotRecord {
@@ -772,12 +837,18 @@ pub fn run_schedule(
             fallback_packets: run.fallback_packets,
             fallback_share,
             expected_fallback_share: expected_share,
+            dpu_packets: run.dpu_packets,
+            dpu_share,
+            dpu_rehomed: c.dpu_rehomed,
+            dpu_shed: c.dpu_shed_meter + c.dpu_breaker_open,
             unaccounted,
             punts_shed: c.punt_rate_limited + c.punt_breaker_open,
             epoch: dp.pin().epoch,
             degraded: published_world.is_degraded(),
             fallback_alert,
+            dpu_alert,
             breaker_opened: run.breaker.opened,
+            dpu_breaker_opened: run.dpu_breaker.opened,
             dual_owner_packets: c.dual_owner_packets,
         });
     }
@@ -1193,5 +1264,160 @@ mod tests {
         // Once the install fault clears at slot 3 the degradation swap
         // lands; the recovery at slot 5 is the second swap.
         assert_eq!(report.epochs_swapped, 2);
+    }
+
+    fn tiered_config() -> DataplaneConfig {
+        DataplaneConfig {
+            tier: Some(crate::tier::TierConfig::default()),
+            ..DataplaneConfig::default()
+        }
+    }
+
+    #[test]
+    fn dpu_node_death_rehomes_only_its_flows_and_recovers() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let schedule = FaultSchedule::from_events(
+            8,
+            vec![FaultEvent {
+                at: 2,
+                duration: 3,
+                kind: FaultKind::DpuNodeDeath { node: 1 },
+            }],
+        );
+        let report = run_schedule(&topology, tiered_config(), &quick_cfg(), &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        // Death publish + recovery publish, and a bounded MTTR.
+        assert_eq!(report.epochs_swapped, 2);
+        let outcome = report.faults.first().unwrap();
+        assert_eq!(outcome.recovered_at, Some(5));
+        assert_eq!(outcome.outage_slots, Some(3));
+        // Three live nodes still own the whole ring, so every punt keeps
+        // being served at the DPU rung — nothing degrades to x86.
+        assert!(report.slots.iter().all(|s| s.fallback_packets == 0));
+        assert!(report.slots.iter().all(|s| s.dpu_packets > 0));
+        // Bounded churn: ring successors serve the dead node's flows only
+        // while it is dead; outside the window nothing is re-homed.
+        let window: u64 = report
+            .slots
+            .iter()
+            .filter(|s| (2..5).contains(&s.slot))
+            .map(|s| s.dpu_rehomed)
+            .sum();
+        assert!(window > 0, "the dead node owned some punted flows");
+        for s in report.slots.iter().filter(|s| s.slot < 2 || s.slot >= 5) {
+            assert_eq!(
+                s.dpu_rehomed, 0,
+                "slot {} re-homed outside the window",
+                s.slot
+            );
+        }
+    }
+
+    #[test]
+    fn dpu_saturation_sheds_spills_to_the_x86_rung() {
+        let topology = Topology::generate(TopologyConfig::default());
+        // A DPU admission meter sized to absorb the healthy punt baseline
+        // but not the saturation-inflated byte cost (16x): the negligible
+        // refill makes the burst the whole per-slot budget.
+        let dp_config = DataplaneConfig {
+            tier: Some(crate::tier::TierConfig {
+                dpu_rate_bps: 8_000,
+                dpu_burst_bytes: 600_000,
+                ..crate::tier::TierConfig::default()
+            }),
+            ..DataplaneConfig::default()
+        };
+        let schedule = FaultSchedule::from_events(
+            8,
+            vec![FaultEvent {
+                at: 2,
+                duration: 3,
+                kind: FaultKind::DpuPoolSaturation { severity: 8.0 },
+            }],
+        );
+        let report = run_schedule(&topology, dp_config, &quick_cfg(), &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert_eq!(report.epochs_swapped, 2);
+        for s in &report.slots {
+            if (2..5).contains(&s.slot) {
+                // Saturated slots shed at the DPU meter and the sheds
+                // re-route down the ladder — packets, never drops.
+                assert!(s.dpu_shed > 0, "slot {} shed nothing", s.slot);
+                assert!(s.fallback_packets > 0, "slot {} x86 served nothing", s.slot);
+            } else {
+                assert_eq!(s.dpu_shed, 0, "slot {} shed while healthy", s.slot);
+                assert_eq!(s.fallback_packets, 0, "slot {} leaked to x86", s.slot);
+            }
+        }
+    }
+
+    #[test]
+    fn dpu_alert_fires_before_the_dpu_breaker_opens() {
+        let topology = Topology::generate(TopologyConfig::default());
+        // Tight DPU meter (same shape as the x86 arm above): the healthy
+        // punt baseline fits, a wiped cluster's punt storm does not.
+        let dp_config = DataplaneConfig {
+            tier: Some(crate::tier::TierConfig {
+                dpu_rate_bps: 8_000,
+                dpu_burst_bytes: 120_000,
+                ..crate::tier::TierConfig::default()
+            }),
+            ..DataplaneConfig::default()
+        };
+        // The healthy DPU share sits above 1% (it absorbs the whole punt
+        // baseline), so lowering the DPU water level to the x86 one makes
+        // the operator-facing alert fire from slot 0.
+        let mut cfg = quick_cfg();
+        cfg.levels = WaterLevels {
+            dpu_share_level: cfg.levels.fallback_level,
+            ..cfg.levels
+        };
+        let schedule = FaultSchedule::from_events(
+            6,
+            vec![FaultEvent {
+                at: 2,
+                duration: 3,
+                kind: FaultKind::TableCorruption {
+                    cluster: 0,
+                    device: 0,
+                },
+            }],
+        );
+        let report = run_schedule(&topology, dp_config, &cfg, &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        let alert_slot = report.first_dpu_alert_slot.expect("DPU alerts must fire");
+        let breaker_slot = report
+            .first_dpu_breaker_open_slot
+            .expect("the punt storm must open the DPU breaker");
+        assert!(
+            alert_slot < breaker_slot,
+            "DPU alert at slot {alert_slot} must precede breaker open at slot {breaker_slot}"
+        );
+        assert_eq!(breaker_slot, 2);
+        // Healthy slots never trip the DPU breaker.
+        for s in report.slots.iter().filter(|s| !s.degraded) {
+            assert_eq!(
+                s.dpu_breaker_opened, 0,
+                "slot {} opened the breaker",
+                s.slot
+            );
+        }
+    }
+
+    #[test]
+    fn generated_schedule_with_tier_holds_all_invariants() {
+        let topology = Topology::generate(TopologyConfig::default());
+        let schedule = FaultSchedule::generate(&FaultScheduleConfig {
+            slots: 12,
+            fault_rate: 0.6,
+            dpu_nodes: 4,
+            ..FaultScheduleConfig::default()
+        });
+        let report = run_schedule(&topology, tiered_config(), &quick_cfg(), &schedule);
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert_eq!(report.oracle_mismatches, 0);
+        assert_eq!(report.slots.len(), 12);
+        // The three-tier ladder serves every punt it admits.
+        assert!(report.slots.iter().any(|s| s.dpu_packets > 0));
     }
 }

@@ -72,6 +72,24 @@ pub struct TableCounters {
     pub punt_rate_limited: u64,
     /// Punts shed because the punt-path circuit breaker was open.
     pub punt_breaker_open: u64,
+    /// Punts admitted to the DPU middle tier (spilled, not degraded).
+    /// Always `dpu_forwarded + dpu_dropped` after a run resolves.
+    pub dpu_spilled: u64,
+    /// Spilled packets the DPU tier forwarded.
+    pub dpu_forwarded: u64,
+    /// Spilled packets the DPU tier dropped (typed software drops).
+    pub dpu_dropped: u64,
+    /// Punts the DPU admission meter refused — the packet *degrades to
+    /// x86*, it is not dropped, so this lane is outside the disposition
+    /// identity.
+    pub dpu_shed_meter: u64,
+    /// Punts refused because the DPU tier's breaker was open — degraded
+    /// to x86 like `dpu_shed_meter`.
+    pub dpu_breaker_open: u64,
+    /// DPU-served packets whose consistent-hash owner was dead, served
+    /// by the next live node on the ring instead (bounded-churn
+    /// re-homing). Nonzero only while a DPU node-death window is active.
+    pub dpu_rehomed: u64,
     /// Packets that observed a cluster whose epoch tag disagreed with the
     /// pinned epoch — torn table state. Zero in a correct build; the
     /// epoch-consistency tests assert it stays zero.
@@ -135,7 +153,7 @@ impl TableCounters {
     }
 
     /// Stable-ordered `(name, value)` view for deterministic JSON output.
-    pub fn fields(&self) -> [(&'static str, u64); 41] {
+    pub fn fields(&self) -> [(&'static str, u64); 47] {
         [
             ("parsed", self.parsed),
             ("parse_errors", self.parse_errors),
@@ -167,6 +185,12 @@ impl TableCounters {
             ("punt_no_vm", self.punt_no_vm),
             ("punt_rate_limited", self.punt_rate_limited),
             ("punt_breaker_open", self.punt_breaker_open),
+            ("dpu_spilled", self.dpu_spilled),
+            ("dpu_forwarded", self.dpu_forwarded),
+            ("dpu_dropped", self.dpu_dropped),
+            ("dpu_shed_meter", self.dpu_shed_meter),
+            ("dpu_breaker_open", self.dpu_breaker_open),
+            ("dpu_rehomed", self.dpu_rehomed),
             ("epoch_violations", self.epoch_violations),
             ("dual_owner_packets", self.dual_owner_packets),
             ("cache_hits", self.cache_hits),
@@ -181,7 +205,7 @@ impl TableCounters {
         ]
     }
 
-    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 41] {
+    fn fields_mut(&mut self) -> [(&'static str, &mut u64); 47] {
         [
             ("parsed", &mut self.parsed),
             ("parse_errors", &mut self.parse_errors),
@@ -213,6 +237,12 @@ impl TableCounters {
             ("punt_no_vm", &mut self.punt_no_vm),
             ("punt_rate_limited", &mut self.punt_rate_limited),
             ("punt_breaker_open", &mut self.punt_breaker_open),
+            ("dpu_spilled", &mut self.dpu_spilled),
+            ("dpu_forwarded", &mut self.dpu_forwarded),
+            ("dpu_dropped", &mut self.dpu_dropped),
+            ("dpu_shed_meter", &mut self.dpu_shed_meter),
+            ("dpu_breaker_open", &mut self.dpu_breaker_open),
+            ("dpu_rehomed", &mut self.dpu_rehomed),
             ("epoch_violations", &mut self.epoch_violations),
             ("dual_owner_packets", &mut self.dual_owner_packets),
             ("cache_hits", &mut self.cache_hits),

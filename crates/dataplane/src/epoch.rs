@@ -97,6 +97,14 @@ pub struct WorldView {
     /// re-shard is in flight — the common case, and byte-identical to
     /// the pre-elasticity world.
     pub moves: BTreeMap<Vni, LiveMove>,
+    /// DPU middle-tier nodes removed from the spill ring (node death):
+    /// their flows re-home to ring successors; ignored when the region
+    /// runs without a DPU tier.
+    pub dead_dpus: BTreeSet<u16>,
+    /// Whether the DPU pool is saturated: placement is unchanged but the
+    /// tier's admission meter charges an inflated byte cost, shedding
+    /// overload to x86 instead of queueing it.
+    pub dpu_saturated: bool,
 }
 
 impl WorldView {
@@ -110,6 +118,8 @@ impl WorldView {
         !self.dead_devices.is_empty()
             || !self.wiped_clusters.is_empty()
             || !self.unassigned_clusters.is_empty()
+            || !self.dead_dpus.is_empty()
+            || self.dpu_saturated
     }
 }
 
@@ -127,6 +137,12 @@ pub struct EpochState {
     /// packet to x86. Sealed with its own epoch tag so a rebalance can
     /// only ship inside the epoch it was computed for.
     pub snat: Option<Arc<sailfish_snat::SnatOffload>>,
+    /// The DPU middle tier's placement map for this epoch, if the region
+    /// runs the three-tier ladder. `None` keeps the historical binary
+    /// punt (every miss degrades straight to x86). Built from the same
+    /// [`WorldView`] as the tables and stamped with the same epoch so
+    /// placement can never tear against the table swap.
+    pub tier: Option<Arc<crate::tier::TierMap>>,
 }
 
 impl EpochState {
@@ -238,11 +254,17 @@ impl EpochState {
             }
         }
 
+        let tier = config
+            .tier
+            .as_ref()
+            .map(|t| Arc::new(crate::tier::TierMap::build(t, epoch, world)));
+
         EpochState {
             epoch,
             directory,
             clusters,
             snat: None,
+            tier,
         }
     }
 
@@ -260,12 +282,27 @@ impl EpochState {
         self
     }
 
-    /// Whether every cluster's epoch tag — and the SNAT snapshot's, when
-    /// one is attached — matches the state's epoch: the torn-state
-    /// self-check installs run before publishing.
+    /// Attaches a sealed tier placement map to this (staged, not yet
+    /// published) state. Panics on an epoch-tag mismatch, mirroring
+    /// [`EpochState::with_snat`]: a placement map computed for another
+    /// epoch must be rebuilt, never smuggled forward.
+    pub fn with_tier(mut self, map: crate::tier::TierMap) -> Self {
+        assert_eq!(
+            map.epoch_tag, self.epoch,
+            "tier map sealed for epoch {} cannot ship in epoch {}",
+            map.epoch_tag, self.epoch
+        );
+        self.tier = Some(Arc::new(map));
+        self
+    }
+
+    /// Whether every cluster's epoch tag — and the SNAT snapshot's and
+    /// tier map's, when attached — matches the state's epoch: the
+    /// torn-state self-check installs run before publishing.
     pub fn tags_consistent(&self) -> bool {
         self.clusters.iter().all(|c| c.epoch_tag == self.epoch)
             && self.snat.as_ref().is_none_or(|s| s.epoch_tag == self.epoch)
+            && self.tier.as_ref().is_none_or(|t| t.epoch_tag == self.epoch)
     }
 }
 
@@ -465,6 +502,39 @@ mod tests {
             healthy_to + moved_routes
         );
         assert!(drain.tags_consistent());
+    }
+
+    #[test]
+    fn tier_map_builds_with_the_epoch_and_checks_tags() {
+        let topo = topology();
+        let config = DataplaneConfig {
+            tier: Some(crate::tier::TierConfig::default()),
+            ..DataplaneConfig::default()
+        };
+        let mut world = WorldView::healthy();
+        world.dead_dpus.insert(1);
+        world.dpu_saturated = true;
+        assert!(world.is_degraded());
+        let state = EpochState::build_with_world(&topo, &config, 7, &world);
+        let tier = state.tier.as_ref().expect("tier configured");
+        assert_eq!(tier.epoch_tag, 7);
+        assert!(tier.saturated);
+        assert_eq!(tier.pool.dead(), &BTreeSet::from([1u16]));
+        assert!(state.tags_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "tier map sealed for epoch")]
+    fn with_tier_rejects_a_stale_map() {
+        let topo = topology();
+        let config = DataplaneConfig::default();
+        let state = EpochState::build(&topo, &config, 2);
+        let stale = crate::tier::TierMap::build(
+            &crate::tier::TierConfig::default(),
+            1,
+            &WorldView::healthy(),
+        );
+        let _ = state.with_tier(stale);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct DataplaneConfig {
     /// Frames per batch (per-batch overhead is charged once; the epoch is
     /// pinned once per batch).
     pub batch_size: usize,
+    /// The DPU middle tier of the degradation ladder. `None` (the
+    /// default) keeps the historical binary punt — every hardware miss
+    /// degrades straight to x86 — byte-identical to pre-tier builds.
+    pub tier: Option<crate::tier::TierConfig>,
 }
 
 impl Default for DataplaneConfig {
@@ -86,6 +90,7 @@ impl Default for DataplaneConfig {
             cache_shard_capacity: 4096,
             workers: 4,
             batch_size: 32,
+            tier: None,
         }
     }
 }
@@ -97,16 +102,23 @@ pub struct Dataplane {
     cell: EpochCell,
 }
 
+/// A punt queued for post-pipeline resolution: the packet plus the tier
+/// that serves it — `Some((node, process_ns))` for a DPU spill, `None`
+/// for the x86 fallback. The tag is captured at placement time so
+/// resolution needs no epoch access.
+type QueuedPunt = (GatewayPacket, Option<(u16, u64)>);
+
 /// Per-worker mutable state.
 struct WorkerState {
     cache: ShardedFlowCache,
     counters: TableCounters,
     owner_hash: Toeplitz,
     breaker: PuntBreaker,
+    dpu_breaker: Option<PuntBreaker>,
     clock_ns: u64,
     digest: u64,
     epoch_digests: BTreeMap<u64, u64>,
-    punted: Vec<GatewayPacket>,
+    punted: Vec<QueuedPunt>,
     device_packets: Vec<u64>,
     scratch: Vec<u8>,
 }
@@ -140,14 +152,20 @@ pub struct RunReport {
     /// Virtual nanoseconds: slowest worker's pipeline time plus the
     /// serial software-fallback time.
     pub virtual_ns: u64,
-    /// Packets served by the software fallback.
+    /// Packets served by the x86 software fallback (the bottom tier).
     pub fallback_packets: u64,
+    /// Packets served by the DPU middle tier. Zero when the region runs
+    /// without [`DataplaneConfig::tier`].
+    pub dpu_packets: u64,
     /// Workers used.
     pub workers: usize,
     /// Packets attributed per `(cluster, device)`, flattened row-major.
     pub device_packets: Vec<u64>,
-    /// Merged punt-breaker transition/shed stats across workers.
+    /// Merged x86 punt-breaker transition/shed stats across workers.
     pub breaker: BreakerStats,
+    /// Merged DPU-tier breaker stats across workers; all-zero without a
+    /// configured tier.
+    pub dpu_breaker: BreakerStats,
 }
 
 impl RunReport {
@@ -226,6 +244,13 @@ impl Dataplane {
                 Meter::new(self.config.punt_rate_bps, self.config.punt_burst_bytes),
                 self.config.breaker.clone(),
             ),
+            dpu_breaker: self.config.tier.as_ref().map(|t| {
+                PuntBreaker::named(
+                    "dpu",
+                    Meter::new(t.dpu_rate_bps, t.dpu_burst_bytes),
+                    t.dpu_breaker.clone(),
+                )
+            }),
             clock_ns: 0,
             digest: 0,
             epoch_digests: BTreeMap::new(),
@@ -262,11 +287,56 @@ impl Dataplane {
         }
     }
 
+    /// Tries to place a punt-classified packet on the DPU middle tier.
+    /// Returns the queued outcome when the tier admits it; `None` means
+    /// the packet falls through to the x86 admission path — either no
+    /// tier is configured, the pool owns no live node for the flow, or
+    /// the tier's meter/breaker shed it (a *re-route*, not a drop: the
+    /// shed counters record the event and x86 still serves the packet).
+    fn try_spill_dpu(
+        state: &EpochState,
+        frame: &[u8],
+        packet: &GatewayPacket,
+        st: &mut WorkerState,
+    ) -> Option<FrameOutcome> {
+        let map = state.tier.as_deref()?;
+        let dpu_breaker = st.dpu_breaker.as_mut()?;
+        let tuple_hash = st.owner_hash.hash_tuple(&packet.five_tuple());
+        let crate::tier::TierDecision::SpillDpu {
+            node,
+            process_ns,
+            rehomed,
+        } = map.place(packet.vni.value(), tuple_hash)
+        else {
+            return None; // pool fully dead: degrade to x86
+        };
+        match dpu_breaker.admit(st.clock_ns, map.byte_cost(frame.len())) {
+            Admission::Admitted => {
+                st.clock_ns += cost::PUNT_HANDOFF_NS;
+                st.counters.dpu_spilled += 1;
+                if rehomed {
+                    st.counters.dpu_rehomed += 1;
+                }
+                st.punted.push((*packet, Some((node, process_ns))));
+                Some(FrameOutcome::Punted)
+            }
+            Admission::ShedMeter => {
+                st.counters.dpu_shed_meter += 1;
+                None
+            }
+            Admission::ShedOpen => {
+                st.counters.dpu_breaker_open += 1;
+                None
+            }
+        }
+    }
+
     /// Applies a (possibly cache-replayed) action to the frame. When the
     /// action comes from the cache the per-stage counters the walk would
     /// have bumped are bumped here instead, so stage totals stay exact.
     fn apply_action(
         &self,
+        state: &EpochState,
         action: CachedAction,
         frame: &[u8],
         packet: &GatewayPacket,
@@ -305,10 +375,15 @@ impl Dataplane {
                         _ => unreachable!(),
                     }
                 }
+                // The degradation ladder: try the DPU middle tier first;
+                // only what it cannot serve reaches the x86 admission.
+                if let Some(out) = Self::try_spill_dpu(state, frame, packet, st) {
+                    return out;
+                }
                 match st.breaker.admit(st.clock_ns, frame.len()) {
                     Admission::Admitted => {
                         st.clock_ns += cost::PUNT_HANDOFF_NS;
-                        st.punted.push(*packet);
+                        st.punted.push((*packet, None));
                         FrameOutcome::Punted
                     }
                     Admission::ShedMeter => {
@@ -396,7 +471,7 @@ impl Dataplane {
         let Some(primary) = state.directory.cluster_for(packet.vni) else {
             // The upstream balancer has no hardware assignment: default
             // route to the software tier.
-            return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
+            return self.apply_action(state, CachedAction::PuntNoRoute, frame, &packet, st, true);
         };
         // During a dual-ownership migration window either owner serves
         // the VNI; flow-hash parity decides per flow, the same split the
@@ -413,7 +488,7 @@ impl Dataplane {
         };
         let Some(cluster) = state.clusters.get(cluster_idx) else {
             // Directory points past the cluster set: treat as unassigned.
-            return self.apply_action(CachedAction::PuntNoRoute, frame, &packet, st, true);
+            return self.apply_action(state, CachedAction::PuntNoRoute, frame, &packet, st, true);
         };
         if cluster.epoch_tag != state.epoch {
             // Torn state: the cluster belongs to a different epoch than
@@ -434,7 +509,7 @@ impl Dataplane {
             if let Some(out) = Self::snat_offload_hit(state, action, &packet, &tuple, st, true) {
                 return out;
             }
-            return self.apply_action(action, frame, &packet, st, true);
+            return self.apply_action(state, action, frame, &packet, st, true);
         }
         st.counters.cache_misses += 1;
         let before = st.counters;
@@ -445,7 +520,7 @@ impl Dataplane {
         if let Some(out) = Self::snat_offload_hit(state, action, &packet, &tuple, st, false) {
             return out;
         }
-        self.apply_action(action, frame, &packet, st, false)
+        self.apply_action(state, action, frame, &packet, st, false)
     }
 
     fn run_worker(&self, frames: &[&[u8]]) -> WorkerState {
@@ -483,6 +558,7 @@ impl Dataplane {
         let mut device_packets = vec![0u64; self.config.clusters * self.config.devices_per_cluster];
         let mut punted = Vec::new();
         let mut breaker = BreakerStats::default();
+        let mut dpu_breaker = BreakerStats::default();
         for st in states {
             counters.merge(&st.counters);
             digest = digest.wrapping_add(st.digest);
@@ -501,19 +577,50 @@ impl Dataplane {
             breaker.closed += s.closed;
             breaker.shed_open += s.shed_open;
             breaker.shed_meter += s.shed_meter;
+            if let Some(db) = &st.dpu_breaker {
+                let s = db.stats();
+                dpu_breaker.opened += s.opened;
+                dpu_breaker.half_opened += s.half_opened;
+                dpu_breaker.closed += s.closed;
+                dpu_breaker.shed_open += s.shed_open;
+                dpu_breaker.shed_meter += s.shed_meter;
+            }
         }
 
-        // The x86 tier serves punts serially after the pipeline time.
+        // The software tiers serve punts serially after the pipeline
+        // time: a DPU spill resolves through the *same* forwarder as an
+        // x86 punt (both run the full software table set), just at the
+        // owning DPU node's per-packet latency instead of the x86 cost —
+        // which is exactly why tier placement can never change a run's
+        // decision digest.
         let mut now_ns = pipeline_ns;
-        let fallback_packets = punted.len() as u64;
-        for packet in &punted {
-            now_ns += cost::X86_PROCESS_NS;
-            let decision = PathDecision::from_software(&fallback.process(packet, now_ns));
-            if matches!(decision, PathDecision::Drop(_)) {
-                counters.fallback_dropped += 1;
-            } else {
-                counters.fallback_forwarded += 1;
-            }
+        let mut fallback_packets = 0u64;
+        let mut dpu_packets = 0u64;
+        for (packet, tier_tag) in &punted {
+            let decision = match tier_tag {
+                Some((_node, process_ns)) => {
+                    dpu_packets += 1;
+                    now_ns += process_ns;
+                    let decision = PathDecision::from_software(&fallback.process(packet, now_ns));
+                    if matches!(decision, PathDecision::Drop(_)) {
+                        counters.dpu_dropped += 1;
+                    } else {
+                        counters.dpu_forwarded += 1;
+                    }
+                    decision
+                }
+                None => {
+                    fallback_packets += 1;
+                    now_ns += cost::X86_PROCESS_NS;
+                    let decision = PathDecision::from_software(&fallback.process(packet, now_ns));
+                    if matches!(decision, PathDecision::Drop(_)) {
+                        counters.fallback_dropped += 1;
+                    } else {
+                        counters.fallback_forwarded += 1;
+                    }
+                    decision
+                }
+            };
             digest = digest.wrapping_add(decision.digest());
         }
 
@@ -524,9 +631,11 @@ impl Dataplane {
             epoch_digests,
             virtual_ns: now_ns,
             fallback_packets,
+            dpu_packets,
             workers,
             device_packets,
             breaker,
+            dpu_breaker,
         }
     }
 
@@ -740,6 +849,76 @@ mod tests {
         assert!(report.epoch_digests.contains_key(&0));
         assert_eq!(dp.epoch_swaps(), 0);
         assert_eq!(dp.pin().epoch, 0);
+    }
+
+    #[test]
+    fn dpu_tier_serves_punts_without_changing_the_digest() {
+        let (topology, frames, sched) = small_setup();
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+
+        let flat = Dataplane::build(&topology, DataplaneConfig::default());
+        let mut fb = software_forwarder(&topology);
+        let two_tier = flat.run_single(&seq, &mut fb);
+
+        let tiered = Dataplane::build(
+            &topology,
+            DataplaneConfig {
+                tier: Some(crate::tier::TierConfig::default()),
+                ..DataplaneConfig::default()
+            },
+        );
+        let mut fb = software_forwarder(&topology);
+        let three_tier = tiered.run_single(&seq, &mut fb);
+
+        // Tier placement moves *where* a punt is served, never *what*
+        // the decision is.
+        assert_eq!(two_tier.decision_digest, three_tier.decision_digest);
+        assert_eq!(two_tier.epoch_digests, three_tier.epoch_digests);
+
+        // A healthy pool with generous meters owns every punted flow:
+        // the x86 rung sees nothing.
+        assert!(three_tier.dpu_packets > 0);
+        assert_eq!(three_tier.fallback_packets, 0);
+        assert_eq!(three_tier.dpu_packets, two_tier.fallback_packets);
+        let c = &three_tier.counters;
+        assert_eq!(c.dpu_spilled, c.dpu_forwarded + c.dpu_dropped);
+        assert_eq!(c.dpu_shed_meter, 0);
+        assert_eq!(c.dpu_breaker_open, 0);
+        assert_eq!(c.dpu_rehomed, 0);
+        assert_eq!(
+            c.punted(),
+            c.dpu_forwarded
+                + c.dpu_dropped
+                + c.fallback_forwarded
+                + c.fallback_dropped
+                + c.punt_rate_limited
+                + c.punt_breaker_open
+        );
+
+        // DPU service is cheaper than x86 service, so the three-tier
+        // ladder finishes earlier in virtual time.
+        assert!(three_tier.virtual_ns < two_tier.virtual_ns);
+    }
+
+    #[test]
+    fn tiered_single_and_multi_agree_on_decisions() {
+        let (topology, frames, sched) = small_setup();
+        let dp = Dataplane::build(
+            &topology,
+            DataplaneConfig {
+                tier: Some(crate::tier::TierConfig::default()),
+                ..DataplaneConfig::default()
+            },
+        );
+        let seq: Vec<&[u8]> = sched.iter().map(|i| frames[*i].as_slice()).collect();
+        let mut fb1 = software_forwarder(&topology);
+        let single = dp.run_single(&seq, &mut fb1);
+        let mut fb2 = software_forwarder(&topology);
+        let multi = dp.run_multi(&seq, &mut fb2);
+        assert_eq!(single.decision_digest, multi.decision_digest);
+        assert_eq!(single.epoch_digests, multi.epoch_digests);
+        assert_eq!(single.dpu_packets, multi.dpu_packets);
+        assert_eq!(single.counters.dpu_spilled, multi.counters.dpu_spilled);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod executor;
 pub mod oracle;
 #[deny(clippy::indexing_slicing)]
 pub mod rewrite;
+pub mod tier;
 pub mod traffic;
 
 pub use batch::BatchExecutor;
@@ -64,3 +65,4 @@ pub use counters::TableCounters;
 pub use epoch::{EpochCell, EpochState, WorldView};
 pub use executor::{Dataplane, DataplaneConfig, RunReport};
 pub use oracle::{differential_run, OracleReport, PathDecision};
+pub use tier::{TierConfig, TierDecision, TierMap};

@@ -1,0 +1,241 @@
+//! Cost-based tier placement: the three-tier degradation ladder.
+//!
+//! The paper's gateway degrades in one binary step — a punt lands
+//! directly on XGW-x86, ~two orders of magnitude slower than the chip.
+//! This module inserts the DPU pool ([`sailfish_cluster::dpu`]) as a
+//! middle rung and replaces the binary punt with a [`TierDecision`]
+//! driven by a per-packet cost model:
+//!
+//! 1. **Serve on-chip** whenever the hardware tables resolve the packet
+//!    (cost ≈ tens of ns) — the walk itself makes this decision.
+//! 2. **Spill to the DPU pool** when the chip punts and the flow's
+//!    consistent-hash owner is alive (cost ≈ [`DpuNode::process_ns`],
+//!    hundreds of ns), guarded by a per-tier token-bucket admission
+//!    meter and a named circuit breaker.
+//! 3. **Degrade to XGW-x86** (cost ≈ µs) when the pool is dead,
+//!    saturated, or sheds the packet — guarded by its own meter and
+//!    breaker exactly as before.
+//!
+//! Placement state is epoch-sealed: a [`TierMap`] is built alongside the
+//! rest of an [`crate::epoch::EpochState`] from the same [`WorldView`]
+//! (which now carries DPU node deaths and pool saturation), carries the
+//! epoch's tag, and lands atomically with the table swap. A stale map
+//! can never ship inside a newer epoch — `tags_consistent` refuses it.
+//!
+//! [`DpuNode::process_ns`]: sailfish_cluster::dpu::DpuNode
+
+use sailfish_cluster::dpu::{flow_key, DpuPool, DpuPoolConfig};
+
+use crate::breaker::BreakerConfig;
+use crate::epoch::WorldView;
+
+/// Static configuration of the DPU middle tier. `None` in
+/// [`crate::executor::DataplaneConfig::tier`] keeps the historical
+/// two-tier ladder byte-identical.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Pool shape and per-node envelopes.
+    pub pool: DpuPoolConfig,
+    /// Per-worker DPU admission meter rate (bits/s). Generous by
+    /// default so deterministic runs never shed at the DPU rung unless
+    /// a bench tightens it.
+    pub dpu_rate_bps: u64,
+    /// DPU admission meter burst (bytes).
+    pub dpu_burst_bytes: u64,
+    /// The DPU tier's named circuit breaker over that meter.
+    pub dpu_breaker: BreakerConfig,
+    /// Byte-cost multiplier applied to DPU admission while the pool is
+    /// saturated: charging `factor ×` bytes models the pool serving at
+    /// `1/factor` capacity without perturbing meter state across the
+    /// epoch swap.
+    pub saturation_cost_factor: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            pool: DpuPoolConfig::default(),
+            dpu_rate_bps: 400_000_000_000,
+            dpu_burst_bytes: 1 << 31,
+            dpu_breaker: BreakerConfig::default(),
+            saturation_cost_factor: 16,
+        }
+    }
+}
+
+/// Where one punt-classified packet is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierDecision {
+    /// The hardware tables resolved the packet; no punt happens.
+    OnChip,
+    /// Spill to the DPU pool.
+    SpillDpu {
+        /// The owning node (after re-homing around deaths).
+        node: u16,
+        /// Per-packet latency of that node, captured at placement time
+        /// so the punt resolution needs no pool access.
+        process_ns: u64,
+        /// Whether the flow's primary owner is dead and a ring
+        /// successor serves it instead.
+        rehomed: bool,
+    },
+    /// Degrade to the XGW-x86 fallback tier.
+    DegradeX86,
+}
+
+/// The epoch-sealed placement map: the DPU pool with the world's death
+/// set applied, plus the saturation flag, stamped with the epoch it was
+/// built for.
+#[derive(Debug, Clone)]
+pub struct TierMap {
+    /// The epoch this map belongs to; checked by `tags_consistent`.
+    pub epoch_tag: u64,
+    /// The pool with [`WorldView::dead_dpus`] applied.
+    pub pool: DpuPool,
+    /// Whether [`WorldView::dpu_saturated`] was set when building.
+    pub saturated: bool,
+    saturation_cost_factor: u32,
+}
+
+impl TierMap {
+    /// Builds the placement map for `epoch` under `world`.
+    pub fn build(config: &TierConfig, epoch: u64, world: &WorldView) -> Self {
+        let mut pool = DpuPool::new(config.pool);
+        for node in &world.dead_dpus {
+            pool.fail(*node);
+        }
+        TierMap {
+            epoch_tag: epoch,
+            pool,
+            saturated: world.dpu_saturated,
+            saturation_cost_factor: config.saturation_cost_factor.max(1),
+        }
+    }
+
+    /// Places one punt-classified flow: spill to its live consistent-hash
+    /// owner, or degrade to x86 when the pool has none.
+    pub fn place(&self, vni: u32, tuple_hash: u32) -> TierDecision {
+        let key = flow_key(vni, tuple_hash);
+        match self.pool.owner_of(key) {
+            Some(node) => {
+                let process_ns = self
+                    .pool
+                    .node(node)
+                    .map_or(crate::engine::cost::X86_PROCESS_NS, |n| n.process_ns);
+                let rehomed = self.pool.primary_owner(key) != Some(node);
+                TierDecision::SpillDpu {
+                    node,
+                    process_ns,
+                    rehomed,
+                }
+            }
+            None => TierDecision::DegradeX86,
+        }
+    }
+
+    /// The byte cost one packet charges the DPU admission meter:
+    /// inflated by the saturation factor while the pool is saturated.
+    pub fn byte_cost(&self, bytes: usize) -> usize {
+        if self.saturated {
+            bytes.saturating_mul(self.saturation_cost_factor as usize)
+        } else {
+            bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn healthy_map_spills_everything_to_primaries() {
+        let map = TierMap::build(&TierConfig::default(), 3, &WorldView::healthy());
+        assert_eq!(map.epoch_tag, 3);
+        assert!(!map.saturated);
+        for i in 0..256u32 {
+            match map.place(100 + i, i.wrapping_mul(0x9E37)) {
+                TierDecision::SpillDpu { rehomed, node, .. } => {
+                    assert!(!rehomed, "healthy pool never re-homes");
+                    assert!(node < 4);
+                }
+                other => panic!("healthy pool must own every flow: {other:?}"),
+            }
+        }
+        assert_eq!(map.byte_cost(1500), 1500);
+    }
+
+    #[test]
+    fn dead_node_rehomes_only_its_flows() {
+        let config = TierConfig::default();
+        let healthy = TierMap::build(&config, 1, &WorldView::healthy());
+        let mut world = WorldView::healthy();
+        world.dead_dpus.insert(2);
+        let degraded = TierMap::build(&config, 2, &world);
+        let mut rehomed = 0u32;
+        for i in 0..512u32 {
+            let (vni, th) = (100 + i, i.wrapping_mul(0x9E37));
+            let before = healthy.place(vni, th);
+            let after = degraded.place(vni, th);
+            match (before, after) {
+                (
+                    TierDecision::SpillDpu { node: b, .. },
+                    TierDecision::SpillDpu {
+                        node: a,
+                        rehomed: r,
+                        ..
+                    },
+                ) => {
+                    assert_ne!(a, 2, "dead node still serving");
+                    if b != a {
+                        assert_eq!(b, 2, "a live owner's flow moved");
+                        assert!(r);
+                        rehomed += 1;
+                    } else {
+                        assert!(!r);
+                    }
+                }
+                other => panic!("both maps must spill: {other:?}"),
+            }
+        }
+        assert!(rehomed > 0, "node 2 owned some of 512 flows");
+    }
+
+    #[test]
+    fn all_dead_pool_degrades_to_x86() {
+        let config = TierConfig {
+            pool: DpuPoolConfig {
+                nodes: 2,
+                ..DpuPoolConfig::default()
+            },
+            ..TierConfig::default()
+        };
+        let mut world = WorldView::healthy();
+        world.dead_dpus = BTreeSet::from([0, 1]);
+        let map = TierMap::build(&config, 1, &world);
+        assert_eq!(map.place(100, 7), TierDecision::DegradeX86);
+    }
+
+    #[test]
+    fn saturation_inflates_the_byte_cost() {
+        let mut world = WorldView::healthy();
+        world.dpu_saturated = true;
+        let map = TierMap::build(&TierConfig::default(), 1, &world);
+        assert!(map.saturated);
+        assert_eq!(map.byte_cost(100), 1_600);
+        // Saturation throttles; it must not change placement.
+        assert!(matches!(map.place(100, 7), TierDecision::SpillDpu { .. }));
+    }
+
+    #[test]
+    fn dpu_latency_sits_between_the_tiers() {
+        let map = TierMap::build(&TierConfig::default(), 0, &WorldView::healthy());
+        for i in 0..64u32 {
+            if let TierDecision::SpillDpu { process_ns, .. } = map.place(i, i) {
+                assert!(process_ns >= crate::engine::cost::PUNT_HANDOFF_NS);
+                assert!(process_ns < crate::engine::cost::X86_PROCESS_NS);
+            }
+        }
+    }
+}

@@ -70,6 +70,15 @@ impl Meter {
     pub fn counters(&self) -> (u64, u64) {
         (self.conformed_packets, self.exceeded_packets)
     }
+
+    /// Returns `bytes` worth of tokens to the bucket (capped at the
+    /// configured burst). Used by the punt-path circuit breaker to roll
+    /// back the drain of half-open trial packets when a probe cycle
+    /// fails: the bucket must look exactly as if the probe never ran.
+    pub fn credit(&mut self, bytes: u64) {
+        let bits = bytes.saturating_mul(8);
+        self.tokens_bits = self.tokens_bits.saturating_add(bits).min(self.burst_bits);
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +130,20 @@ mod tests {
         // A long idle period must not accumulate more than the burst.
         assert!(m.offer(10_000_000_000, 100));
         assert!(!m.offer(10_000_000_000, 100));
+    }
+
+    #[test]
+    fn credit_returns_tokens_capped_at_burst() {
+        let mut m = Meter::new(8_000, 1_000);
+        assert!(m.offer(0, 1_000));
+        assert!(!m.offer(0, 1_000));
+        // Crediting back the drained bytes restores the full burst…
+        m.credit(1_000);
+        assert!(m.offer(0, 1_000));
+        // …and over-crediting never exceeds the burst depth.
+        m.credit(u64::MAX / 16);
+        assert!(m.offer(0, 1_000));
+        assert!(!m.offer(0, 1));
     }
 
     #[test]

@@ -53,6 +53,19 @@ pub const SNAT_EXACT_KEY_BITS: u32 = 24 + 32 + 32 + 8 + 16 + 16;
 /// region fit in 64k entries while the long tail punts to XGW-x86.
 pub const SNAT_EXACT_TABLE_ENTRIES: usize = 65_536;
 
+/// DPU spill steering key: 24-bit VNI + 32-bit Toeplitz tuple hash —
+/// the same `(vni, tuple_hash)` flow key the dataplane's tier placement
+/// hashes onto the DPU consistent-hash ring.
+pub const DPU_SPILL_KEY_BITS: u32 = 24 + 32;
+
+/// Exact-match entries the production layout grants the DPU spill
+/// steering table: cached `(VNI, tuple-hash) → DPU node` placements so
+/// a punt-classified packet is redirected to its owning DPU in the
+/// ingress outer pipes without a trip through XGW-x86. 32k entries
+/// cover the hot punt flows of a device; colder flows resolve through
+/// the per-worker placement map instead.
+pub const DPU_SPILL_TABLE_ENTRIES: usize = 32_768;
+
 /// The analyzer options encoding XGW-H program knowledge: conflict
 /// tables must reserve at least [`CONFLICT_TABLE_RESERVED`] entries.
 pub fn verify_options() -> VerifyOptions {
@@ -271,6 +284,27 @@ pub fn snat_exact_table(entries: usize) -> Result<PlacedTable> {
     Ok(t)
 }
 
+/// The DPU spill steering table: cached tier placements
+/// `(VNI, tuple hash) → DPU node` served where the punt decision is
+/// made, so spilled packets leave on the DPU port instead of the slow
+/// path. 32 action bits carry the node id, egress port, and the spill
+/// opcode.
+pub fn dpu_spill_table(entries: usize) -> Result<PlacedTable> {
+    let spec = TableSpec::new(
+        "dpu-spill",
+        MatchKind::Exact,
+        DPU_SPILL_KEY_BITS,
+        32,
+        entries,
+        Storage::SramHash,
+    )?;
+    let mut t = PlacedTable::new(spec, FoldStep::IngressOuter);
+    // Consulted positionally, like the SNAT offload: a hit steers the
+    // punt to a DPU, a miss leaves the ladder unchanged.
+    t.depends_on_previous = false;
+    Ok(t)
+}
+
 /// The full production layout of one XGW-H (folded, majors + services).
 pub fn production_layout(
     config: TofinoConfig,
@@ -290,6 +324,20 @@ pub fn production_layout_with_snat(
     vmnc_entries: usize,
     snat_entries: usize,
 ) -> Result<Layout> {
+    production_layout_with_tiers(config, route_entries, alpm, vmnc_entries, snat_entries, 0)
+}
+
+/// [`production_layout_with_snat`] plus the DPU spill steering table of
+/// `dpu_spill_entries` exact-match entries (0 omits it) — the full
+/// three-tier production layout.
+pub fn production_layout_with_tiers(
+    config: TofinoConfig,
+    route_entries: usize,
+    alpm: &AlpmStats,
+    vmnc_entries: usize,
+    snat_entries: usize,
+    dpu_spill_entries: usize,
+) -> Result<Layout> {
     let mut layout = Layout::new(config, true);
     // Services first in lookup order within their steps; the Layout only
     // validates step monotonicity, so interleave by step.
@@ -298,6 +346,9 @@ pub fn production_layout_with_snat(
     tables.extend(major_tables(route_entries, alpm, vmnc_entries)?);
     if snat_entries > 0 {
         tables.push(snat_exact_table(snat_entries)?);
+    }
+    if dpu_spill_entries > 0 {
+        tables.push(dpu_spill_table(dpu_spill_entries)?);
     }
     tables.sort_by_key(|t| t.step);
     for t in tables {
@@ -325,6 +376,30 @@ pub fn verify_snat_offload(
         snat_entries,
     )?;
     Ok(verify_layout(&layout, "snat-offload"))
+}
+
+/// Statically verifies the full three-tier device load: majors,
+/// services, the SNAT offload, AND the DPU spill steering table all on
+/// one device at once — the SRAM-budget proof the hierarchical ladder's
+/// on-chip footprint must come with. Callers gate on
+/// [`Report::is_clean`].
+pub fn verify_tier_offload(
+    config: &TofinoConfig,
+    route_entries: usize,
+    vmnc_entries: usize,
+    snat_entries: usize,
+    dpu_spill_entries: usize,
+) -> Result<Report> {
+    let alpm = estimated_alpm(route_entries);
+    let layout = production_layout_with_tiers(
+        config.clone(),
+        route_entries,
+        &alpm,
+        vmnc_entries,
+        snat_entries,
+        dpu_spill_entries,
+    )?;
+    Ok(verify_layout(&layout, "tier-offload"))
 }
 
 #[cfg(test)]
@@ -377,6 +452,55 @@ mod tests {
             absurd.map(|r| !r.is_clean()).unwrap_or(true),
             "a 64M-entry exact table cannot verify clean"
         );
+    }
+
+    #[test]
+    fn tier_offload_fits_the_calibrated_device() {
+        // The full three-tier grant — SNAT offload plus the DPU spill
+        // steering table — fits alongside the majors and services…
+        let report = verify_tier_offload(
+            &TofinoConfig::tofino_64t(),
+            229_300,
+            459_000,
+            SNAT_EXACT_TABLE_ENTRIES,
+            DPU_SPILL_TABLE_ENTRIES,
+        )
+        .expect("layout builds");
+        assert!(report.is_clean(), "{}", report.render());
+        // …the zero sentinels collapse back to the SNAT-only and flat
+        // layouts…
+        let snat_only =
+            verify_tier_offload(&TofinoConfig::tofino_64t(), 229_300, 459_000, 65_536, 0)
+                .expect("layout builds");
+        assert!(snat_only.is_clean());
+        // …and an absurd spill grant is caught by the analyzer, not the
+        // device.
+        let absurd = verify_tier_offload(
+            &TofinoConfig::tofino_64t(),
+            229_300,
+            459_000,
+            SNAT_EXACT_TABLE_ENTRIES,
+            64_000_000,
+        );
+        assert!(
+            absurd.map(|r| !r.is_clean()).unwrap_or(true),
+            "a 64M-entry spill table cannot verify clean"
+        );
+    }
+
+    #[test]
+    fn dpu_spill_table_rides_the_punt_decision_point() {
+        let t = dpu_spill_table(DPU_SPILL_TABLE_ENTRIES).expect("spill table builds");
+        // Same gress as the SNAT offload: both amend the punt decision.
+        assert_eq!(t.step, FoldStep::IngressOuter);
+        assert_eq!(
+            t.step,
+            snat_exact_table(SNAT_EXACT_TABLE_ENTRIES)
+                .expect("snat table builds")
+                .step
+        );
+        assert!(!t.depends_on_previous);
+        assert_eq!(t.spec.key_bits, DPU_SPILL_KEY_BITS);
     }
 
     #[test]
